@@ -1,0 +1,66 @@
+// Ablation: the hybrid's design choices — intra-subcube load balancing,
+// idle-partition rejoin, split criterion, and the machine's communication
+// cost. Shows each feature's contribution to the headline Figure 6/8
+// behaviour.
+#include "bench_util.hpp"
+
+using namespace pdt;
+
+namespace {
+
+void row(const char* label, const data::Dataset& ds,
+         const core::ParOptions& opt, double serial_time) {
+  const core::ParResult res = core::build_hybrid(ds, opt);
+  std::printf("%-34s %12.1f %9.2f %8d %8d %10lld\n", label,
+              res.parallel_time / 1000.0, serial_time / res.parallel_time,
+              res.partition_splits, res.rejoins,
+              static_cast<long long>(res.records_moved));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "hybrid design choices at P = 16");
+  const std::size_t n = bench::scaled(0.8e6);
+  const data::Dataset ds = bench::fig6_workload(n, 6);
+  core::ParOptions base;
+  base.num_procs = 16;
+  const double serial = core::build_serial(ds, base).parallel_time;
+  std::printf("\nworkload: N = %zu | serial %.1f ms\n\n", n, serial / 1000.0);
+
+  std::printf("%-34s %12s %9s %8s %8s %10s\n", "configuration", "time(ms)",
+              "speedup", "splits", "rejoins", "moved");
+
+  row("full hybrid (paper)", ds, base, serial);
+
+  core::ParOptions no_lb = base;
+  no_lb.load_balance = false;
+  row("  - load balancing off", ds, no_lb, serial);
+
+  core::ParOptions no_rejoin = base;
+  no_rejoin.rejoin_idle = false;
+  row("  - idle rejoin off", ds, no_rejoin, serial);
+
+  core::ParOptions neither = base;
+  neither.load_balance = false;
+  neither.rejoin_idle = false;
+  row("  - both off", ds, neither, serial);
+
+  core::ParOptions gini = base;
+  gini.grow.criterion = dtree::Criterion::Gini;
+  row("  gini criterion", ds, gini, serial);
+
+  core::ParOptions cheap = base;
+  cheap.cost = mpsim::CostModel::cheap_comm();
+  const double cheap_serial = core::build_serial(ds, cheap).parallel_time;
+  row("  100x cheaper network", ds, cheap, cheap_serial);
+
+  core::ParOptions zero = base;
+  zero.cost = mpsim::CostModel::zero_comm();
+  const double zero_serial = core::build_serial(ds, zero).parallel_time;
+  row("  free communication (PRAM-ish)", ds, zero, zero_serial);
+
+  std::printf("\n(speedups for the cheaper networks use their own serial "
+              "baselines)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Related-work comparison (Section 2.2): the paper's three formulations
+// against the parallelization schemes it surveys — DP-att / Pearson's
+// attribute partitioning, Kufrin's PDT host-worker scheme, parallel
+// SPRINT with the replicated hash table, and ScalParC's distributed hash
+// table. One table per processor count; plus the memory/traffic profile
+// that makes parallel SPRINT unscalable.
+#include "bench_util.hpp"
+
+#include "alist/parallel.hpp"
+#include "core/baselines.hpp"
+
+using namespace pdt;
+
+int main() {
+  bench::header("Related work", "all parallelization schemes, same workload");
+  const std::size_t n = bench::scaled(0.8e6);
+  const data::Dataset binned = bench::fig6_workload(n, 9);
+  const data::Dataset raw =
+      data::quest_generate(n, {.function = 2, .seed = 9});
+
+  core::ParOptions base;
+  const double serial = core::build_serial(binned, base).parallel_time;
+  std::printf("\nworkload: N = %zu (discrete attributes) | serial %.1f ms\n",
+              n, serial / 1000.0);
+
+  std::printf("\nspeedup over serial:\n%-28s", "scheme \\ P");
+  const std::vector<int> procs{2, 4, 8, 16};
+  for (const int p : procs) std::printf(" %8d", p);
+  std::printf("\n");
+
+  auto row = [&](const char* name, auto&& build) {
+    std::printf("%-28s", name);
+    for (const int p : procs) {
+      core::ParOptions opt;
+      opt.num_procs = p;
+      std::printf(" %8.2f", serial / build(opt).parallel_time);
+    }
+    std::printf("\n");
+  };
+  row("synchronous (DP-rec)", [&](const core::ParOptions& o) {
+    return core::build_sync(binned, o);
+  });
+  row("attribute part. (DP-att)", [&](const core::ParOptions& o) {
+    return core::build_vertical(binned, o);
+  });
+  row("host-worker (PDT)", [&](const core::ParOptions& o) {
+    return core::build_host_worker(binned, o);
+  });
+  row("partitioned", [&](const core::ParOptions& o) {
+    return core::build_partitioned(binned, o);
+  });
+  row("hybrid (this paper)", [&](const core::ParOptions& o) {
+    return core::build_hybrid(binned, o);
+  });
+
+  // Attribute-list algorithms run on the raw continuous data with exact
+  // thresholds; their baseline is their own 1-processor run.
+  std::printf("\nattribute-list algorithms (exact thresholds, raw data):\n");
+  alist::ParallelSprintOptions aopt;
+  aopt.grow.max_depth = 14;
+  aopt.num_procs = 1;
+  const double aserial = alist::build_parallel_sprint(raw, aopt).parallel_time;
+  std::printf("serial presorted scan: %.1f ms\n", aserial / 1000.0);
+  std::printf("%-28s", "scheme \\ P");
+  for (const int p : procs) std::printf(" %8d", p);
+  std::printf("\n");
+  for (const auto [scheme, name] :
+       {std::pair{alist::HashTableScheme::ReplicatedSprint,
+                  "parallel SPRINT (repl.)"},
+        std::pair{alist::HashTableScheme::DistributedScalParC,
+                  "ScalParC (distributed)"}}) {
+    std::printf("%-28s", name);
+    for (const int p : procs) {
+      alist::ParallelSprintOptions o = aopt;
+      o.scheme = scheme;
+      o.num_procs = p;
+      std::printf(" %8.2f",
+                  aserial / alist::build_parallel_sprint(raw, o).parallel_time);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nper-processor hash-table footprint (words) and total hash "
+              "traffic:\n%-28s %14s %14s\n", "scheme at P=16", "memory/proc",
+              "traffic(words)");
+  for (const auto [scheme, name] :
+       {std::pair{alist::HashTableScheme::ReplicatedSprint,
+                  "parallel SPRINT (repl.)"},
+        std::pair{alist::HashTableScheme::DistributedScalParC,
+                  "ScalParC (distributed)"}}) {
+    alist::ParallelSprintOptions o = aopt;
+    o.scheme = scheme;
+    o.num_procs = 16;
+    const auto res = alist::build_parallel_sprint(raw, o);
+    std::printf("%-28s %14.0f %14.0f\n", name, res.peak_hash_words_per_proc,
+                res.hash_comm_words);
+  }
+  std::printf("\n(the O(N) replicated table is the unscalability the paper "
+              "criticizes; ScalParC's distributed table is O(N/P))\n");
+  return 0;
+}

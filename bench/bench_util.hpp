@@ -1,0 +1,62 @@
+// Shared helpers for the figure-regeneration harnesses.
+//
+// Each fig*_ binary regenerates one figure of the paper's evaluation
+// (Section 5) on the simulated SP-2. Dataset sizes default to 1/10 of the
+// paper's (the simulator runs on one host core); set PDT_SCALE to change,
+// e.g. PDT_SCALE=1.0 for the paper's full 0.8M/1.6M records.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::bench {
+
+/// Global size multiplier from the PDT_SCALE env var (default 0.1).
+inline double scale() {
+  const char* env = std::getenv("PDT_SCALE");
+  if (env == nullptr) return 0.1;
+  const double s = std::atof(env);
+  return s > 0.0 ? s : 0.1;
+}
+
+inline std::size_t scaled(double paper_n) {
+  return static_cast<std::size_t>(paper_n * scale());
+}
+
+/// The paper's Figure 6/7 workload: Quest function 2 with the six
+/// continuous attributes uniformly discretized (13/14/6/11/10/20 bins).
+inline data::Dataset fig6_workload(std::size_t n, std::uint64_t seed = 1) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+/// The paper's Figure 8/9 workload: original continuous attributes with
+/// SPEC-style per-node clustering discretization.
+inline core::ParOptions fig8_options() {
+  core::ParOptions opt;
+  opt.grow.cont_split = dtree::ContSplit::KMeans;
+  opt.grow.cont_bins = 32;
+  opt.grow.per_node_bins = 8;
+  opt.grow.min_records = 8;
+  return opt;
+}
+
+inline void header(const char* fig, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  std::printf("simulated machine: IBM SP-2 cost model (t_s=%.0fus, "
+              "t_w=%.2fus/word, t_c=%.2fus)\n",
+              mpsim::CostModel::sp2().t_s, mpsim::CostModel::sp2().t_w,
+              mpsim::CostModel::sp2().t_c);
+  std::printf("dataset scale: %.2fx the paper's (PDT_SCALE to change)\n",
+              scale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace pdt::bench

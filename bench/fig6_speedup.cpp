@@ -1,0 +1,69 @@
+// Figure 6: speedup comparison of the three parallel formulations on
+// function-2 data with uniformly discretized attributes, for 0.8M and
+// 1.6M training cases (scaled by PDT_SCALE) on 1..16 processors.
+//
+// Expected shape (paper): the synchronous approach speeds up at P=2 but
+// flattens or degrades for P>=4; the partitioned approach does better but
+// loses efficiency at 8-16; the hybrid keeps improving and dominates.
+#include "bench_util.hpp"
+#include "core/cost_analysis.hpp"
+
+using namespace pdt;
+
+namespace {
+
+void run_size(double paper_n, std::uint64_t seed) {
+  const std::size_t n = bench::scaled(paper_n);
+  std::printf("\n--- %.1fM paper-scale examples (simulated with N = %zu) ---\n",
+              paper_n / 1e6, n);
+  const data::Dataset ds = bench::fig6_workload(n, seed);
+  const std::vector<int> procs{1, 2, 4, 8, 16};
+
+  core::ParOptions base;
+  std::printf("%-13s", "speedup at P:");
+  for (const int p : procs) std::printf(" %8d", p);
+  std::printf("\n");
+
+  int tree_nodes = 0;
+  for (const core::Formulation f :
+       {core::Formulation::Sync, core::Formulation::Partitioned,
+        core::Formulation::Hybrid}) {
+    const auto series = core::speedup_series(f, ds, base, procs);
+    std::printf("%-13s", core::to_string(f));
+    for (const auto& pt : series) std::printf(" %8.2f", pt.speedup);
+    std::printf("\n");
+    tree_nodes = series.front().result.tree.num_nodes();
+  }
+  std::printf("(tree: %d nodes)\n", tree_nodes);
+
+  // The Section-4 model at the paper's full scale, for comparison.
+  core::AnalysisInput in;
+  in.N = paper_n;
+  in.A_d = 9;
+  in.C = 2;
+  in.M = 12;
+  in.L1 = 24;
+  std::printf("%-13s", "model hybrid:");
+  for (const int p : procs) {
+    in.P = p;
+    std::printf(" %8.2f", core::predicted_serial_time(in) /
+                              core::predicted_hybrid_time(in, 10.0));
+  }
+  std::printf("  (closed-form, full %.1fM records)\n", paper_n / 1e6);
+  std::printf("%-13s", "model sync:");
+  for (const int p : procs) {
+    in.P = p;
+    std::printf(" %8.2f", core::predicted_serial_time(in) /
+                              core::predicted_sync_time(in));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 6", "speedup of the three parallel formulations");
+  run_size(0.8e6, 1);
+  run_size(1.6e6, 2);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 7: verification of the hybrid's splitting criterion. The hybrid
+// splits a processor partition when
+//     ratio = Sum(Communication Cost) / (Moving Cost + Load Balancing)
+// reaches a trigger value. The paper proposes 1.0 as optimal and sweeps
+// the trigger; runtime should be minimized near 1.0 and grow as the
+// trigger moves away in either direction.
+//
+// Left graph:  0.8M examples on 8 processors.
+// Right graph: 1.6M examples on 16 processors.
+#include "bench_util.hpp"
+
+using namespace pdt;
+
+namespace {
+
+void run_config(double paper_n, int procs, std::uint64_t seed) {
+  const std::size_t n = bench::scaled(paper_n);
+  std::printf("\n--- %.1fM paper-scale examples on %d processors "
+              "(simulated N = %zu) ---\n", paper_n / 1e6, procs, n);
+  const data::Dataset ds = bench::fig6_workload(n, seed);
+
+  const double ratios[] = {0.01, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  double best_time = 0.0;
+  double best_ratio = 0.0;
+  std::printf("%8s %14s %12s %8s %8s\n", "ratio", "runtime(ms)",
+              "rel-to-1.0", "splits", "moved");
+  double at_one = 0.0;
+  std::vector<core::ParResult> results;
+  for (const double r : ratios) {
+    core::ParOptions opt;
+    opt.num_procs = procs;
+    opt.split_ratio = r;
+    results.push_back(core::build_hybrid(ds, opt));
+    if (r == 1.0) at_one = results.back().parallel_time;
+    if (best_time == 0.0 || results.back().parallel_time < best_time) {
+      best_time = results.back().parallel_time;
+      best_ratio = r;
+    }
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::ParResult& res = results[i];
+    std::printf("%8.2f %14.1f %11.2fx %8d %8lld\n", ratios[i],
+                res.parallel_time / 1000.0, res.parallel_time / at_one,
+                res.partition_splits,
+                static_cast<long long>(res.records_moved));
+  }
+  std::printf("minimum at ratio %.2f — the paper proposes 1.0 as optimal "
+              "(within 2x of optimal communication is guaranteed)\n",
+              best_ratio);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 7", "splitting-criterion verification for the hybrid");
+  run_config(0.8e6, 8, 3);
+  run_config(1.6e6, 16, 4);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: speedup of the hybrid formulation on up to 128 processors for
+// several dataset sizes, using the original continuous attributes with
+// SPEC-style clustering discretization at every tree node (Section 3.4).
+//
+// Expected shape (paper): speedup keeps climbing with P for every size;
+// larger datasets sustain higher efficiency (the N = Theta(P log P)
+// isoefficiency at work).
+#include "bench_util.hpp"
+#include "core/cost_analysis.hpp"
+
+using namespace pdt;
+
+int main() {
+  bench::header("Figure 8",
+                "hybrid speedup with per-node clustering discretization");
+  const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64, 128};
+  const double paper_sizes[] = {0.2e6, 0.4e6, 0.8e6, 1.6e6};
+
+  std::printf("\n%-24s", "speedup at P:");
+  for (const int p : procs) std::printf(" %7d", p);
+  std::printf("\n");
+
+  for (const double paper_n : paper_sizes) {
+    const std::size_t n = bench::scaled(paper_n);
+    const data::Dataset ds = data::quest_generate(
+        n, {.function = 2, .seed = static_cast<std::uint64_t>(paper_n)});
+    const core::ParOptions base = bench::fig8_options();
+    const auto series =
+        core::speedup_series(core::Formulation::Hybrid, ds, base, procs);
+    std::printf("%.1fM examples (N=%-7zu)", paper_n / 1e6, n);
+    for (const auto& pt : series) std::printf(" %7.2f", pt.speedup);
+    std::printf("\n");
+  }
+
+  std::printf("\nclosed-form model at full paper scale:\n%-24s",
+              "model speedup at P:");
+  for (const int p : procs) std::printf(" %7d", p);
+  std::printf("\n");
+  for (const double paper_n : paper_sizes) {
+    core::AnalysisInput in;
+    in.N = paper_n;
+    in.A_d = 9;
+    in.C = 2;
+    in.M = 16;
+    in.L1 = 24;
+    std::printf("%.1fM examples          ", paper_n / 1e6);
+    for (const int p : procs) {
+      in.P = p;
+      std::printf(" %7.2f", core::predicted_serial_time(in) /
+                                core::predicted_hybrid_time(in, 13.0));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

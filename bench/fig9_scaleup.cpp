@@ -1,0 +1,48 @@
+// Figure 9: scaleup of the hybrid formulation — the per-processor dataset
+// is held at 50,000 examples (scaled by PDT_SCALE) while the machine
+// grows. Ideal scaleup is a horizontal line; the measured curve rises
+// slightly because the isoefficiency function is Theta(P log P), not
+// Theta(P) (Section 4.3).
+#include "bench_util.hpp"
+#include "core/cost_analysis.hpp"
+
+using namespace pdt;
+
+int main() {
+  bench::header("Figure 9", "scaleup: 50,000 examples per processor");
+  const std::size_t per_proc = bench::scaled(50000.0);
+  std::printf("\nper-processor examples (scaled): %zu\n\n", per_proc);
+
+  std::printf("%6s %10s %14s %14s %10s\n", "P", "N", "runtime(ms)",
+              "vs P=1", "splits");
+  double base_time = 0.0;
+  for (const int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const std::size_t n = per_proc * static_cast<std::size_t>(p);
+    const data::Dataset ds = data::quest_generate(
+        n, {.function = 2, .seed = 77});
+    core::ParOptions opt = bench::fig8_options();
+    opt.num_procs = p;
+    const core::ParResult res =
+        p == 1 ? core::build_serial(ds, opt) : core::build_hybrid(ds, opt);
+    if (p == 1) base_time = res.parallel_time;
+    std::printf("%6d %10zu %14.1f %13.2fx %10d\n", p, n,
+                res.parallel_time / 1000.0, res.parallel_time / base_time,
+                res.partition_splits);
+  }
+
+  std::printf("\nisoefficiency check (Section 4.3): records needed for "
+              "80%% efficiency\n");
+  core::AnalysisInput in;
+  in.A_d = 9;
+  in.C = 2;
+  in.M = 16;
+  in.L1 = 24;
+  std::printf("%6s %16s %18s\n", "P", "N(E=0.8)", "N / (P log2 P)");
+  for (const int p : {2, 4, 8, 16, 32, 64, 128}) {
+    const double n = core::isoefficiency_records(in, p, 0.8);
+    std::printf("%6d %16.0f %18.1f\n", p, n,
+                n / (p * mpsim::ceil_log2(p)));
+  }
+  std::printf("(constant last column == Theta(P log P) isoefficiency)\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Google-benchmark micro-benchmarks of the substrates: real wall-clock
+// performance of the pieces the simulation executes (histogram updates,
+// split selection, generator throughput, classification, collectives).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "dtree/builder.hpp"
+#include "dtree/histogram.hpp"
+#include "dtree/metrics.hpp"
+#include "dtree/prune.hpp"
+
+using namespace pdt;
+
+namespace {
+
+const data::Dataset& quest_raw() {
+  static const data::Dataset ds =
+      data::quest_generate(50000, {.function = 2, .seed = 1});
+  return ds;
+}
+
+const data::Dataset& quest_binned() {
+  static const data::Dataset ds =
+      data::discretize_uniform(quest_raw(), data::quest_paper_bins());
+  return ds;
+}
+
+void BM_QuestGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::quest_generate(n, {.seed = 3}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuestGenerate)->Arg(1000)->Arg(10000);
+
+void BM_HistogramAccumulate(benchmark::State& state) {
+  const data::Dataset& ds = quest_binned();
+  const dtree::SlotMapper mapper(ds, 32);
+  const dtree::AttrLayout layout(ds.schema(), 32);
+  std::vector<data::RowId> rows(static_cast<std::size_t>(state.range(0)));
+  std::iota(rows.begin(), rows.end(), data::RowId{0});
+  dtree::Hist h(static_cast<std::size_t>(layout.total()));
+  for (auto _ : state) {
+    std::fill(h.begin(), h.end(), 0);
+    dtree::accumulate(h, layout, mapper, rows);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 9);
+}
+BENCHMARK(BM_HistogramAccumulate)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_ChooseSplit(benchmark::State& state) {
+  const data::Dataset& ds = quest_binned();
+  const dtree::SlotMapper mapper(ds, 32);
+  const dtree::AttrLayout layout(ds.schema(), 32);
+  std::vector<data::RowId> rows(ds.num_rows());
+  std::iota(rows.begin(), rows.end(), data::RowId{0});
+  dtree::Hist h(static_cast<std::size_t>(layout.total()), 0);
+  dtree::accumulate(h, layout, mapper, rows);
+  const dtree::GrowOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dtree::choose_split(h, layout, ds.schema(), mapper, opt));
+  }
+}
+BENCHMARK(BM_ChooseSplit);
+
+void BM_SerialGrowBfs(benchmark::State& state) {
+  const data::Dataset ds = data::discretize_uniform(
+      data::quest_generate(static_cast<std::size_t>(state.range(0)),
+                           {.seed = 5}),
+      data::quest_paper_bins());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtree::grow_bfs(ds, dtree::GrowOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SerialGrowBfs)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_GrowVsPrune(benchmark::State& state) {
+  // Supports the paper's "pruning is <1% of construction" remark.
+  const data::Dataset ds = data::discretize_uniform(
+      data::quest_generate(20000, {.seed = 6}), data::quest_paper_bins());
+  const dtree::Tree grown = dtree::grow_bfs(ds, dtree::GrowOptions{});
+  for (auto _ : state) {
+    dtree::Tree t = grown;
+    benchmark::DoNotOptimize(dtree::prune(t));
+  }
+}
+BENCHMARK(BM_GrowVsPrune);
+
+void BM_Classify(benchmark::State& state) {
+  const data::Dataset& ds = quest_binned();
+  const dtree::Tree tree = dtree::grow_bfs(ds, dtree::GrowOptions{});
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.classify(ds, row));
+    row = (row + 1) % ds.num_rows();
+  }
+}
+BENCHMARK(BM_Classify);
+
+void BM_SimulatedHybrid(benchmark::State& state) {
+  // Host cost of simulating one full hybrid run (the figure harnesses'
+  // unit of work).
+  const data::Dataset ds = data::discretize_uniform(
+      data::quest_generate(static_cast<std::size_t>(state.range(0)),
+                           {.seed = 7}),
+      data::quest_paper_bins());
+  core::ParOptions opt;
+  opt.num_procs = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_hybrid(ds, opt));
+  }
+}
+BENCHMARK(BM_SimulatedHybrid)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_AllReduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  mpsim::Machine m(p);
+  const mpsim::Group g = mpsim::Group::whole(m);
+  std::vector<std::vector<std::int64_t>> bufs(
+      static_cast<std::size_t>(p), std::vector<std::int64_t>(216, 1));
+  std::vector<std::int64_t*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  for (auto _ : state) {
+    g.all_reduce_sum(ptrs, 216);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+}
+BENCHMARK(BM_AllReduce)->Arg(4)->Arg(16)->Arg(128);
+
+void BM_KMeansBoundaries(benchmark::State& state) {
+  std::vector<data::WeightedValue> vals;
+  for (int i = 0; i < 64; ++i) {
+    vals.push_back({static_cast<double>(i), 1.0 + (i * 7) % 5});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::kmeans_boundaries(vals, 8));
+  }
+}
+BENCHMARK(BM_KMeansBoundaries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

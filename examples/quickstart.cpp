@@ -1,0 +1,78 @@
+// Quickstart: build a decision tree on the paper's Table-1 golf data.
+//
+// Reproduces, from the paper's Section 2.1:
+//   * Table 1  — the training set itself
+//   * Table 2  — class distribution of Outlook at the root
+//   * Table 3  — binary-test class distributions of Humidity
+//   * Figure 1 — Hunt's method: initial, intermediate, final tree
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <numeric>
+
+#include "data/golf.hpp"
+#include "dtree/builder.hpp"
+#include "dtree/histogram.hpp"
+#include "dtree/metrics.hpp"
+
+using namespace pdt;
+
+int main() {
+  const data::Dataset golf = data::golf_dataset();
+  const data::Schema& schema = golf.schema();
+
+  std::printf("=== Table 1: the training data set ===\n");
+  std::printf("%-10s %-6s %-9s %-6s %s\n", "Outlook", "Temp", "Humidity",
+              "Windy", "Class");
+  for (std::size_t i = 0; i < golf.num_rows(); ++i) {
+    std::printf("%-10s %-6.0f %-9.0f %-6s %s\n",
+                schema.attr(0).value_names[static_cast<std::size_t>(
+                    golf.cat(data::golf_attr::kOutlook, i))].c_str(),
+                golf.cont(data::golf_attr::kTemp, i),
+                golf.cont(data::golf_attr::kHumidity, i),
+                schema.attr(3).value_names[static_cast<std::size_t>(
+                    golf.cat(data::golf_attr::kWindy, i))].c_str(),
+                schema.class_name(golf.label(i)).c_str());
+  }
+
+  std::vector<data::RowId> rows(golf.num_rows());
+  std::iota(rows.begin(), rows.end(), data::RowId{0});
+
+  std::printf("\n=== Table 2: class distribution of Outlook at the root ===\n");
+  const auto outlook = dtree::categorical_distribution(
+      golf, rows, data::golf_attr::kOutlook);
+  std::fputs(dtree::format_categorical_distribution(
+                 golf, outlook, data::golf_attr::kOutlook).c_str(),
+             stdout);
+
+  std::printf("\n=== Table 3: binary tests on Humidity at the root ===\n");
+  const auto humidity = dtree::continuous_binary_distribution(
+      golf, rows, data::golf_attr::kHumidity);
+  std::fputs(dtree::format_binary_distribution(
+                 golf, humidity, data::golf_attr::kHumidity).c_str(),
+             stdout);
+
+  std::printf("\n=== Figure 1: Hunt's method ===\n");
+  dtree::GrowOptions opt;
+  opt.policy = dtree::SplitPolicy::Multiway;  // C4.5-style multiway splits
+
+  std::printf("(a) initial tree: a single leaf predicting the majority\n");
+  std::printf("  -> Play (9/5)\n");
+
+  std::printf("\n(b) intermediate tree: one level grown (max_depth = 1)\n");
+  dtree::GrowOptions one = opt;
+  one.max_depth = 1;
+  const dtree::Tree intermediate = dtree::grow_dfs_exact(golf, one);
+  std::fputs(intermediate.to_string(schema).c_str(), stdout);
+
+  std::printf("\n(c) final classification tree\n");
+  const dtree::Tree tree = dtree::grow_dfs_exact(golf, opt);
+  std::fputs(tree.to_string(schema).c_str(), stdout);
+
+  const dtree::Evaluation ev = dtree::evaluate(tree, golf);
+  std::printf("\ntraining accuracy: %.0f%% (%lld/%lld), %d nodes, depth %d\n",
+              ev.accuracy() * 100.0, static_cast<long long>(ev.correct),
+              static_cast<long long>(ev.total), tree.num_nodes(),
+              tree.depth());
+  return 0;
+}

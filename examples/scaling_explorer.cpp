@@ -1,0 +1,69 @@
+// Interactive scaling exploration: pick a formulation, dataset size, and
+// processor count range, and see where each formulation's time goes
+// (compute / communication / idle) — the breakdown behind Figure 6.
+//
+// Build & run:  ./build/examples/scaling_explorer [sync|part|hybrid] [N] [Pmax]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+using namespace pdt;
+
+int main(int argc, char** argv) {
+  core::Formulation f = core::Formulation::Hybrid;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "sync") == 0) {
+      f = core::Formulation::Sync;
+    } else if (std::strcmp(argv[1], "part") == 0) {
+      f = core::Formulation::Partitioned;
+    } else if (std::strcmp(argv[1], "hybrid") == 0) {
+      f = core::Formulation::Hybrid;
+    } else {
+      std::fprintf(stderr, "usage: %s [sync|part|hybrid] [N] [Pmax]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const std::size_t n =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 40000;
+  const int pmax = argc > 3 ? std::atoi(argv[3]) : 32;
+
+  std::printf("formulation: %s | N = %zu | simulated IBM SP-2 cost model\n",
+              core::to_string(f), n);
+  const data::Dataset ds = data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = 7}),
+      data::quest_paper_bins());
+
+  core::ParOptions base;
+  const core::ParResult serial = core::build_serial(ds, base);
+  std::printf("serial baseline: %.1f ms | tree %d nodes, depth %d\n\n",
+              serial.parallel_time / 1000.0, serial.tree.num_nodes(),
+              serial.tree.depth());
+
+  std::printf("%4s %12s %8s %6s | %9s %9s %9s | %7s %7s\n", "P",
+              "time(ms)", "speedup", "eff", "compute%", "comm%", "idle%",
+              "splits", "moved");
+  for (int p = 1; p <= pmax; p *= 2) {
+    core::ParOptions opt;
+    opt.num_procs = p;
+    const core::ParResult res =
+        p == 1 ? serial : core::build(f, ds, opt);
+    const double busy_total = res.totals.compute_time +
+                              res.totals.comm_time + res.totals.idle_time;
+    std::printf("%4d %12.1f %8.2f %5.0f%% | %8.1f%% %8.1f%% %8.1f%% | %7d %7lld\n",
+                p, res.parallel_time / 1000.0,
+                serial.parallel_time / res.parallel_time,
+                serial.parallel_time / res.parallel_time / p * 100.0,
+                res.totals.compute_time / busy_total * 100.0,
+                res.totals.comm_time / busy_total * 100.0,
+                res.totals.idle_time / busy_total * 100.0,
+                res.partition_splits,
+                static_cast<long long>(res.records_moved));
+  }
+  std::printf("\n(compute/comm/idle are shares of total processor-time)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "alist/attribute_list.hpp"
+
+#include <algorithm>
+
+namespace pdt::alist {
+
+AttributeLists::AttributeLists(const data::Dataset& ds) : ds_(&ds) {
+  const int num_attrs = ds.num_attributes();
+  lists_.resize(static_cast<std::size_t>(num_attrs));
+  for (int a = 0; a < num_attrs; ++a) {
+    auto& list = lists_[static_cast<std::size_t>(a)];
+    list.reserve(ds.num_rows());
+    const bool continuous = ds.schema().attr(a).is_continuous();
+    for (std::size_t row = 0; row < ds.num_rows(); ++row) {
+      Entry e;
+      e.value = continuous ? ds.cont(a, row)
+                           : static_cast<double>(ds.cat(a, row));
+      e.rid = static_cast<data::RowId>(row);
+      e.label = ds.label(row);
+      list.push_back(e);
+    }
+    if (continuous) {
+      std::sort(list.begin(), list.end(), [](const Entry& x, const Entry& y) {
+        if (x.value != y.value) return x.value < y.value;
+        return x.rid < y.rid;
+      });
+    }
+  }
+}
+
+}  // namespace pdt::alist

@@ -1,0 +1,67 @@
+// SPRINT/SLIQ attribute lists (Section 2.1).
+//
+// SLIQ and SPRINT avoid C4.5's per-node re-sorting by sorting each
+// continuous attribute once, up front, into an *attribute list* of
+// (value, record id, class) entries. Tree growth then makes one scan per
+// attribute per level; a record-to-node map (SLIQ's class list / the hash
+// table SPRINT builds while splitting) tells each entry which frontier
+// node it currently belongs to, and the sorted order is never disturbed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+
+namespace pdt::alist {
+
+struct Entry {
+  double value = 0.0;       ///< attribute value (categorical ids widened)
+  data::RowId rid = 0;
+  std::int32_t label = 0;   ///< class travels with the entry (SPRINT)
+};
+
+/// One presorted list per attribute. Categorical attributes keep record
+/// order (their statistics are order-independent); continuous attributes
+/// are value-sorted with ties broken by rid so the order is deterministic.
+class AttributeLists {
+ public:
+  explicit AttributeLists(const data::Dataset& ds);
+
+  [[nodiscard]] const data::Dataset& dataset() const { return *ds_; }
+  [[nodiscard]] int num_attributes() const {
+    return static_cast<int>(lists_.size());
+  }
+  [[nodiscard]] const std::vector<Entry>& list(int attr) const {
+    return lists_[static_cast<std::size_t>(attr)];
+  }
+  [[nodiscard]] std::size_t num_records() const { return ds_->num_rows(); }
+
+ private:
+  const data::Dataset* ds_;
+  std::vector<std::vector<Entry>> lists_;
+};
+
+/// The record-to-frontier-node map: SLIQ's class list, and the content of
+/// the hash table SPRINT communicates while splitting. node_of[rid] is the
+/// frontier node the record currently sits in, or -1 once it reaches a
+/// finished leaf.
+class ClassList {
+ public:
+  explicit ClassList(std::size_t num_records, int root_node = 0)
+      : node_of_(num_records, root_node) {}
+
+  [[nodiscard]] int node_of(data::RowId rid) const {
+    return node_of_[static_cast<std::size_t>(rid)];
+  }
+  void assign(data::RowId rid, int node) {
+    node_of_[static_cast<std::size_t>(rid)] = node;
+  }
+  [[nodiscard]] std::size_t size() const { return node_of_.size(); }
+
+ private:
+  std::vector<int> node_of_;
+};
+
+}  // namespace pdt::alist

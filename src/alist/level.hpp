@@ -1,0 +1,38 @@
+// One breadth-first level of attribute-list tree growth: the split-finding
+// scan and the class-list update ("splitting") pass. Shared by the serial
+// presorted builder and the parallel SPRINT / ScalParC formulations, whose
+// arithmetic is identical to the serial scan — they differ only in where
+// list sections live and what the hash-table traffic costs.
+#pragma once
+
+#include "alist/attribute_list.hpp"
+#include "dtree/split.hpp"
+#include "dtree/tree.hpp"
+
+namespace pdt::alist {
+
+struct LevelDecisions {
+  /// One decision per frontier node (Leaf kind when the node stops).
+  std::vector<dtree::SplitDecision> decisions;
+  std::int64_t entries_scanned = 0;
+};
+
+/// Scan every attribute list once and pick each frontier node's best
+/// split. Continuous attributes contribute exact mid-point thresholds;
+/// nodes at opt.max_depth get Leaf decisions.
+[[nodiscard]] LevelDecisions decide_level(const AttributeLists& lists,
+                                          const dtree::Tree& tree,
+                                          const ClassList& class_list,
+                                          const std::vector<int>& frontier,
+                                          const dtree::GrowOptions& opt);
+
+/// Expand the tree with the level's decisions and re-route records to
+/// children via one pass over the lists of the winning attributes (the
+/// SPRINT "splitting" phase). Returns the next frontier.
+std::vector<int> apply_level(const AttributeLists& lists, dtree::Tree& tree,
+                             ClassList& class_list,
+                             const std::vector<int>& frontier,
+                             const LevelDecisions& level,
+                             std::int64_t* class_list_updates = nullptr);
+
+}  // namespace pdt::alist

@@ -1,0 +1,143 @@
+#include "alist/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alist/level.hpp"
+#include "mpsim/group.hpp"
+
+namespace pdt::alist {
+
+namespace {
+
+/// Words of one attribute-list entry on disk/wire: value (2) + rid (1) +
+/// class (1).
+constexpr double kEntryWords = 4.0;
+/// Words of one hash-table record: rid (1) + child node id (1).
+constexpr double kHashPairWords = 2.0;
+
+}  // namespace
+
+ParallelSprintResult build_parallel_sprint(const data::Dataset& ds,
+                                           const ParallelSprintOptions& opt) {
+  const AttributeLists lists(ds);
+  mpsim::Machine machine(opt.num_procs, opt.cost);
+  const mpsim::Group all = mpsim::Group::whole(machine);
+  const mpsim::CostModel& cm = machine.cost();
+  const int p = opt.num_procs;
+  const double n = static_cast<double>(ds.num_rows());
+  const data::Schema& schema = ds.schema();
+  const int c_num = schema.num_classes();
+  const int num_attrs = ds.num_attributes();
+
+  // Initial parallel sort of every continuous attribute list: each rank
+  // sorts N/P entries locally, then a sample-sort style exchange streams
+  // every entry across the network once.
+  {
+    const double local = n / p;
+    for (int a = 0; a < num_attrs; ++a) {
+      if (!schema.attr(a).is_continuous()) continue;
+      for (int r = 0; r < p; ++r) {
+        machine.charge_compute(
+            r, local * std::max(1.0, std::log2(std::max(2.0, local))));
+      }
+      if (p > 1) {
+        std::vector<std::vector<double>> words(
+            static_cast<std::size_t>(p),
+            std::vector<double>(static_cast<std::size_t>(p),
+                                local * kEntryWords / p));
+        all.all_to_all_personalized(words);
+      }
+    }
+  }
+
+  std::vector<std::int64_t> root_counts(static_cast<std::size_t>(c_num), 0);
+  for (std::size_t row = 0; row < ds.num_rows(); ++row) {
+    ++root_counts[static_cast<std::size_t>(ds.label(row))];
+  }
+  dtree::Tree tree(std::move(root_counts));
+  ClassList class_list(lists.num_records(), tree.root());
+
+  ParallelSprintResult res;
+  res.peak_hash_words_per_proc =
+      opt.scheme == HashTableScheme::ReplicatedSprint ? n : n / p;
+
+  std::vector<int> frontier{tree.root()};
+  while (!frontier.empty()) {
+    ++res.levels;
+    const double f = static_cast<double>(frontier.size());
+
+    // --- Split-finding scan (arithmetic identical to the serial scan;
+    // each rank owns 1/P of every list section-wise). ---
+    const LevelDecisions level =
+        decide_level(lists, tree, class_list, frontier, opt.grow);
+    for (int r = 0; r < p; ++r) {
+      machine.charge_compute(r, static_cast<double>(num_attrs) * n / p);
+      machine.charge_io(r, static_cast<double>(num_attrs) * (n / p) *
+                               kEntryWords * cm.t_io);
+    }
+    // Continuous attributes: exclusive prefix of per-node class counts
+    // plus the section-boundary value; categorical: table reduction;
+    // then one small reduction electing each node's best candidate.
+    for (int a = 0; a < num_attrs; ++a) {
+      const data::Attribute& attr = schema.attr(a);
+      const double words =
+          attr.is_continuous()
+              ? f * (c_num + 2)
+              : f * static_cast<double>(attr.cardinality) * c_num;
+      all.charge_all_reduce(words);
+    }
+    all.charge_all_reduce(f * 4.0);
+
+    // --- Splitting phase: expand and re-route via the hash table. ---
+    double n_active = 0.0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (!level.decisions[i].test.is_leaf()) {
+        n_active +=
+            static_cast<double>(tree.node(frontier[i]).num_records());
+      }
+    }
+    frontier = apply_level(lists, tree, class_list, frontier, level);
+
+    if (n_active > 0.0 && p > 1) {
+      const double pairs_words = n_active * kHashPairWords;
+      if (opt.scheme == HashTableScheme::ReplicatedSprint) {
+        // All-to-all broadcast: every rank ends up holding every rid ->
+        // child pair (O(N) traffic and memory per rank).
+        for (int r = 0; r < p; ++r) {
+          const mpsim::Time cost =
+              cm.t_s * mpsim::ceil_log2(p) + cm.t_w * pairs_words;
+          machine.charge_comm(r, cost, pairs_words / p, pairs_words,
+                              static_cast<std::uint64_t>(mpsim::ceil_log2(p)));
+          machine.charge_io(r, cm.t_io * pairs_words);
+        }
+        all.barrier();
+        res.hash_comm_words += pairs_words * p;
+      } else {
+        // ScalParC: personalized updates to the rid-range owners, then
+        // personalized responses updating each rank's section views —
+        // O(N/P) traffic per rank.
+        std::vector<std::vector<double>> words(
+            static_cast<std::size_t>(p),
+            std::vector<double>(static_cast<std::size_t>(p),
+                                2.0 * pairs_words / (p * p)));
+        all.all_to_all_personalized(words);
+        res.hash_comm_words += 2.0 * pairs_words;
+      }
+    }
+    // Probe/update pass over the local sections.
+    for (int r = 0; r < p; ++r) {
+      machine.charge_compute(r, static_cast<double>(num_attrs) * n / p);
+      machine.charge_io(r, static_cast<double>(num_attrs) * (n / p) *
+                               kEntryWords * cm.t_io);
+    }
+    all.barrier();
+  }
+
+  res.tree = std::move(tree);
+  res.parallel_time = machine.max_clock();
+  res.totals = machine.total_stats();
+  return res;
+}
+
+}  // namespace pdt::alist

@@ -1,0 +1,56 @@
+// Parallel SPRINT and ScalParC (Section 2.2).
+//
+// Both distribute each (pre-sorted) attribute list over the processors in
+// contiguous sections and find split points in parallel; they differ in
+// how the record-to-node mapping is maintained during the splitting
+// phase:
+//
+//  * Parallel SPRINT replicates the full hash table on every processor by
+//    an all-to-all broadcast of each processor's rid -> child pairs. That
+//    is O(N) memory per processor and O(N) communication per level — the
+//    paper's scalability criticism.
+//  * ScalParC distributes the hash table by rid range and updates/queries
+//    it with personalized all-to-all communication — O(N/P) memory and
+//    O(N/P) per-processor traffic, "making it scalable with respect to
+//    memory and runtime requirements".
+//
+// The split-finding arithmetic is identical to the serial presorted scan
+// (alist::decide_level); costs are charged per the protocols above, so
+// both produce the exact serial tree while exhibiting the paper's
+// contrasting memory/traffic profiles.
+#pragma once
+
+#include "alist/attribute_list.hpp"
+#include "dtree/tree.hpp"
+#include "mpsim/machine.hpp"
+
+namespace pdt::alist {
+
+enum class HashTableScheme {
+  ReplicatedSprint,   ///< all-to-all broadcast, O(N) per processor
+  DistributedScalParC ///< personalized updates, O(N/P) per processor
+};
+
+struct ParallelSprintOptions {
+  int num_procs = 4;
+  mpsim::CostModel cost = mpsim::CostModel::sp2();
+  HashTableScheme scheme = HashTableScheme::ReplicatedSprint;
+  dtree::GrowOptions grow;
+};
+
+struct ParallelSprintResult {
+  dtree::Tree tree;
+  mpsim::Time parallel_time = 0.0;
+  mpsim::RankStats totals;
+  int levels = 0;
+  /// Peak per-processor hash-table footprint in 4-byte words: ~N for
+  /// replicated SPRINT, ~N/P for ScalParC.
+  double peak_hash_words_per_proc = 0.0;
+  /// Total hash-table words communicated over the run.
+  double hash_comm_words = 0.0;
+};
+
+[[nodiscard]] ParallelSprintResult build_parallel_sprint(
+    const data::Dataset& ds, const ParallelSprintOptions& opt);
+
+}  // namespace pdt::alist

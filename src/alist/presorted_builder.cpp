@@ -1,0 +1,37 @@
+#include "alist/presorted_builder.hpp"
+
+#include <algorithm>
+
+#include "alist/level.hpp"
+
+namespace pdt::alist {
+
+dtree::Tree grow_presorted(const AttributeLists& lists,
+                           const dtree::GrowOptions& opt,
+                           PresortedStats* stats) {
+  const data::Dataset& ds = lists.dataset();
+  std::vector<std::int64_t> root_counts(
+      static_cast<std::size_t>(ds.schema().num_classes()), 0);
+  for (std::size_t row = 0; row < ds.num_rows(); ++row) {
+    ++root_counts[static_cast<std::size_t>(ds.label(row))];
+  }
+  dtree::Tree tree(std::move(root_counts));
+  ClassList class_list(lists.num_records(), tree.root());
+
+  std::vector<int> frontier{tree.root()};
+  PresortedStats local{};
+  while (!frontier.empty()) {
+    ++local.levels;
+    const LevelDecisions decisions =
+        decide_level(lists, tree, class_list, frontier, opt);
+    local.entries_scanned += decisions.entries_scanned;
+    frontier = apply_level(lists, tree, class_list, frontier, decisions,
+                           &local.class_list_updates);
+    local.entries_scanned += static_cast<std::int64_t>(
+        lists.num_records()) * lists.num_attributes();
+  }
+  if (stats != nullptr) *stats = local;
+  return tree;
+}
+
+}  // namespace pdt::alist

@@ -1,0 +1,29 @@
+// Serial SLIQ/SPRINT-style tree growth from presorted attribute lists
+// (Section 2.1).
+//
+// One scan per attribute per level replaces C4.5's per-node sorting:
+// continuous candidate cuts fall out of the sorted order, categorical
+// tables accumulate per frontier node, and the class list routes records
+// to children without disturbing any list. Exact continuous thresholds —
+// the result is bit-identical to dtree::grow_dfs_exact (tests enforce it),
+// it just gets there without ever re-sorting.
+#pragma once
+
+#include "alist/attribute_list.hpp"
+#include "dtree/tree.hpp"
+
+namespace pdt::alist {
+
+struct PresortedStats {
+  int levels = 0;
+  std::int64_t entries_scanned = 0;  ///< attribute-list entries visited
+  std::int64_t class_list_updates = 0;
+};
+
+/// Grow a tree breadth-first from presorted lists. Continuous attributes
+/// use exact thresholds (ContSplit/cont_bins in `opt` are ignored).
+[[nodiscard]] dtree::Tree grow_presorted(const AttributeLists& lists,
+                                         const dtree::GrowOptions& opt,
+                                         PresortedStats* stats = nullptr);
+
+}  // namespace pdt::alist

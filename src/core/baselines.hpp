@@ -1,0 +1,34 @@
+// Related-work parallelization schemes (Section 2.2), implemented as
+// baselines against the paper's three formulations:
+//
+//  * DP-att / Pearson's attribute-based decomposition ("vertical"):
+//    attributes are partitioned over processors; every processor stores
+//    its attributes' full columns, so statistics gathering needs no
+//    record communication — but per-processor work stays Omega(N) per
+//    level and no more than A_d processors can ever be busy, which is the
+//    paper's "does not scale well with increasing number of processors".
+//  * PDT (Kufrin) host-worker: records are partitioned as in the
+//    synchronous approach, but statistics flow to a designated host that
+//    computes the splits and notifies the workers. The host serializes
+//    P-1 incoming messages per flush — the "additional communication
+//    bottleneck" the paper describes.
+//
+// Both produce the identical tree to the serial algorithm (same global
+// histograms, same split chooser).
+#pragma once
+
+#include "core/frontier.hpp"
+
+namespace pdt::core {
+
+/// DP-att: vertical (attribute) partitioning.
+[[nodiscard]] ParResult build_vertical(const data::Dataset& ds,
+                                       const ParOptions& opt);
+
+/// PDT: host-worker statistics gathering. Processor 0 is the host and
+/// holds no data; the remaining num_procs-1 workers split the records.
+/// Requires num_procs >= 2.
+[[nodiscard]] ParResult build_host_worker(const data::Dataset& ds,
+                                          const ParOptions& opt);
+
+}  // namespace pdt::core

@@ -1,0 +1,110 @@
+#include "core/cost_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdt::core {
+
+double AnalysisInput::frontier(int level) const {
+  // Full binary tree: 2^L nodes at level L, capped by how many nodes the
+  // data can populate (observed trees average >= leaf_records records per
+  // frontier node).
+  const double full = std::pow(2.0, level);
+  return std::min(full, std::max(1.0, N / leaf_records));
+}
+
+double eq1_local_compute(const AnalysisInput& in, double n_part, int p_i,
+                         double frontier_nodes) {
+  const double scan = in.A_d * n_part / std::max(1, p_i);
+  // Table init + gain evaluation, at the simulator's 0.5 t_c per entry.
+  const double tables = 0.5 * in.C * in.A_d * in.M * frontier_nodes;
+  // Eq. 1's I/O scan: the disk-resident attribute lists are re-read at
+  // every level.
+  const double scan_io =
+      (n_part / std::max(1, p_i)) * in.record_words * in.cost.t_io;
+  return (scan + tables) * in.cost.t_c + scan_io;
+}
+
+double eq2_comm_per_level(const AnalysisInput& in, int p_i,
+                          double frontier_nodes) {
+  if (p_i <= 1) return 0.0;
+  const double hist_words = in.C * in.A_d * in.M;
+  const double flushes =
+      std::ceil(frontier_nodes / static_cast<double>(in.buffer_nodes));
+  const double per_flush_nodes =
+      std::min(frontier_nodes, static_cast<double>(in.buffer_nodes));
+  return flushes * in.cost.all_reduce(hist_words * per_flush_nodes, p_i);
+}
+
+double eq3_moving(const AnalysisInput& in, double n_part, int p_i,
+                  double record_words) {
+  return 2.0 * (n_part / std::max(1, p_i)) * record_words *
+         in.cost.record_move_word_cost();
+}
+
+double eq4_load_balance(const AnalysisInput& in, double n_part, int p_i,
+                        double record_words) {
+  return eq3_moving(in, n_part, p_i, record_words);
+}
+
+double predicted_serial_time(const AnalysisInput& in) {
+  double t = 0.0;
+  for (int level = 0; level <= in.L1; ++level) {
+    t += eq1_local_compute(in, in.N, 1, in.frontier(level));
+  }
+  return t;
+}
+
+double predicted_sync_time(const AnalysisInput& in) {
+  double t = 0.0;
+  for (int level = 0; level <= in.L1; ++level) {
+    const double f = in.frontier(level);
+    t += eq1_local_compute(in, in.N, in.P, f) +
+         eq2_comm_per_level(in, in.P, f);
+  }
+  return t;
+}
+
+double predicted_hybrid_time(const AnalysisInput& in, double record_words) {
+  // Follow one partition down the tree (all partitions behave identically
+  // under the symmetric full-tree assumption): it owns n records on p
+  // processors and a share of the frontier.
+  double t = 0.0;
+  double n = in.N;
+  int p = in.P;
+  double acc_comm = 0.0;
+  double frontier_share = 1.0;  // fraction of the global frontier owned
+  for (int level = 0; level <= in.L1; ++level) {
+    const double f = in.frontier(level) * frontier_share;
+    t += eq1_local_compute(in, n, p, f);
+    const double comm = eq2_comm_per_level(in, p, f);
+    t += comm;
+    acc_comm += comm;
+    const double split_cost = eq3_moving(in, n, p, record_words) +
+                              eq4_load_balance(in, n, p, record_words);
+    if (p > 1 && f >= 2.0 &&
+        acc_comm >= in.split_ratio * split_cost && split_cost > 0.0) {
+      t += split_cost;
+      p /= 2;
+      n /= 2.0;
+      frontier_share /= 2.0;
+      acc_comm = 0.0;
+    }
+  }
+  return t;
+}
+
+double isoefficiency_records(const AnalysisInput& in, int p,
+                             double efficiency) {
+  // Parallel time ~ c_comm * log P + c_comp * N / P; serial ~ c_comp * N.
+  // E = serial / (P * parallel)  =>  N = E/(1-E) * (c_comm/c_comp) P log P.
+  const double hist_words = in.C * in.A_d * in.M;
+  const double c_comm = (in.cost.t_s + in.cost.t_w * hist_words) *
+                        static_cast<double>(in.L1);
+  const double c_comp = in.A_d * in.cost.t_c * static_cast<double>(in.L1);
+  if (p <= 1) return 0.0;
+  return efficiency / (1.0 - efficiency) * (c_comm / c_comp) * p *
+         mpsim::ceil_log2(p);
+}
+
+}  // namespace pdt::core

@@ -1,0 +1,71 @@
+// Closed-form performance model: a transcription of Section 4's analysis
+// (Equations 1-9, Table 4 symbols) plus the isoefficiency function.
+//
+// The benches print these model predictions at the paper's full scale
+// (0.8M / 1.6M records) next to the simulated measurements at the scaled-
+// down default, so the reader can check both against the paper's figures.
+#pragma once
+
+#include "mpsim/cost_model.hpp"
+
+namespace pdt::core {
+
+/// Table-4 symbols describing one workload/machine configuration.
+struct AnalysisInput {
+  double N = 0;      ///< total training samples
+  int P = 1;         ///< total processors
+  double A_d = 0;    ///< number of (discrete) attributes
+  double C = 2;      ///< number of classes
+  double M = 0;      ///< mean distinct values per discrete attribute
+  int L1 = 16;       ///< depth of the classification tree
+  int buffer_nodes = 100;  ///< communication-buffer capacity in nodes
+  double split_ratio = 1.0;
+  /// Mean records per frontier node, used to cap the modeled frontier
+  /// width (observed trees run well above the minimum of 2).
+  double leaf_records = 64.0;
+  /// Wire/disk size of one record in 4-byte words (per-level I/O scans
+  /// and the moving/balancing phases are proportional to it).
+  double record_words = 10.0;
+  mpsim::CostModel cost = mpsim::CostModel::sp2();
+
+  /// Frontier width the full-binary-tree model assumes at `level`,
+  /// capped at N / leaf_records.
+  [[nodiscard]] double frontier(int level) const;
+};
+
+/// Eq. 1: local computation cost at one level for a P_i-processor
+/// partition holding `n_part` records.
+[[nodiscard]] double eq1_local_compute(const AnalysisInput& in, double n_part,
+                                       int p_i, double frontier_nodes);
+
+/// Eq. 2: communication cost at one level (all buffer flushes).
+[[nodiscard]] double eq2_comm_per_level(const AnalysisInput& in, int p_i,
+                                        double frontier_nodes);
+
+/// Eq. 3: moving-phase bound for a partition with n_part records on p_i
+/// processors. `record_words` is the wire size of one record.
+[[nodiscard]] double eq3_moving(const AnalysisInput& in, double n_part,
+                                int p_i, double record_words);
+
+/// Eq. 4: load-balancing bound (same form as Eq. 3).
+[[nodiscard]] double eq4_load_balance(const AnalysisInput& in, double n_part,
+                                      int p_i, double record_words);
+
+/// Serial time: one scan per level (theta(N) * L1).
+[[nodiscard]] double predicted_serial_time(const AnalysisInput& in);
+
+/// Synchronous formulation: Eq. 1 + Eq. 2 summed over levels.
+[[nodiscard]] double predicted_sync_time(const AnalysisInput& in);
+
+/// Hybrid formulation: the Section 4.2 recurrence — synchronous levels
+/// accumulate Eq. 2 cost until it reaches split_ratio x (Eq. 3 + Eq. 4),
+/// then the partition halves (paying that cost) and proceeds.
+[[nodiscard]] double predicted_hybrid_time(const AnalysisInput& in,
+                                           double record_words);
+
+/// Isoefficiency (Section 4.3): the N required to hold efficiency E at P
+/// processors, N = E/(1-E) * c * P log2 P, with c calibrated from `in`.
+[[nodiscard]] double isoefficiency_records(const AnalysisInput& in, int p,
+                                           double efficiency);
+
+}  // namespace pdt::core

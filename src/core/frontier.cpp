@@ -1,0 +1,289 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dtree/split_eval.hpp"
+
+namespace pdt::core {
+
+namespace {
+
+/// Section 3.4's parallel-sorting strategy: categorical attributes decide
+/// from the reduced histogram tables, continuous attributes from an exact
+/// sorted scan of the node's (globally gathered) values — the same
+/// candidates dtree::grow_dfs_exact evaluates.
+dtree::SplitDecision choose_split_exact(std::span<const std::int64_t> hist,
+                                        const dtree::AttrLayout& layout,
+                                        const data::Dataset& ds,
+                                        const dtree::GrowOptions& grow,
+                                        const NodeWork& work) {
+  const int c_num = layout.num_classes();
+  const std::vector<std::int64_t> parent = dtree::class_counts(hist, layout);
+  dtree::BestTracker tracker(parent, grow);
+  if (tracker.forced_leaf()) return tracker.take();
+
+  std::vector<std::int64_t> left(static_cast<std::size_t>(c_num));
+  std::vector<std::pair<double, int>> vals;
+  for (int a = 0; a < layout.num_attributes(); ++a) {
+    const data::Attribute& attr = ds.schema().attr(a);
+    const auto table = hist.subspan(
+        static_cast<std::size_t>(layout.offset(a)),
+        static_cast<std::size_t>(layout.slots(a) * c_num));
+    if (attr.is_continuous()) {
+      vals.clear();
+      for (const auto& rows : work.local_rows) {
+        for (const data::RowId row : rows) {
+          vals.emplace_back(ds.cont(a, row), ds.label(row));
+        }
+      }
+      std::sort(vals.begin(), vals.end());
+      std::fill(left.begin(), left.end(), 0);
+      for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+        ++left[static_cast<std::size_t>(vals[i].second)];
+        if (vals[i].first == vals[i + 1].first) continue;
+        dtree::SplitTest test;
+        test.kind = dtree::SplitTest::Kind::Threshold;
+        test.attr = a;
+        test.threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        tracker.offer_binary(left, std::move(test));
+      }
+      continue;
+    }
+    if (attr.ordered) {
+      tracker.offer_ordered_table(a, table, layout.slots(a),
+                                  dtree::SplitTest::Kind::OrderedSlot,
+                                  [](int t) { return static_cast<double>(t); });
+    } else {
+      tracker.offer_nominal(a, table, layout.slots(a));
+    }
+  }
+  return tracker.take();
+}
+
+}  // namespace
+
+std::int64_t NodeWork::total_records() const {
+  std::int64_t n = 0;
+  for (const auto& rows : local_rows) {
+    n += static_cast<std::int64_t>(rows.size());
+  }
+  return n;
+}
+
+ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
+                       mpsim::Machine& machine)
+    : ds_(&ds),
+      opt_(&opt),
+      machine_(&machine),
+      mapper_(ds, opt.grow.cont_bins),
+      layout_(ds.schema(), opt.grow.cont_bins),
+      tree_(dtree::class_counts_of_rows(
+          ds, [&] {
+            std::vector<data::RowId> rows(ds.num_rows());
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+              rows[i] = static_cast<data::RowId>(i);
+            }
+            return rows;
+          }())) {
+  double words = 1.0;  // label
+  for (int a = 0; a < ds.num_attributes(); ++a) {
+    words += ds.schema().attr(a).is_continuous() ? 2.0 : 1.0;
+  }
+  record_words_ = words;
+  machine.trace().enable(opt.trace);
+}
+
+NodeWork ParContext::initial_root(const mpsim::Group& g) {
+  NodeWork root;
+  root.node_id = tree_.root();
+  const data::RowPartition part =
+      data::partition_random(ds_->num_rows(), g.size(), opt_->seed);
+  root.local_rows.assign(part.begin(), part.end());
+  return root;
+}
+
+std::int64_t frontier_records(const std::vector<NodeWork>& f) {
+  std::int64_t n = 0;
+  for (const auto& nw : f) n += nw.total_records();
+  return n;
+}
+
+std::int64_t frontier_member_records(const std::vector<NodeWork>& f, int m) {
+  std::int64_t n = 0;
+  for (const auto& nw : f) n += nw.member_records(m);
+  return n;
+}
+
+std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
+                                   std::vector<NodeWork>& frontier,
+                                   mpsim::Time* comm_cost_out) {
+  const dtree::AttrLayout& layout = ctx.layout();
+  const dtree::SlotMapper& mapper = ctx.mapper();
+  const dtree::GrowOptions& grow = ctx.options().grow;
+  mpsim::Machine& machine = ctx.machine();
+  const mpsim::CostModel& cm = machine.cost();
+  dtree::Tree& tree = ctx.tree();
+  const int p = g.size();
+  const int num_attrs = layout.num_attributes();
+  const int entries = layout.total();
+
+  // Nodes at the depth limit stay leaves and are not even histogrammed.
+  std::vector<NodeWork*> work;
+  work.reserve(frontier.size());
+  for (NodeWork& nw : frontier) {
+    if (tree.node(nw.node_id).depth < grow.max_depth) {
+      work.push_back(&nw);
+    }
+  }
+
+  std::vector<NodeWork> next;
+  mpsim::Time level_comm = 0.0;
+  const int buffer_nodes = std::max(1, ctx.options().comm_buffer_nodes);
+  dtree::Hist hist;
+
+  for (std::size_t c0 = 0; c0 < work.size(); c0 += static_cast<std::size_t>(buffer_nodes)) {
+    const std::size_t c1 =
+        std::min(work.size(), c0 + static_cast<std::size_t>(buffer_nodes));
+    const std::size_t chunk_nodes = c1 - c0;
+    hist.assign(chunk_nodes * static_cast<std::size_t>(entries), 0);
+
+    // Local histogram construction. The sum over members lands directly in
+    // the shared buffer — arithmetically identical to reducing per-member
+    // local histograms, while each member is charged for its own share of
+    // the update work (this is where load imbalance surfaces as idle time
+    // at the following collective).
+    for (std::size_t i = c0; i < c1; ++i) {
+      auto node_hist =
+          std::span<std::int64_t>(hist).subspan((i - c0) * static_cast<std::size_t>(entries),
+                                                static_cast<std::size_t>(entries));
+      for (int m = 0; m < p; ++m) {
+        const auto& rows = work[i]->local_rows[static_cast<std::size_t>(m)];
+        if (rows.empty()) continue;
+        dtree::accumulate(node_hist, layout, mapper, rows);
+        machine.charge_compute(g.rank(m),
+                               static_cast<double>(rows.size()) * num_attrs);
+        // Eq. 1's "I/O scan of the training set": the attribute lists are
+        // disk-resident, so every level re-reads each local record once.
+        machine.charge_io(g.rank(m), static_cast<double>(rows.size()) *
+                                         ctx.record_words() * cm.t_io);
+      }
+    }
+    // Table initialization plus split-gain evaluation (Eq. 1's
+    // C*A_d*M*2^L term), identical on every member. Charged at 0.5 t_c
+    // per entry: zeroing and a sequential gain scan are far cheaper per
+    // entry than the random-access increments t_c is calibrated to.
+    for (int m = 0; m < p; ++m) {
+      machine.charge_compute(g.rank(m),
+                             0.5 * static_cast<double>(chunk_nodes) * entries);
+    }
+
+    // Flush the communication buffer: one global reduction of this chunk's
+    // histograms (Section 3.1 step 3 / Eq. 2).
+    const double words =
+        static_cast<double>(chunk_nodes) * ctx.hist_words();
+    g.charge_all_reduce(words);
+    ctx.histogram_words += words;
+    level_comm += cm.all_reduce(words, p);
+
+    // Section 3.4's parallel sorting for exact continuous thresholds: the
+    // chunk's values are sorted cooperatively (local sort + sample-sort
+    // exchange) for every continuous attribute — the "much higher volume"
+    // exchange the paper warns about.
+    const int num_cont = ctx.dataset().schema().num_continuous();
+    if (ctx.options().exact_continuous && num_cont > 0) {
+      std::vector<double> member_rows(static_cast<std::size_t>(p), 0.0);
+      for (std::size_t i = c0; i < c1; ++i) {
+        for (int m = 0; m < p; ++m) {
+          member_rows[static_cast<std::size_t>(m)] += static_cast<double>(
+              work[i]->local_rows[static_cast<std::size_t>(m)].size());
+        }
+      }
+      for (int m = 0; m < p; ++m) {
+        const double rows_m = member_rows[static_cast<std::size_t>(m)];
+        if (rows_m > 0.0) {
+          machine.charge_compute(
+              g.rank(m), num_cont * rows_m *
+                             std::log2(std::max(2.0, rows_m)));
+        }
+      }
+      if (p > 1) {
+        // One combined exchange: 3 words (value, rid, class) per row per
+        // continuous attribute.
+        std::vector<std::vector<double>> matrix(
+            static_cast<std::size_t>(p),
+            std::vector<double>(static_cast<std::size_t>(p), 0.0));
+        double sort_words = 0.0;
+        for (int i = 0; i < p; ++i) {
+          const double out =
+              member_rows[static_cast<std::size_t>(i)] * 3.0 * num_cont;
+          sort_words += out;
+          for (int j = 0; j < p; ++j) {
+            matrix[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                out / p;
+          }
+        }
+        const mpsim::Time before = g.horizon();
+        g.all_to_all_personalized(matrix);
+        level_comm += g.horizon() - before;
+        ctx.histogram_words += sort_words;
+      }
+    }
+
+    // Split selection — computed simultaneously (and identically) by every
+    // member (Section 3.1 step 4), then local row partitioning (step 5).
+    for (std::size_t i = c0; i < c1; ++i) {
+      auto node_hist = std::span<const std::int64_t>(hist).subspan(
+          (i - c0) * static_cast<std::size_t>(entries),
+          static_cast<std::size_t>(entries));
+      const dtree::SplitDecision d =
+          ctx.options().exact_continuous
+              ? choose_split_exact(node_hist, layout, ctx.dataset(), grow,
+                                   *work[i])
+              : dtree::choose_split(node_hist, layout,
+                                    ctx.dataset().schema(), mapper, grow);
+      if (d.test.is_leaf()) continue;
+      const int first = tree.expand(work[i]->node_id, d);
+
+      std::vector<NodeWork> children(
+          static_cast<std::size_t>(d.test.num_children));
+      for (auto& ch : children) {
+        ch.local_rows.resize(static_cast<std::size_t>(p));
+      }
+      for (int m = 0; m < p; ++m) {
+        auto& rows = work[i]->local_rows[static_cast<std::size_t>(m)];
+        if (rows.empty()) continue;
+        machine.charge_compute(g.rank(m), static_cast<double>(rows.size()));
+        for (const data::RowId row : rows) {
+          // Threshold tests compare the raw value (equivalent to the slot
+          // comparison when the cut is a micro-bin boundary, and required
+          // for the exact thresholds of the parallel-sorting strategy).
+          const int child =
+              d.test.kind == dtree::SplitTest::Kind::Threshold
+                  ? (ctx.dataset().cont(d.test.attr, row) < d.test.threshold
+                         ? 0
+                         : 1)
+                  : d.test.child_of_slot(mapper.slot(d.test.attr, row));
+          children[static_cast<std::size_t>(child)]
+              .local_rows[static_cast<std::size_t>(m)]
+              .push_back(row);
+        }
+        rows.clear();
+        rows.shrink_to_fit();
+      }
+      for (int k = 0; k < d.test.num_children; ++k) {
+        auto& ch = children[static_cast<std::size_t>(k)];
+        if (ch.total_records() > 0) {
+          ch.node_id = first + k;
+          next.push_back(std::move(ch));
+        }
+      }
+    }
+  }
+
+  if (comm_cost_out != nullptr) *comm_cost_out += level_comm;
+  return next;
+}
+
+}  // namespace pdt::core

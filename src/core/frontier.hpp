@@ -1,0 +1,90 @@
+// Shared machinery of the three parallel formulations: the distributed
+// frontier representation and the synchronous level-expansion step
+// (Section 3.1 steps 1-5) that all of them build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "data/partition.hpp"
+#include "dtree/histogram.hpp"
+#include "mpsim/group.hpp"
+
+namespace pdt::core {
+
+/// One frontier tree node within a processor partition: which rows of the
+/// node each group member holds locally.
+struct NodeWork {
+  int node_id = -1;
+  /// local_rows[m] = rows held by group member m (index into group ranks).
+  std::vector<std::vector<data::RowId>> local_rows;
+
+  [[nodiscard]] std::int64_t total_records() const;
+  [[nodiscard]] std::int64_t member_records(int m) const {
+    return static_cast<std::int64_t>(local_rows[static_cast<std::size_t>(m)].size());
+  }
+};
+
+/// Run-wide shared state: the dataset, slot machinery, the (replicated)
+/// tree under construction, and accounting knobs.
+class ParContext {
+ public:
+  ParContext(const data::Dataset& ds, const ParOptions& opt,
+             mpsim::Machine& machine);
+
+  [[nodiscard]] const data::Dataset& dataset() const { return *ds_; }
+  [[nodiscard]] const ParOptions& options() const { return *opt_; }
+  [[nodiscard]] mpsim::Machine& machine() const { return *machine_; }
+  [[nodiscard]] const dtree::SlotMapper& mapper() const { return mapper_; }
+  [[nodiscard]] const dtree::AttrLayout& layout() const { return layout_; }
+  [[nodiscard]] dtree::Tree& tree() { return tree_; }
+
+  /// Words on the wire of one node's flat histogram (counts travel as
+  /// 4-byte words, the unit of Eq. 2's C * A_d * M).
+  [[nodiscard]] double hist_words() const {
+    return static_cast<double>(layout_.total());
+  }
+  /// Words of one training record when it moves between processors: one
+  /// word per categorical value, two per continuous value, one label.
+  [[nodiscard]] double record_words() const { return record_words_; }
+
+  /// The initial frontier: the root node with rows randomly distributed
+  /// over the group's members (the paper's initial N/P distribution).
+  [[nodiscard]] NodeWork initial_root(const mpsim::Group& g);
+
+  /// Result accounting, appended to by the formulations.
+  std::int64_t records_moved = 0;
+  double histogram_words = 0.0;
+  int levels = 0;
+  int partition_splits = 0;
+  int rejoins = 0;
+
+ private:
+  const data::Dataset* ds_;
+  const ParOptions* opt_;
+  mpsim::Machine* machine_;
+  dtree::SlotMapper mapper_;
+  dtree::AttrLayout layout_;
+  dtree::Tree tree_;
+  double record_words_ = 0.0;
+};
+
+/// Expand every node of `frontier` by one level, synchronously within
+/// group `g` (Section 3.1): local histograms per member, all-reduce in
+/// comm_buffer_nodes-sized flushes, identical split selection everywhere,
+/// local row partitioning. Returns the next frontier (children that
+/// received records). `comm_cost_out`, when non-null, accrues the
+/// communication cost charged to each member this level (the quantity the
+/// hybrid's split criterion accumulates).
+[[nodiscard]] std::vector<NodeWork> expand_level(
+    ParContext& ctx, const mpsim::Group& g, std::vector<NodeWork>& frontier,
+    mpsim::Time* comm_cost_out = nullptr);
+
+/// Total records across a frontier.
+[[nodiscard]] std::int64_t frontier_records(const std::vector<NodeWork>& f);
+/// Records held by member m across a frontier.
+[[nodiscard]] std::int64_t frontier_member_records(
+    const std::vector<NodeWork>& f, int m);
+
+}  // namespace pdt::core

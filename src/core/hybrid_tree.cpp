@@ -1,0 +1,298 @@
+#include "core/hybrid_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/sync_tree.hpp"
+#include "data/rng.hpp"
+
+namespace pdt::core {
+
+namespace {
+
+struct HPartition {
+  mpsim::Group group;
+  std::vector<NodeWork> frontier;
+  mpsim::Time acc_comm = 0.0;  ///< Sum(Communication Cost) since last split
+};
+
+/// Allocate frontier nodes to the two halves with roughly equal record
+/// totals. Node order is randomized first (the paper credits the largely
+/// randomized node allocation for the hybrid's good load balance), then a
+/// greedy lighter-side assignment balances the records.
+std::vector<int> allocate_nodes(const std::vector<NodeWork>& frontier,
+                                data::Rng& rng) {
+  std::vector<std::size_t> order(frontier.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  std::vector<int> side(frontier.size(), 0);
+  std::int64_t load[2] = {0, 0};
+  for (const std::size_t j : order) {
+    const int s = load[0] <= load[1] ? 0 : 1;
+    side[j] = s;
+    load[s] += frontier[j].total_records();
+  }
+  return side;
+}
+
+/// Even out per-member record counts inside one half after the moving
+/// phase (the Eq. 4 load-balancing step). Rows move between members
+/// without changing which tree node they belong to.
+void balance_half(ParContext& ctx, const mpsim::Group& g,
+                  std::vector<NodeWork>& frontier) {
+  const int p = g.size();
+  if (p <= 1) return;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(p), 0);
+  for (int m = 0; m < p; ++m) {
+    counts[static_cast<std::size_t>(m)] = frontier_member_records(frontier, m);
+  }
+  const std::vector<mpsim::Transfer> transfers =
+      mpsim::Group::plan_balance(counts);
+  if (transfers.empty()) return;
+  for (const mpsim::Transfer& t : transfers) {
+    std::int64_t remaining = t.count;
+    for (NodeWork& nw : frontier) {
+      if (remaining == 0) break;
+      auto& src = nw.local_rows[static_cast<std::size_t>(t.from)];
+      auto& dst = nw.local_rows[static_cast<std::size_t>(t.to)];
+      const std::int64_t take = std::min<std::int64_t>(
+          remaining, static_cast<std::int64_t>(src.size()));
+      dst.insert(dst.end(), src.end() - take, src.end());
+      src.resize(src.size() - static_cast<std::size_t>(take));
+      remaining -= take;
+    }
+    assert(remaining == 0);
+    ctx.records_moved += t.count;
+  }
+  g.charge_transfers(transfers, ctx.record_words());
+}
+
+/// Split a partition in two: allocate nodes, run the moving phase across
+/// partner processors of the two half subcubes, then balance each half.
+std::pair<HPartition, HPartition> split_partition(ParContext& ctx,
+                                                  HPartition part,
+                                                  data::Rng& rng) {
+  const int p = part.group.size();
+  const int h = p / 2;
+  const std::vector<int> side = allocate_nodes(part.frontier, rng);
+  auto [ga, gb] = part.group.halves();
+
+  // Moving phase (Eq. 3): member m sends every row it holds of nodes
+  // assigned to the other side to its partner m +/- h.
+  std::vector<double> words_out(static_cast<std::size_t>(p), 0.0);
+  std::vector<NodeWork> fa, fb;
+  for (std::size_t j = 0; j < part.frontier.size(); ++j) {
+    NodeWork& nw = part.frontier[j];
+    NodeWork out;
+    out.node_id = nw.node_id;
+    out.local_rows.resize(static_cast<std::size_t>(h));
+    const bool to_a = side[j] == 0;
+    for (int m = 0; m < p; ++m) {
+      auto& rows = nw.local_rows[static_cast<std::size_t>(m)];
+      if (rows.empty()) continue;
+      const bool stays = to_a == (m < h);
+      if (!stays) {
+        words_out[static_cast<std::size_t>(m)] +=
+            static_cast<double>(rows.size()) * ctx.record_words();
+        ctx.records_moved += static_cast<std::int64_t>(rows.size());
+      }
+      auto& dst = out.local_rows[static_cast<std::size_t>(m % h)];
+      dst.insert(dst.end(), rows.begin(), rows.end());
+      rows.clear();
+      rows.shrink_to_fit();
+    }
+    (to_a ? fa : fb).push_back(std::move(out));
+  }
+  part.group.pairwise_exchange(words_out);
+
+  if (ctx.options().load_balance) {
+    balance_half(ctx, ga, fa);
+    balance_half(ctx, gb, fb);
+  }
+  ++ctx.partition_splits;
+  if (ctx.machine().trace().enabled()) {
+    ctx.machine().trace().record(
+        {ga.horizon(), mpsim::EventKind::PartitionSplit,
+         part.group.rank(0), p, 0.0,
+         "partition halved: " + std::to_string(fa.size()) + " + " +
+             std::to_string(fb.size()) + " frontier nodes"});
+  }
+  return {HPartition{std::move(ga), std::move(fa), 0.0},
+          HPartition{std::move(gb), std::move(fb), 0.0}};
+}
+
+/// The paper's rejoin (Sections 3.3 / 4.2): an idle partition of the same
+/// size is included "during the next round of splitting" of a busy
+/// partition. Instead of halving itself, the busy partition allocates half
+/// of its frontier (by records) to the idle group: busy processor i ships
+/// the other side's rows to idle processor i, each side then balances
+/// internally. Returns the idle group's new partition.
+HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
+                        data::Rng& rng) {
+  const int p = busy.group.size();
+  assert(idle.size() == p);
+  const std::vector<int> side = allocate_nodes(busy.frontier, rng);
+  std::vector<mpsim::Transfer> union_transfers;
+  std::vector<NodeWork> keep_frontier;
+  std::vector<NodeWork> give_frontier;
+  std::vector<std::int64_t> given(static_cast<std::size_t>(p), 0);
+  for (std::size_t j = 0; j < busy.frontier.size(); ++j) {
+    NodeWork& nw = busy.frontier[j];
+    if (side[j] == 0) {
+      keep_frontier.push_back(std::move(nw));
+      continue;
+    }
+    for (int i = 0; i < p; ++i) {
+      given[static_cast<std::size_t>(i)] +=
+          static_cast<std::int64_t>(nw.local_rows[static_cast<std::size_t>(i)].size());
+    }
+    give_frontier.push_back(std::move(nw));
+  }
+  // Cost: busy member i -> idle member i, all its rows of the given side.
+  for (int i = 0; i < p; ++i) {
+    if (given[static_cast<std::size_t>(i)] > 0) {
+      union_transfers.push_back(mpsim::Transfer{i, p + i,
+                                                given[static_cast<std::size_t>(i)]});
+      ctx.records_moved += given[static_cast<std::size_t>(i)];
+    }
+  }
+  {
+    // Charge on a group whose member order is busy-then-idle so the
+    // transfer indices line up.
+    std::vector<mpsim::Rank> ordered = busy.group.ranks();
+    const auto& ir = idle.ranks();
+    ordered.insert(ordered.end(), ir.begin(), ir.end());
+    // Group() sorts ranks, so build the transfer cost directly instead.
+    const mpsim::CostModel& cm = ctx.machine().cost();
+    mpsim::Time horizon = 0.0;
+    for (const mpsim::Rank r : ordered) {
+      horizon = std::max(horizon, ctx.machine().clock(r));
+    }
+    for (const mpsim::Rank r : ordered) ctx.machine().wait_until(r, horizon);
+    for (const mpsim::Transfer& t : union_transfers) {
+      const double words =
+          static_cast<double>(t.count) * ctx.record_words();
+      const mpsim::Time wire = cm.t_s + cm.t_w * words;
+      const mpsim::Rank from = ordered[static_cast<std::size_t>(t.from)];
+      const mpsim::Rank to = ordered[static_cast<std::size_t>(t.to)];
+      ctx.machine().charge_comm(from, wire, words, 0.0);
+      ctx.machine().charge_comm(to, wire, 0.0, words);
+      ctx.machine().charge_io(from, cm.t_io * words);
+      ctx.machine().charge_io(to, cm.t_io * words);
+    }
+    mpsim::Time after = 0.0;
+    for (const mpsim::Rank r : ordered) {
+      after = std::max(after, ctx.machine().clock(r));
+    }
+    for (const mpsim::Rank r : ordered) ctx.machine().wait_until(r, after);
+  }
+
+  busy.frontier = std::move(keep_frontier);
+  busy.acc_comm = 0.0;
+  if (ctx.options().load_balance) {
+    balance_half(ctx, busy.group, busy.frontier);
+  }
+  HPartition helper{std::move(idle), std::move(give_frontier), 0.0};
+  if (ctx.options().load_balance) {
+    balance_half(ctx, helper.group, helper.frontier);
+  }
+  ++ctx.rejoins;
+  if (ctx.machine().trace().enabled()) {
+    ctx.machine().trace().record(
+        {busy.group.horizon(), mpsim::EventKind::Rejoin, busy.group.rank(0),
+         p, 0.0,
+         "idle partition recruited for " +
+             std::to_string(helper.frontier.size()) + " frontier nodes"});
+  }
+  return helper;
+}
+
+}  // namespace
+
+ParResult build_hybrid(const data::Dataset& ds, const ParOptions& opt) {
+  mpsim::Machine machine(opt.num_procs, opt.cost);
+  ParContext ctx(ds, opt, machine);
+  data::Rng rng(opt.seed ^ 0x9E3779B97F4A7C15ULL);
+  const mpsim::CostModel& cm = machine.cost();
+
+  std::vector<HPartition> active;
+  std::vector<mpsim::Group> idle;
+  {
+    mpsim::Group all = mpsim::Group::whole(machine);
+    std::vector<NodeWork> frontier;
+    frontier.push_back(ctx.initial_root(all));
+    active.push_back(HPartition{std::move(all), std::move(frontier), 0.0});
+  }
+
+  while (!active.empty()) {
+    // Asynchronous partitions: advance the one earliest in virtual time.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < active.size(); ++i) {
+      if (active[i].group.horizon() < active[pick].group.horizon()) {
+        pick = i;
+      }
+    }
+    HPartition part = std::move(active[pick]);
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    part.frontier = expand_level(ctx, part.group, part.frontier,
+                                 &part.acc_comm);
+    if (part.frontier.empty()) {
+      idle.push_back(std::move(part.group));
+      continue;
+    }
+
+    // Splitting criterion (Section 4.2): split when the accumulated
+    // communication cost reaches split_ratio x (moving + load balancing).
+    if (part.group.size() >= 1 && part.frontier.size() >= 2) {
+      const double per_proc =
+          static_cast<double>(frontier_records(part.frontier)) /
+          part.group.size();
+      const double moving_est = 2.0 * per_proc * ctx.record_words() *
+                                cm.record_move_word_cost();
+      const double lb_est = opt.load_balance ? moving_est : 0.0;
+      const double threshold = opt.split_ratio * (moving_est + lb_est);
+      if (part.acc_comm >= threshold && threshold > 0.0) {
+        // "During the next round of splitting the idle partition is
+        // included": a same-size idle group takes half the frontier in
+        // preference to halving the busy group.
+        int idle_match = -1;
+        if (opt.rejoin_idle) {
+          for (std::size_t i = 0; i < idle.size(); ++i) {
+            if (idle[i].size() == part.group.size()) {
+              idle_match = static_cast<int>(i);
+              break;
+            }
+          }
+        }
+        if (idle_match >= 0) {
+          mpsim::Group helper_group =
+              std::move(idle[static_cast<std::size_t>(idle_match)]);
+          idle.erase(idle.begin() + idle_match);
+          HPartition helper =
+              rejoin_split(ctx, part, std::move(helper_group), rng);
+          active.push_back(std::move(part));
+          active.push_back(std::move(helper));
+          continue;
+        }
+        if (part.group.size() > 1 && part.group.size() % 2 == 0) {
+          auto [a, b] = split_partition(ctx, std::move(part), rng);
+          active.push_back(std::move(a));
+          active.push_back(std::move(b));
+          continue;
+        }
+      }
+    }
+    active.push_back(std::move(part));
+  }
+
+  ctx.levels = ctx.tree().depth();
+  return collect_result(ctx);
+}
+
+}  // namespace pdt::core

@@ -1,0 +1,26 @@
+// Hybrid Parallel Formulation (Section 3.3) — the paper's contribution.
+//
+// A processor partition grows its share of the tree with the synchronous
+// approach while accumulating the communication cost it pays per level.
+// When that accumulated cost reaches
+//     split_ratio x (moving cost + load-balancing cost)
+// (the paper proposes split_ratio = 1.0, which keeps total communication
+// within 2x of an optimal scheme [14]), the partition and its frontier are
+// halved: frontier nodes are allocated to the two half subcubes with
+// randomized roughly-equal record totals, corresponding processors of the
+// two halves exchange the records that now belong to the other side
+// ("moving" phase, Eq. 3), and each half evens out its members' record
+// counts ("load balancing" phase, Eq. 4). Halves then proceed
+// independently. A partition whose subtree finishes rejoins a busy
+// partition of the same size, receiving half of each busy processor's
+// records (Section 3.3's idle-partition donation).
+#pragma once
+
+#include "core/frontier.hpp"
+
+namespace pdt::core {
+
+[[nodiscard]] ParResult build_hybrid(const data::Dataset& ds,
+                                     const ParOptions& opt);
+
+}  // namespace pdt::core

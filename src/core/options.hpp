@@ -1,0 +1,62 @@
+// Options and results shared by the three parallel formulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtree/split.hpp"
+#include "dtree/tree.hpp"
+#include "mpsim/machine.hpp"
+#include "mpsim/trace.hpp"
+
+namespace pdt::core {
+
+struct ParOptions {
+  int num_procs = 4;
+  mpsim::CostModel cost = mpsim::CostModel::sp2();
+  dtree::GrowOptions grow;
+  /// Histogram communication-buffer capacity in tree nodes: processors
+  /// synchronize and flush after this many frontier nodes' histograms
+  /// ("after every 100 nodes for our experiments", Section 5).
+  int comm_buffer_nodes = 100;
+  /// Hybrid split trigger: split when the accumulated communication cost
+  /// reaches `split_ratio` x (moving cost + load-balancing cost). The
+  /// paper proposes 1.0 as optimal; Figure 7 sweeps this knob.
+  double split_ratio = 1.0;
+  /// Hybrid: let idle processor partitions rejoin busy ones.
+  bool rejoin_idle = true;
+  /// Hybrid: perform the intra-subcube load-balancing phase after a split.
+  bool load_balance = true;
+  /// Section 3.4's first strategy for continuous attributes: a parallel
+  /// sorting step at every node gives exact thresholds (the tree matches
+  /// dtree::grow_dfs_exact), at the price of exchanging the records'
+  /// values at every level — "of similar nature as the exchange of class
+  /// distribution information, except that it is of much higher volume".
+  /// When false, continuous attributes use the micro-histogram slots
+  /// (grow.cont_split selects threshold-scan / KMeans / quantile).
+  bool exact_continuous = false;
+  /// Seed of the initial random record-to-processor distribution and of
+  /// the randomized node allocation during hybrid splits.
+  std::uint64_t seed = 7;
+  /// Record run events in the machine trace (for the tour example).
+  bool trace = false;
+};
+
+struct ParResult {
+  dtree::Tree tree;
+  /// Completion time: max virtual clock over processors (microseconds).
+  mpsim::Time parallel_time = 0.0;
+  mpsim::RankStats totals;
+  std::vector<mpsim::RankStats> per_rank;
+  int levels = 0;
+  int partition_splits = 0;
+  int rejoins = 0;
+  /// Records that crossed processors (moving + load-balance + shuffles).
+  std::int64_t records_moved = 0;
+  /// Total histogram words all-reduced.
+  double histogram_words = 0.0;
+  /// Event log of the run (populated when ParOptions::trace is set).
+  std::vector<mpsim::TraceEvent> trace;
+};
+
+}  // namespace pdt::core

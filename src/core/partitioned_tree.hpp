@@ -1,0 +1,21 @@
+// Partitioned Tree Construction (Section 3.2).
+//
+// Processor groups recursively hand off subtrees: a group cooperatively
+// expands its frontier, then splits into parts — one per successor node
+// when nodes are scarce (Case 2, processors allocated proportionally to
+// records), or one per processor when nodes are plentiful (Case 1, nodes
+// packed into per-processor groups) — shuffling the training records so
+// every part owns exactly the data of its nodes. Once a single processor
+// owns a subtree it proceeds serially with zero communication; the price
+// is heavy data movement at the top of the tree and load imbalance from
+// the static by-record allocation (Figure 6's mid-field curve).
+#pragma once
+
+#include "core/frontier.hpp"
+
+namespace pdt::core {
+
+[[nodiscard]] ParResult build_partitioned(const data::Dataset& ds,
+                                          const ParOptions& opt);
+
+}  // namespace pdt::core

@@ -1,0 +1,39 @@
+#include "core/sync_tree.hpp"
+
+namespace pdt::core {
+
+ParResult collect_result(ParContext& ctx) {
+  mpsim::Machine& m = ctx.machine();
+  ParResult res;
+  res.tree = std::move(ctx.tree());
+  res.parallel_time = m.max_clock();
+  res.totals = m.total_stats();
+  res.per_rank.reserve(static_cast<std::size_t>(m.size()));
+  for (int r = 0; r < m.size(); ++r) {
+    res.per_rank.push_back(m.stats(r));
+  }
+  res.levels = ctx.levels;
+  res.partition_splits = ctx.partition_splits;
+  res.rejoins = ctx.rejoins;
+  res.records_moved = ctx.records_moved;
+  res.histogram_words = ctx.histogram_words;
+  res.trace = m.trace().events();
+  return res;
+}
+
+ParResult build_sync(const data::Dataset& ds, const ParOptions& opt) {
+  mpsim::Machine machine(opt.num_procs, opt.cost);
+  ParContext ctx(ds, opt, machine);
+  mpsim::Group all = mpsim::Group::whole(machine);
+
+  std::vector<NodeWork> frontier;
+  frontier.push_back(ctx.initial_root(all));
+  while (!frontier.empty()) {
+    ++ctx.levels;
+    frontier = expand_level(ctx, all, frontier);
+  }
+  all.barrier();
+  return collect_result(ctx);
+}
+
+}  // namespace pdt::core

@@ -1,0 +1,22 @@
+// Synchronous Tree Construction (Section 3.1).
+//
+// All processors grow one shared decision tree level by level: each holds
+// N/P records, computes local class-distribution histograms for every
+// frontier node, and participates in a global reduction after every
+// comm_buffer_nodes histograms. No training record ever moves — the
+// approach's advantage — but communication volume grows with the frontier
+// and per-node work shrinks, so deep bushy trees drown in communication
+// and barrier idling (the behaviour Figure 6 shows for P >= 4).
+#pragma once
+
+#include "core/frontier.hpp"
+
+namespace pdt::core {
+
+[[nodiscard]] ParResult build_sync(const data::Dataset& ds,
+                                   const ParOptions& opt);
+
+/// Shared result assembly (used by all formulations).
+[[nodiscard]] ParResult collect_result(ParContext& ctx);
+
+}  // namespace pdt::core

@@ -1,0 +1,55 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pdt::data {
+
+Dataset::Dataset(Schema schema, std::size_t expected_rows)
+    : schema_(std::move(schema)) {
+  const int n = schema_.num_attributes();
+  cat_.resize(static_cast<std::size_t>(n));
+  cont_.resize(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    if (schema_.attr(a).is_categorical()) {
+      cat_[static_cast<std::size_t>(a)].reserve(expected_rows);
+    } else {
+      cont_[static_cast<std::size_t>(a)].reserve(expected_rows);
+    }
+  }
+  labels_.reserve(expected_rows);
+}
+
+std::size_t Dataset::add_row(std::int32_t label) {
+  assert(label >= 0 && label < schema_.num_classes());
+  const std::size_t row = labels_.size();
+  labels_.push_back(label);
+  for (int a = 0; a < num_attributes(); ++a) {
+    if (schema_.attr(a).is_categorical()) {
+      cat_[static_cast<std::size_t>(a)].push_back(0);
+    } else {
+      cont_[static_cast<std::size_t>(a)].push_back(0.0);
+    }
+  }
+  return row;
+}
+
+void Dataset::set_cat(int attr, std::size_t row, std::int32_t value) {
+  assert(schema_.attr(attr).is_categorical());
+  assert(value >= 0 && value < schema_.attr(attr).cardinality);
+  cat_[static_cast<std::size_t>(attr)][row] = value;
+}
+
+void Dataset::set_cont(int attr, std::size_t row, double value) {
+  assert(schema_.attr(attr).is_continuous());
+  cont_[static_cast<std::size_t>(attr)][row] = value;
+}
+
+std::pair<double, double> Dataset::cont_range(int attr) const {
+  const auto& col = cont_column(attr);
+  assert(!col.empty());
+  const auto [lo, hi] = std::minmax_element(col.begin(), col.end());
+  return {*lo, *hi};
+}
+
+}  // namespace pdt::data

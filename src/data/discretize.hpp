@@ -1,0 +1,62 @@
+// Discretization of continuous attributes.
+//
+// The paper uses three flavours:
+//  * global uniform (equal-interval) binning as a preprocessing step — the
+//    Figure 6/7 experiments discretize the six continuous Quest attributes
+//    into 13/14/6/11/10/20 equal intervals;
+//  * per-node quantile discretization (CLOUDS [3]);
+//  * per-node clustering discretization (SPEC [23]) — used for the
+//    Figure 8/9 experiments.
+//
+// Global binning produces a new all-categorical Dataset (bins keep their
+// order). The per-node flavours operate on weighted value histograms and
+// return bin boundaries; the core library applies them to the globally
+// reduced per-node micro-histograms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pdt::data {
+
+/// Equal-width bin boundaries: `bins`-1 interior cut points over [lo, hi].
+[[nodiscard]] std::vector<double> uniform_boundaries(double lo, double hi,
+                                                     int bins);
+
+/// Bin index of `v` for interior boundaries `cuts` (ascending): the number
+/// of cut points <= v, clamped to [0, cuts.size()].
+[[nodiscard]] int bin_of(double v, const std::vector<double>& cuts);
+
+/// Replace every continuous attribute with an ordered categorical attribute
+/// of `bins_per_attr[a]` equal-width bins computed from the column's range.
+/// Entries for categorical attributes are ignored (use 0).
+[[nodiscard]] Dataset discretize_uniform(const Dataset& ds,
+                                         const std::vector<int>& bins_per_attr);
+
+/// The paper's bin counts for the Quest schema: salary 13, commission 14,
+/// age 6, hvalue 11, hyears 10, loan 20 (categorical attrs: 0).
+[[nodiscard]] std::vector<int> quest_paper_bins();
+
+/// A weighted point on the real line (bin center + mass), the unit the
+/// per-node discretizers consume.
+struct WeightedValue {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+/// Equi-depth (quantile) cut points: choose `bins`-1 boundaries so that
+/// each bin holds roughly equal total weight. Returns ascending interior
+/// boundaries (possibly fewer than bins-1 when mass is concentrated).
+[[nodiscard]] std::vector<double> quantile_boundaries(
+    std::vector<WeightedValue> values, int bins);
+
+/// SPEC-style 1-D k-means clustering of weighted values into at most `k`
+/// clusters; returns the interior boundaries (midpoints between adjacent
+/// cluster centers). Deterministic: centers initialize at weight quantiles
+/// and Lloyd iterations run to a fixed tolerance.
+[[nodiscard]] std::vector<double> kmeans_boundaries(
+    const std::vector<WeightedValue>& values, int k, int max_iters = 32);
+
+}  // namespace pdt::data

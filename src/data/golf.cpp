@@ -1,0 +1,44 @@
+#include "data/golf.hpp"
+
+namespace pdt::data {
+
+Schema golf_schema() {
+  auto outlook = Attribute::categorical("Outlook", 3);
+  outlook.value_names = {"sunny", "overcast", "rain"};
+  auto windy = Attribute::categorical("Windy", 2);
+  windy.value_names = {"false", "true"};
+  std::vector<Attribute> attrs;
+  attrs.push_back(std::move(outlook));
+  attrs.push_back(Attribute::continuous("Temperature"));
+  attrs.push_back(Attribute::continuous("Humidity"));
+  attrs.push_back(std::move(windy));
+  return Schema(std::move(attrs), 2, {"Play", "Don't Play"});
+}
+
+Dataset golf_dataset() {
+  // outlook(0=sunny,1=overcast,2=rain), temp, humidity, windy, class
+  struct Row {
+    int outlook;
+    double temp, humidity;
+    int windy;
+    int cls;  // 0 = Play, 1 = Don't Play
+  };
+  static constexpr Row kRows[] = {
+      {0, 75, 70, 1, 0}, {0, 80, 90, 1, 1}, {0, 85, 85, 0, 1},
+      {0, 72, 95, 0, 1}, {0, 69, 70, 0, 0}, {1, 72, 90, 1, 0},
+      {1, 83, 78, 0, 0}, {1, 64, 65, 1, 0}, {1, 81, 75, 0, 0},
+      {2, 71, 80, 1, 1}, {2, 65, 70, 1, 1}, {2, 75, 80, 0, 0},
+      {2, 68, 80, 0, 0}, {2, 70, 96, 0, 0},
+  };
+  Dataset ds(golf_schema(), std::size(kRows));
+  for (const Row& r : kRows) {
+    const std::size_t row = ds.add_row(r.cls);
+    ds.set_cat(golf_attr::kOutlook, row, r.outlook);
+    ds.set_cont(golf_attr::kTemp, row, r.temp);
+    ds.set_cont(golf_attr::kHumidity, row, r.humidity);
+    ds.set_cat(golf_attr::kWindy, row, r.windy);
+  }
+  return ds;
+}
+
+}  // namespace pdt::data

@@ -1,0 +1,23 @@
+// The 14-record "play / don't play" golf training set of Table 1
+// (Quinlan, C4.5). Used by the quickstart example to reproduce Tables 1-3
+// and Figure 1 of the paper, and by unit tests as a hand-checkable input.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace pdt::data {
+
+namespace golf_attr {
+inline constexpr int kOutlook = 0;   ///< categorical: sunny, overcast, rain
+inline constexpr int kTemp = 1;      ///< continuous
+inline constexpr int kHumidity = 2;  ///< continuous
+inline constexpr int kWindy = 3;     ///< categorical: false, true
+}  // namespace golf_attr
+
+/// Classes: 0 = Play, 1 = Don't Play.
+[[nodiscard]] Schema golf_schema();
+
+/// The full Table-1 dataset (9 Play, 5 Don't Play).
+[[nodiscard]] Dataset golf_dataset();
+
+}  // namespace pdt::data

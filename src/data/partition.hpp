@@ -1,0 +1,32 @@
+// Distribution of training records over the P simulated processors.
+//
+// All parallel formulations assume "N training cases are randomly
+// distributed to P processors initially such that each processor has N/P
+// cases" (Section 3). Block distribution is provided for tests that need a
+// predictable layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pdt::data {
+
+using RowId = std::uint32_t;
+
+/// rows[p] = global row ids owned by processor p.
+using RowPartition = std::vector<std::vector<RowId>>;
+
+/// Contiguous blocks: processor p owns rows [p*N/P, (p+1)*N/P).
+[[nodiscard]] RowPartition partition_block(std::size_t num_rows, int nprocs);
+
+/// Random (seeded) permutation dealt round-robin — the paper's random
+/// initial distribution. Every processor gets floor/ceil(N/P) rows.
+[[nodiscard]] RowPartition partition_random(std::size_t num_rows, int nprocs,
+                                            std::uint64_t seed);
+
+/// Total row count across a partition.
+[[nodiscard]] std::size_t partition_size(const RowPartition& part);
+
+}  // namespace pdt::data

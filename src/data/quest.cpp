@@ -1,0 +1,171 @@
+#include "data/quest.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/rng.hpp"
+
+namespace pdt::data {
+
+Schema quest_schema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::continuous("salary"));
+  attrs.push_back(Attribute::continuous("commission"));
+  attrs.push_back(Attribute::continuous("age"));
+  attrs.push_back(Attribute::categorical("elevel", 5));
+  attrs.push_back(Attribute::categorical("car", 20));
+  attrs.push_back(Attribute::categorical("zipcode", 9));
+  attrs.push_back(Attribute::continuous("hvalue"));
+  attrs.push_back(Attribute::continuous("hyears"));
+  attrs.push_back(Attribute::continuous("loan"));
+  return Schema(std::move(attrs), 2, {"Group A", "Group B"});
+}
+
+QuestRecord quest_draw(Rng& rng) {
+  QuestRecord r;
+  r.salary = rng.uniform(20000.0, 150000.0);
+  r.commission =
+      r.salary >= 75000.0 ? 0.0 : rng.uniform(10000.0, 75000.0);
+  r.age = rng.uniform(20.0, 80.0);
+  r.elevel = static_cast<int>(rng.uniform_int(0, 4));
+  r.car = static_cast<int>(rng.uniform_int(0, 19));
+  r.zipcode = static_cast<int>(rng.uniform_int(0, 8));
+  const double k = static_cast<double>(r.zipcode + 1);
+  r.hvalue = rng.uniform(0.5 * k * 100000.0, 1.5 * k * 100000.0);
+  r.hyears = rng.uniform(1.0, 30.0);
+  r.loan = rng.uniform(0.0, 500000.0);
+  return r;
+}
+
+namespace {
+
+bool in(double v, double lo, double hi) { return lo <= v && v <= hi; }
+
+/// Group A predicates of the ten functions [Agrawal et al. 93, Table].
+bool group_a(int f, const QuestRecord& r) {
+  switch (f) {
+    case 1:
+      return r.age < 40.0 || r.age >= 60.0;
+    case 2:
+      if (r.age < 40.0) return in(r.salary, 50000.0, 100000.0);
+      if (r.age < 60.0) return in(r.salary, 75000.0, 125000.0);
+      return in(r.salary, 25000.0, 75000.0);
+    case 3:
+      if (r.age < 40.0) return r.elevel >= 0 && r.elevel <= 1;
+      if (r.age < 60.0) return r.elevel >= 1 && r.elevel <= 3;
+      return r.elevel >= 2 && r.elevel <= 4;
+    case 4:
+      if (r.age < 40.0) {
+        return (r.elevel >= 0 && r.elevel <= 1)
+                   ? in(r.salary, 25000.0, 75000.0)
+                   : in(r.salary, 50000.0, 100000.0);
+      }
+      if (r.age < 60.0) {
+        return (r.elevel >= 1 && r.elevel <= 3)
+                   ? in(r.salary, 50000.0, 100000.0)
+                   : in(r.salary, 75000.0, 125000.0);
+      }
+      return (r.elevel >= 2 && r.elevel <= 4)
+                 ? in(r.salary, 50000.0, 100000.0)
+                 : in(r.salary, 25000.0, 75000.0);
+    case 5:
+      if (r.age < 40.0) {
+        return in(r.salary, 50000.0, 100000.0)
+                   ? in(r.loan, 100000.0, 300000.0)
+                   : in(r.loan, 200000.0, 400000.0);
+      }
+      if (r.age < 60.0) {
+        return in(r.salary, 75000.0, 125000.0)
+                   ? in(r.loan, 200000.0, 400000.0)
+                   : in(r.loan, 300000.0, 500000.0);
+      }
+      return in(r.salary, 25000.0, 75000.0)
+                 ? in(r.loan, 300000.0, 500000.0)
+                 : in(r.loan, 100000.0, 300000.0);
+    case 6: {
+      const double total = r.salary + r.commission;
+      if (r.age < 40.0) return in(total, 50000.0, 100000.0);
+      if (r.age < 60.0) return in(total, 75000.0, 125000.0);
+      return in(total, 25000.0, 75000.0);
+    }
+    case 7:
+      return 0.67 * (r.salary + r.commission) - 0.2 * r.loan - 20000.0 > 0.0;
+    case 8:
+      return 0.67 * (r.salary + r.commission) - 5000.0 * r.elevel -
+                 20000.0 >
+             0.0;
+    case 9:
+      return 0.67 * (r.salary + r.commission) - 5000.0 * r.elevel -
+                 0.2 * r.loan - 10000.0 >
+             0.0;
+    case 10: {
+      const double equity =
+          r.hyears < 20.0 ? 0.0 : 0.1 * r.hvalue * (r.hyears - 20.0);
+      return 0.67 * (r.salary + r.commission) - 5000.0 * r.elevel +
+                 0.2 * equity - 10000.0 >
+             0.0;
+    }
+    default:
+      assert(false && "quest function must be 1..10");
+      return false;
+  }
+}
+
+}  // namespace
+
+int quest_classify(int f, const QuestRecord& r) {
+  return group_a(f, r) ? 0 : 1;
+}
+
+namespace {
+
+double perturb(Rng& rng, double v, double lo, double hi, double p) {
+  const double jittered = v + (rng.next_double() - 0.5) * p * (hi - lo);
+  return std::clamp(jittered, lo, hi);
+}
+
+}  // namespace
+
+Dataset quest_generate(std::size_t n, const QuestOptions& opt) {
+  assert(opt.function >= 1 && opt.function <= 10);
+  Rng rng(opt.seed);
+  // Noise draws come from an independent stream so that enabling
+  // label_noise / perturbation overlays the exact same base records
+  // (useful for clean-vs-noisy comparisons; tests rely on it).
+  Rng noise(opt.seed ^ 0x5DEECE66DULL);
+  Dataset ds(quest_schema(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    QuestRecord r = quest_draw(rng);
+    int label = quest_classify(opt.function, r);
+    if (opt.label_noise > 0.0 && noise.chance(opt.label_noise)) {
+      label = 1 - label;
+    }
+    if (opt.perturbation > 0.0) {
+      const double p = opt.perturbation;
+      r.salary = perturb(noise, r.salary, 20000.0, 150000.0, p);
+      if (r.commission > 0.0) {
+        r.commission = perturb(noise, r.commission, 10000.0, 75000.0, p);
+      }
+      r.age = perturb(noise, r.age, 20.0, 80.0, p);
+      const double k = static_cast<double>(r.zipcode + 1);
+      r.hvalue = perturb(noise, r.hvalue, 0.5 * k * 100000.0,
+                         1.5 * k * 100000.0, p);
+      r.hyears = perturb(noise, r.hyears, 1.0, 30.0, p);
+      r.loan = perturb(noise, r.loan, 0.0, 500000.0, p);
+    }
+    const std::size_t row = ds.add_row(label);
+    using namespace quest_attr;
+    ds.set_cont(kSalary, row, r.salary);
+    ds.set_cont(kCommission, row, r.commission);
+    ds.set_cont(kAge, row, r.age);
+    ds.set_cat(kElevel, row, r.elevel);
+    ds.set_cat(kCar, row, r.car);
+    ds.set_cat(kZipcode, row, r.zipcode);
+    ds.set_cont(kHvalue, row, r.hvalue);
+    ds.set_cont(kHyears, row, r.hyears);
+    ds.set_cont(kLoan, row, r.loan);
+  }
+  return ds;
+}
+
+}  // namespace pdt::data

@@ -1,0 +1,76 @@
+// The IBM Quest synthetic classification-data generator.
+//
+// The paper evaluates on "the widely used synthetic dataset proposed in the
+// SLIQ paper", which is the generator of Agrawal, Imielinski, Swami,
+// "Database Mining: A Performance Perspective" (IEEE TKDE 5(6), 1993).
+// Every record has nine attributes:
+//
+//   salary      continuous, uniform [20000, 150000]
+//   commission  continuous, 0 if salary >= 75000 else uniform [10000, 75000]
+//   age         continuous, uniform [20, 80]
+//   elevel      categorical {0..4}, uniform
+//   car         categorical {1..20} (stored 0-based), uniform
+//   zipcode     categorical, 9 zipcodes, uniform
+//   hvalue      continuous, uniform [0.5k, 1.5k] * 100000 with k = zipcode+1
+//   hyears      continuous, uniform [1, 30]
+//   loan        continuous, uniform [0, 500000]
+//
+// Ten classification functions assign each record to Group A (class 0) or
+// Group B (class 1); the paper uses function 2. An optional perturbation
+// randomly flips a fraction of labels to model noise.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "data/rng.hpp"
+
+namespace pdt::data {
+
+/// Attribute indices in the generated schema, in generation order.
+namespace quest_attr {
+inline constexpr int kSalary = 0;
+inline constexpr int kCommission = 1;
+inline constexpr int kAge = 2;
+inline constexpr int kElevel = 3;
+inline constexpr int kCar = 4;
+inline constexpr int kZipcode = 5;
+inline constexpr int kHvalue = 6;
+inline constexpr int kHyears = 7;
+inline constexpr int kLoan = 8;
+}  // namespace quest_attr
+
+/// One generated record before labeling; exposed so tests can check the
+/// classification functions against hand-computed rows.
+struct QuestRecord {
+  double salary = 0, commission = 0, age = 0;
+  int elevel = 0, car = 0, zipcode = 0;
+  double hvalue = 0, hyears = 0, loan = 0;
+};
+
+struct QuestOptions {
+  int function = 2;          ///< classification function, 1..10
+  std::uint64_t seed = 1;
+  double label_noise = 0.0;  ///< fraction of labels flipped uniformly
+  /// Agrawal et al.'s perturbation factor p: after a record is labeled,
+  /// each continuous value v is jittered to v + r * p * (hi - lo) with
+  /// r uniform in [-0.5, 0.5], clamped to the attribute's range. Models
+  /// measurement noise without touching the class boundary structure.
+  double perturbation = 0.0;
+};
+
+/// The schema of Quest data: 6 continuous + 3 categorical attributes, two
+/// classes "Group A" / "Group B".
+[[nodiscard]] Schema quest_schema();
+
+/// Draw one record's attribute values.
+[[nodiscard]] QuestRecord quest_draw(Rng& rng);
+
+/// Apply classification function `f` (1..10) to a record. Returns 0 for
+/// Group A, 1 for Group B.
+[[nodiscard]] int quest_classify(int f, const QuestRecord& r);
+
+/// Generate `n` labeled records.
+[[nodiscard]] Dataset quest_generate(std::size_t n, const QuestOptions& opt);
+
+}  // namespace pdt::data

@@ -1,0 +1,37 @@
+// Serial decision-tree construction (Hunt's method, Section 2.1).
+//
+// Two growers are provided:
+//  * grow_bfs   — breadth-first, histogram/slot based. This is the exact
+//                 serial counterpart of the parallel formulations: the
+//                 paper's experiments "use binary splitting at each
+//                 decision tree node and grow the tree in breadth first
+//                 manner". Parallel runs must reproduce its tree bit-for-
+//                 bit (integration tests enforce this).
+//  * grow_dfs_exact — depth-first, C4.5 style: continuous attributes are
+//                 sorted at every node and every distinct value is a
+//                 candidate binary cut (the costly path SLIQ/SPRINT avoid,
+//                 Section 2.1). Used by the quickstart to reproduce
+//                 Table 3 and as an accuracy reference.
+#pragma once
+
+#include "data/partition.hpp"
+#include "dtree/tree.hpp"
+
+namespace pdt::dtree {
+
+struct BuildStats {
+  int levels = 0;                   ///< tree levels processed
+  std::int64_t nodes_expanded = 0;  ///< internal nodes created
+  std::int64_t histogram_updates = 0;  ///< record-attribute work units
+};
+
+/// Breadth-first slot/histogram grower over all rows of `ds`.
+[[nodiscard]] Tree grow_bfs(const data::Dataset& ds, const GrowOptions& opt,
+                            BuildStats* stats = nullptr);
+
+/// Depth-first C4.5-style grower with exact continuous thresholds.
+[[nodiscard]] Tree grow_dfs_exact(const data::Dataset& ds,
+                                  const GrowOptions& opt,
+                                  BuildStats* stats = nullptr);
+
+}  // namespace pdt::dtree

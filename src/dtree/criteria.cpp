@@ -1,0 +1,58 @@
+#include "dtree/criteria.hpp"
+
+#include <cmath>
+
+namespace pdt::dtree {
+
+std::int64_t total(std::span<const std::int64_t> counts) {
+  std::int64_t n = 0;
+  for (auto c : counts) n += c;
+  return n;
+}
+
+double entropy(std::span<const std::int64_t> counts) {
+  const std::int64_t n = total(counts);
+  if (n <= 0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c <= 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double gini(std::span<const std::int64_t> counts) {
+  const std::int64_t n = total(counts);
+  if (n <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double impurity(Criterion c, std::span<const std::int64_t> counts) {
+  return c == Criterion::Entropy ? entropy(counts) : gini(counts);
+}
+
+double gain(Criterion c, std::span<const std::int64_t> parent,
+            std::span<const std::int64_t> children, int num_classes) {
+  const std::int64_t n = total(parent);
+  if (n <= 0) return 0.0;
+  double weighted = 0.0;
+  const std::size_t k = children.size() / static_cast<std::size_t>(num_classes);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto child =
+        children.subspan(i * static_cast<std::size_t>(num_classes),
+                         static_cast<std::size_t>(num_classes));
+    const std::int64_t ni = total(child);
+    if (ni <= 0) continue;
+    weighted += static_cast<double>(ni) / static_cast<double>(n) *
+                impurity(c, child);
+  }
+  return impurity(c, parent) - weighted;
+}
+
+}  // namespace pdt::dtree

@@ -1,0 +1,31 @@
+// Split-quality criteria: entropy / information gain (C4.5 [20]) and the
+// Gini index (CART [4]) — the two measures Section 2.1 names.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pdt::dtree {
+
+enum class Criterion { Entropy, Gini };
+
+/// Shannon entropy (bits) of a class-count vector. Zero for empty counts.
+[[nodiscard]] double entropy(std::span<const std::int64_t> counts);
+
+/// Gini impurity of a class-count vector. Zero for empty counts.
+[[nodiscard]] double gini(std::span<const std::int64_t> counts);
+
+/// Impurity under the chosen criterion.
+[[nodiscard]] double impurity(Criterion c, std::span<const std::int64_t> counts);
+
+/// Total of a class-count vector.
+[[nodiscard]] std::int64_t total(std::span<const std::int64_t> counts);
+
+/// Impurity decrease of a partition of `parent` into `children`:
+///   impurity(parent) - sum_i (n_i / n) * impurity(child_i).
+/// `children` is a flattened array of num_children x num_classes counts.
+[[nodiscard]] double gain(Criterion c, std::span<const std::int64_t> parent,
+                          std::span<const std::int64_t> children,
+                          int num_classes);
+
+}  // namespace pdt::dtree

@@ -1,0 +1,21 @@
+#include "dtree/metrics.hpp"
+
+namespace pdt::dtree {
+
+Evaluation evaluate(const Tree& tree, const data::Dataset& ds) {
+  Evaluation ev;
+  ev.num_classes = ds.schema().num_classes();
+  ev.confusion.assign(
+      static_cast<std::size_t>(ev.num_classes * ev.num_classes), 0);
+  for (std::size_t row = 0; row < ds.num_rows(); ++row) {
+    const int actual = ds.label(row);
+    const int predicted = tree.classify(ds, row);
+    ++ev.total;
+    if (actual == predicted) ++ev.correct;
+    ++ev.confusion[static_cast<std::size_t>(actual * ev.num_classes +
+                                            predicted)];
+  }
+  return ev;
+}
+
+}  // namespace pdt::dtree

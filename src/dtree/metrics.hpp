@@ -1,0 +1,28 @@
+// Classifier evaluation: accuracy and confusion matrices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtree/tree.hpp"
+
+namespace pdt::dtree {
+
+struct Evaluation {
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  /// confusion[actual * num_classes + predicted]
+  std::vector<std::int64_t> confusion;
+  int num_classes = 0;
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Classify every row of `ds` with `tree` and tally the results.
+[[nodiscard]] Evaluation evaluate(const Tree& tree, const data::Dataset& ds);
+
+}  // namespace pdt::dtree

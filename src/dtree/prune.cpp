@@ -1,0 +1,148 @@
+#include "dtree/prune.hpp"
+
+#include <cmath>
+
+namespace pdt::dtree {
+
+namespace {
+
+/// Inverse of the standard normal CDF for the upper tail probability
+/// `confidence` (e.g. 0.25 -> z ~ 0.6745). Beasley-Springer-Moro style
+/// rational approximation — plenty for pruning decisions.
+double z_of_confidence(double confidence) {
+  // We need z with P(Z > z) = confidence, i.e. quantile(1 - confidence).
+  const double p = 1.0 - confidence;
+  // Acklam's approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+/// log of the binomial CDF P(X <= e | n, p), summed in probability space
+/// from log-space terms (n is small enough that this is exact and fast).
+double binom_cdf(std::int64_t e, std::int64_t n, double p) {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return e >= n ? 1.0 : 0.0;
+  double cdf = 0.0;
+  double log_term = static_cast<double>(n) * std::log1p(-p);  // k = 0
+  for (std::int64_t k = 0; k <= e; ++k) {
+    cdf += std::exp(log_term);
+    // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+    log_term += std::log(static_cast<double>(n - k)) -
+                std::log(static_cast<double>(k + 1)) + std::log(p) -
+                std::log1p(-p);
+  }
+  return cdf;
+}
+
+/// Exact binomial upper confidence limit: the largest error rate p such
+/// that observing <= e errors in n records still has probability >= CF.
+/// This is C4.5's U_CF (e.g. U_0.25(0, 1) = 0.75). Solved by bisection.
+double binom_upper(std::int64_t e, std::int64_t n, double cf) {
+  double lo = static_cast<double>(e) / static_cast<double>(n);
+  double hi = 1.0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (binom_cdf(e, n, mid) > cf) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct Walker {
+  Tree* tree;
+  double z;
+  double cf;
+  PruneStats stats;
+
+  /// Returns the estimated number of errors of the subtree at `id`, after
+  /// possibly collapsing it.
+  double visit(int id) {
+    Node& nd = const_cast<Node&>(tree->node(id));
+    const std::int64_t n = nd.num_records();
+    const std::int64_t errors =
+        n - (nd.majority < static_cast<int>(nd.class_counts.size())
+                 ? nd.class_counts[static_cast<std::size_t>(nd.majority)]
+                 : 0);
+    const double leaf_estimate =
+        static_cast<double>(n) *
+        wilson_upper(static_cast<double>(errors), static_cast<double>(n));
+    if (nd.is_leaf()) return leaf_estimate;
+
+    double subtree_estimate = 0.0;
+    for (int k = 0; k < nd.test.num_children; ++k) {
+      subtree_estimate += visit(nd.first_child + k);
+    }
+    if (leaf_estimate <= subtree_estimate) {
+      tree->make_leaf(id);
+      ++stats.subtrees_collapsed;
+      return leaf_estimate;
+    }
+    return subtree_estimate;
+  }
+
+  /// Exact binomial limit for the small leaves where the choice matters,
+  /// normal (Wilson) approximation for large nodes where they agree.
+  [[nodiscard]] double wilson_upper(double errors, double n) const {
+    if (n <= 0.0) return 1.0;
+    if (n <= 400.0) {
+      return binom_upper(static_cast<std::int64_t>(errors),
+                         static_cast<std::int64_t>(n), cf);
+    }
+    const double f = errors / n;
+    const double z2 = z * z;
+    return (f + z2 / (2.0 * n) +
+            z * std::sqrt(f / n - f * f / n + z2 / (4.0 * n * n))) /
+           (1.0 + z2 / n);
+  }
+};
+
+}  // namespace
+
+double pessimistic_error(std::int64_t errors, std::int64_t n,
+                         double confidence) {
+  Walker w{nullptr, z_of_confidence(confidence), confidence, {}};
+  return w.wilson_upper(static_cast<double>(errors), static_cast<double>(n));
+}
+
+PruneStats prune(Tree& tree, const PruneOptions& opt) {
+  Walker w{&tree, z_of_confidence(opt.confidence), opt.confidence, {}};
+  w.stats.leaves_before = tree.num_leaves();
+  w.visit(tree.root());
+  w.stats.leaves_after = tree.num_leaves();
+  return w.stats;
+}
+
+}  // namespace pdt::dtree

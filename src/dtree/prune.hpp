@@ -1,0 +1,34 @@
+// Pessimistic error pruning (C4.5, chapter 4).
+//
+// The paper deliberately excludes pruning from its parallel analysis
+// ("the time spent on pruning for a large dataset is a small fraction,
+// less than 1% of the initial tree generation") — it is included here for
+// completeness of the sequential library, and a bench measures that the
+// <1% claim holds for our trees too.
+#pragma once
+
+#include "dtree/tree.hpp"
+
+namespace pdt::dtree {
+
+struct PruneOptions {
+  /// C4.5 confidence factor CF (default 25%). Smaller values prune more.
+  double confidence = 0.25;
+};
+
+struct PruneStats {
+  int subtrees_collapsed = 0;
+  int leaves_before = 0;
+  int leaves_after = 0;
+};
+
+/// Upper confidence limit of the binomial error rate for `errors` errors
+/// in `n` records (C4.5's U_CF, via the Wilson score interval).
+[[nodiscard]] double pessimistic_error(std::int64_t errors, std::int64_t n,
+                                       double confidence);
+
+/// Prune `tree` in place, collapsing subtrees whose estimated error is not
+/// better than the leaf that would replace them.
+PruneStats prune(Tree& tree, const PruneOptions& opt = {});
+
+}  // namespace pdt::dtree

@@ -1,0 +1,225 @@
+#include "dtree/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace pdt::dtree {
+
+std::int64_t Node::num_records() const {
+  std::int64_t n = 0;
+  for (auto c : class_counts) n += c;
+  return n;
+}
+
+int majority_class(std::span<const std::int64_t> counts, int fallback) {
+  int best = -1;
+  std::int64_t best_n = 0;
+  for (int c = 0; c < static_cast<int>(counts.size()); ++c) {
+    if (counts[static_cast<std::size_t>(c)] > best_n) {
+      best_n = counts[static_cast<std::size_t>(c)];
+      best = c;
+    }
+  }
+  return best < 0 ? fallback : best;
+}
+
+Tree::Tree(std::vector<std::int64_t> root_counts) {
+  Node root;
+  root.class_counts = std::move(root_counts);
+  root.majority = majority_class(root.class_counts);
+  nodes_.push_back(std::move(root));
+}
+
+int Tree::num_leaves() const {
+  // Count leaves reachable from the root (pruning may detach nodes).
+  int leaves = 0;
+  std::vector<int> stack{root()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& nd = node(id);
+    if (nd.is_leaf()) {
+      ++leaves;
+      continue;
+    }
+    for (int k = 0; k < nd.test.num_children; ++k) {
+      stack.push_back(nd.first_child + k);
+    }
+  }
+  return leaves;
+}
+
+int Tree::depth() const {
+  int d = 0;
+  std::vector<int> stack{root()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& nd = node(id);
+    d = std::max(d, nd.depth);
+    if (!nd.is_leaf()) {
+      for (int k = 0; k < nd.test.num_children; ++k) {
+        stack.push_back(nd.first_child + k);
+      }
+    }
+  }
+  return d;
+}
+
+int Tree::expand(int id, const SplitDecision& d) {
+  assert(!d.test.is_leaf());
+  Node& parent = nodes_[static_cast<std::size_t>(id)];
+  assert(parent.is_leaf() && "node already expanded");
+  const int c_num = static_cast<int>(parent.class_counts.size());
+  assert(static_cast<int>(d.child_counts.size()) ==
+         d.test.num_children * c_num);
+  const int first = num_nodes();
+  const int parent_majority = parent.majority;
+  const int parent_depth = parent.depth;
+  parent.test = d.test;
+  parent.first_child = first;
+  for (int k = 0; k < d.test.num_children; ++k) {
+    Node child;
+    child.parent = id;
+    child.depth = parent_depth + 1;
+    child.class_counts.assign(
+        d.child_counts.begin() + k * c_num,
+        d.child_counts.begin() + (k + 1) * c_num);
+    // Hunt's method Case 3: an empty child's class comes from the parent.
+    child.majority = majority_class(child.class_counts, parent_majority);
+    nodes_.push_back(std::move(child));
+  }
+  return first;
+}
+
+void Tree::make_leaf(int id) {
+  Node& nd = nodes_[static_cast<std::size_t>(id)];
+  nd.test = SplitTest{};
+  nd.first_child = -1;
+}
+
+int Tree::route(int id, const data::Dataset& ds, std::size_t row) const {
+  const Node& nd = node(id);
+  const SplitTest& t = nd.test;
+  switch (t.kind) {
+    case SplitTest::Kind::Threshold:
+      // Strict <: a value exactly on a micro-bin boundary belongs to the
+      // bin to its right (data::bin_of uses upper_bound), so routing by
+      // raw value must match routing by slot.
+      return ds.cont(t.attr, row) < t.threshold ? 0 : 1;
+    case SplitTest::Kind::OrderedSlot:
+      return ds.cat(t.attr, row) <= t.slot_threshold ? 0 : 1;
+    case SplitTest::Kind::Subset:
+      return t.in_left[static_cast<std::size_t>(ds.cat(t.attr, row))] ? 0 : 1;
+    case SplitTest::Kind::Multiway:
+      return ds.cat(t.attr, row);
+    case SplitTest::Kind::Leaf:
+      return 0;
+  }
+  return 0;
+}
+
+int Tree::classify(const data::Dataset& ds, std::size_t row) const {
+  int id = root();
+  while (!node(id).is_leaf()) {
+    id = node(id).first_child + route(id, ds, row);
+  }
+  return node(id).majority;
+}
+
+bool Tree::same_subtree(const Tree& other, int a, int b) const {
+  const Node& x = node(a);
+  const Node& y = other.node(b);
+  if (x.class_counts != y.class_counts) return false;
+  if (x.majority != y.majority) return false;
+  if (x.test.kind != y.test.kind) return false;
+  if (x.is_leaf()) return true;
+  if (x.test.attr != y.test.attr ||
+      x.test.num_children != y.test.num_children ||
+      x.test.slot_threshold != y.test.slot_threshold ||
+      x.test.in_left != y.test.in_left) {
+    return false;
+  }
+  if (x.test.kind == SplitTest::Kind::Threshold &&
+      x.test.threshold != y.test.threshold) {
+    return false;
+  }
+  for (int k = 0; k < x.test.num_children; ++k) {
+    if (!same_subtree(other, x.first_child + k, y.first_child + k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Tree::same_as(const Tree& other) const {
+  if (nodes_.empty() || other.nodes_.empty()) {
+    return nodes_.empty() == other.nodes_.empty();
+  }
+  return same_subtree(other, root(), other.root());
+}
+
+void Tree::print_node(std::string& out, const data::Schema& schema, int id,
+                      int indent, int max_depth) const {
+  const Node& nd = node(id);
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  if (nd.is_leaf()) {
+    os << pad << "-> " << schema.class_name(nd.majority) << " (";
+    for (std::size_t c = 0; c < nd.class_counts.size(); ++c) {
+      os << (c ? "/" : "") << nd.class_counts[c];
+    }
+    os << ")\n";
+    out += os.str();
+    return;
+  }
+  if (nd.depth >= max_depth) {
+    os << pad << "... (subtree elided)\n";
+    out += os.str();
+    return;
+  }
+  const data::Attribute& attr = schema.attr(nd.test.attr);
+  for (int k = 0; k < nd.test.num_children; ++k) {
+    std::ostringstream branch;
+    switch (nd.test.kind) {
+      case SplitTest::Kind::Threshold:
+        branch << attr.name << (k == 0 ? " < " : " >= ") << nd.test.threshold;
+        break;
+      case SplitTest::Kind::OrderedSlot:
+        branch << attr.name << (k == 0 ? " <= slot " : " > slot ")
+               << nd.test.slot_threshold;
+        break;
+      case SplitTest::Kind::Subset:
+        branch << attr.name << (k == 0 ? " in {" : " not in {");
+        for (int v = 0, first = 1; v < attr.cardinality; ++v) {
+          if (!nd.test.in_left[static_cast<std::size_t>(v)]) continue;
+          if (!first) branch << ",";
+          first = 0;
+          branch << (v < static_cast<int>(attr.value_names.size())
+                         ? attr.value_names[static_cast<std::size_t>(v)]
+                         : std::to_string(v));
+        }
+        branch << "}";
+        break;
+      case SplitTest::Kind::Multiway:
+        branch << attr.name << " = "
+               << (k < static_cast<int>(attr.value_names.size())
+                       ? attr.value_names[static_cast<std::size_t>(k)]
+                       : std::to_string(k));
+        break;
+      case SplitTest::Kind::Leaf:
+        break;
+    }
+    out += pad + branch.str() + "\n";
+    print_node(out, schema, nd.first_child + k, indent + 1, max_depth);
+  }
+}
+
+std::string Tree::to_string(const data::Schema& schema, int max_depth) const {
+  std::string out;
+  print_node(out, schema, root(), 0, max_depth);
+  return out;
+}
+
+}  // namespace pdt::dtree

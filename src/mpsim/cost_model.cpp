@@ -1,0 +1,45 @@
+#include "mpsim/cost_model.hpp"
+
+namespace pdt::mpsim {
+
+int ceil_log2(int p) {
+  int bits = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+Time CostModel::all_reduce(double words, int p) const {
+  if (p <= 1) return 0.0;
+  // Recursive doubling, the algorithm 1998-era MPI implementations used
+  // and exactly the paper's Eq. 2: (t_s + t_w * m) * log P_i.
+  return (t_s + t_w * words) * ceil_log2(p);
+}
+
+Time CostModel::broadcast(double words, int p) const {
+  if (p <= 1) return 0.0;
+  return (t_s + t_w * words) * ceil_log2(p);
+}
+
+CostModel CostModel::sp2() { return CostModel{}; }
+
+CostModel CostModel::zero_comm() {
+  CostModel cm;
+  cm.t_s = 0.0;
+  cm.t_w = 0.0;
+  cm.t_io = 0.0;
+  return cm;
+}
+
+CostModel CostModel::cheap_comm() {
+  CostModel cm;
+  cm.t_s /= 100.0;
+  cm.t_w /= 100.0;
+  cm.t_io /= 100.0;
+  return cm;
+}
+
+}  // namespace pdt::mpsim

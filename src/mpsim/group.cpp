@@ -1,0 +1,281 @@
+#include "mpsim/group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pdt::mpsim {
+
+Group::Group(Machine& m, Subcube cube)
+    : machine_(&m), ranks_(cube.ranks()), is_subcube_(true), cube_(cube) {
+  assert(cube.valid());
+  assert(cube.base + cube.size <= m.size());
+}
+
+Group::Group(Machine& m, std::vector<Rank> ranks)
+    : machine_(&m), ranks_(std::move(ranks)) {
+  assert(!ranks_.empty());
+  // Detect whether the rank list happens to be an aligned subcube, so that
+  // merged groups that reconstitute a subcube regain cheap split semantics.
+  std::sort(ranks_.begin(), ranks_.end());
+  const int n = static_cast<int>(ranks_.size());
+  const bool contiguous = ranks_.back() - ranks_.front() + 1 == n;
+  Subcube cube{ranks_.front(), n};
+  if (contiguous && cube.valid()) {
+    is_subcube_ = true;
+    cube_ = cube;
+  }
+}
+
+Group Group::whole(Machine& m) {
+  if (is_pow2(m.size())) return Group(m, Subcube{0, m.size()});
+  std::vector<Rank> all(static_cast<std::size_t>(m.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return Group(m, std::move(all));
+}
+
+Time Group::horizon() const {
+  Time t = 0.0;
+  for (Rank r : ranks_) t = std::max(t, machine_->clock(r));
+  return t;
+}
+
+void Group::barrier() const {
+  const Time t = horizon();
+  for (Rank r : ranks_) machine_->wait_until(r, t);
+}
+
+void Group::trace(EventKind kind, double words, const char* detail) const {
+  if (!machine_->trace().enabled()) return;
+  TraceEvent ev;
+  ev.time = horizon();
+  ev.kind = kind;
+  ev.group_base = ranks_.front();
+  ev.group_size = size();
+  ev.words = words;
+  ev.detail = detail;
+  machine_->trace().record(ev);
+}
+
+namespace {
+
+template <typename T>
+void reduce_buffers(const std::vector<T*>& bufs, std::size_t len) {
+  // Element-wise sum into bufs[0], then copy back out to every buffer.
+  // The simulated collective is a recursive doubling all-reduce; in the
+  // shared address space the arithmetic result is the same.
+  for (std::size_t b = 1; b < bufs.size(); ++b) {
+    T* acc = bufs[0];
+    const T* src = bufs[b];
+    for (std::size_t i = 0; i < len; ++i) acc[i] += src[i];
+  }
+  for (std::size_t b = 1; b < bufs.size(); ++b) {
+    std::copy(bufs[0], bufs[0] + len, bufs[b]);
+  }
+}
+
+}  // namespace
+
+void Group::all_reduce_sum(const std::vector<std::int64_t*>& bufs,
+                           std::size_t len, double words) const {
+  assert(static_cast<int>(bufs.size()) == size());
+  reduce_buffers(bufs, len);
+  if (words < 0.0) {
+    words = static_cast<double>(len) * sizeof(std::int64_t) / 4.0;
+  }
+  charge_all_reduce(words);
+}
+
+void Group::all_reduce_sum(const std::vector<double*>& bufs, std::size_t len,
+                           double words) const {
+  assert(static_cast<int>(bufs.size()) == size());
+  reduce_buffers(bufs, len);
+  if (words < 0.0) {
+    words = static_cast<double>(len) * sizeof(double) / 4.0;
+  }
+  charge_all_reduce(words);
+}
+
+void Group::charge_all_reduce(double words) const {
+  if (size() <= 1) return;
+  barrier();
+  const CostModel& cm = machine_->cost();
+  const int rounds = dimension();
+  // Recursive doubling (the paper's Eq. 2): one full-size exchange per
+  // hypercube dimension.
+  const Time cost = cm.all_reduce(words, size());
+  for (Rank r : ranks_) {
+    machine_->charge_comm(r, cost, words * rounds, words * rounds,
+                          static_cast<std::uint64_t>(rounds));
+  }
+  trace(EventKind::AllReduce, words, "all-reduce");
+}
+
+void Group::charge_broadcast(double words) const {
+  if (size() <= 1) return;
+  barrier();
+  const CostModel& cm = machine_->cost();
+  const int rounds = dimension();
+  const Time cost = (cm.t_s + cm.t_w * words) * rounds;
+  for (Rank r : ranks_) {
+    machine_->charge_comm(r, cost, words, words,
+                          static_cast<std::uint64_t>(rounds));
+  }
+  trace(EventKind::Broadcast, words, "broadcast");
+}
+
+void Group::pairwise_exchange(const std::vector<double>& words_out) const {
+  assert(static_cast<int>(words_out.size()) == size());
+  assert(size() % 2 == 0);
+  barrier();
+  const CostModel& cm = machine_->cost();
+  const int half = size() / 2;
+  double total = 0.0;
+  for (int i = 0; i < half; ++i) {
+    // Member i pairs with member i + half. For a subcube this is exactly
+    // the partner across the highest free dimension.
+    const double out_a = words_out[static_cast<std::size_t>(i)];
+    const double out_b = words_out[static_cast<std::size_t>(i + half)];
+    const Time cost = cm.t_s + cm.t_w * std::max(out_a, out_b);
+    machine_->charge_comm(rank(i), cost, out_a, out_b);
+    machine_->charge_comm(rank(i + half), cost, out_b, out_a);
+    // Records live in disk-resident attribute lists: the sender reads what
+    // it ships, the receiver writes what arrives.
+    machine_->charge_io(rank(i), cm.t_io * (out_a + out_b));
+    machine_->charge_io(rank(i + half), cm.t_io * (out_a + out_b));
+    total += out_a + out_b;
+  }
+  barrier();
+  trace(EventKind::MovingPhase, total, "pairwise exchange");
+}
+
+std::vector<Transfer> Group::plan_balance(
+    const std::vector<std::int64_t>& counts) {
+  const std::int64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  const int p = static_cast<int>(counts.size());
+  const std::int64_t base = total / p;
+  std::int64_t extra = total % p;  // first `extra` members get base + 1
+
+  std::vector<std::int64_t> target(counts.size());
+  for (int i = 0; i < p; ++i) {
+    target[static_cast<std::size_t>(i)] = base + (i < extra ? 1 : 0);
+  }
+
+  // Two-pointer matching of surplus members against deficit members.
+  std::vector<Transfer> transfers;
+  int donor = 0;
+  int taker = 0;
+  std::vector<std::int64_t> cur = counts;
+  while (true) {
+    while (donor < p && cur[static_cast<std::size_t>(donor)] <=
+                            target[static_cast<std::size_t>(donor)]) {
+      ++donor;
+    }
+    while (taker < p && cur[static_cast<std::size_t>(taker)] >=
+                            target[static_cast<std::size_t>(taker)]) {
+      ++taker;
+    }
+    if (donor >= p || taker >= p) break;
+    const std::int64_t give =
+        std::min(cur[static_cast<std::size_t>(donor)] -
+                     target[static_cast<std::size_t>(donor)],
+                 target[static_cast<std::size_t>(taker)] -
+                     cur[static_cast<std::size_t>(taker)]);
+    transfers.push_back(Transfer{donor, taker, give});
+    cur[static_cast<std::size_t>(donor)] -= give;
+    cur[static_cast<std::size_t>(taker)] += give;
+  }
+  return transfers;
+}
+
+void Group::charge_transfers(const std::vector<Transfer>& transfers,
+                             double words_per_item) const {
+  barrier();
+  const CostModel& cm = machine_->cost();
+  // Each member pays t_w for every word it sends or receives, plus one
+  // start-up per transfer it participates in. Transfers between disjoint
+  // pairs overlap; we charge per-member serialized cost, which matches the
+  // Eq. 3/4 bound of 2*(N/P)*t_w when counts are within [0, 2N/P].
+  std::vector<Time> member_cost(static_cast<std::size_t>(size()), 0.0);
+  std::vector<double> member_words(static_cast<std::size_t>(size()), 0.0);
+  double total_words = 0.0;
+  for (const Transfer& t : transfers) {
+    const double words = static_cast<double>(t.count) * words_per_item;
+    member_cost[static_cast<std::size_t>(t.from)] += cm.t_s + cm.t_w * words;
+    member_cost[static_cast<std::size_t>(t.to)] += cm.t_s + cm.t_w * words;
+    member_words[static_cast<std::size_t>(t.from)] += words;
+    member_words[static_cast<std::size_t>(t.to)] += words;
+    total_words += words;
+  }
+  for (int i = 0; i < size(); ++i) {
+    if (member_cost[static_cast<std::size_t>(i)] > 0.0) {
+      machine_->charge_comm(rank(i), member_cost[static_cast<std::size_t>(i)],
+                            member_words[static_cast<std::size_t>(i)],
+                            member_words[static_cast<std::size_t>(i)]);
+      machine_->charge_io(
+          rank(i), cm.t_io * member_words[static_cast<std::size_t>(i)]);
+    }
+  }
+  barrier();
+  trace(EventKind::LoadBalance, total_words, "load balance");
+}
+
+void Group::all_to_all_personalized(
+    const std::vector<std::vector<double>>& words_out) const {
+  assert(static_cast<int>(words_out.size()) == size());
+  if (size() <= 1) return;
+  barrier();
+  const CostModel& cm = machine_->cost();
+  const int p = size();
+  std::vector<double> sent(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> recv(static_cast<std::size_t>(p), 0.0);
+  for (int i = 0; i < p; ++i) {
+    assert(static_cast<int>(words_out[static_cast<std::size_t>(i)].size()) == p);
+    for (int j = 0; j < p; ++j) {
+      const double w =
+          words_out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      sent[static_cast<std::size_t>(i)] += w;
+      recv[static_cast<std::size_t>(j)] += w;
+    }
+  }
+  const int rounds = dimension();
+  double total = 0.0;
+  for (int i = 0; i < p; ++i) {
+    const double vol = std::max(sent[static_cast<std::size_t>(i)],
+                                recv[static_cast<std::size_t>(i)]);
+    const Time cost = cm.t_s * rounds + cm.t_w * vol;
+    machine_->charge_comm(rank(i), cost, sent[static_cast<std::size_t>(i)],
+                          recv[static_cast<std::size_t>(i)],
+                          static_cast<std::uint64_t>(rounds));
+    machine_->charge_io(rank(i),
+                        cm.t_io * (sent[static_cast<std::size_t>(i)] +
+                                   recv[static_cast<std::size_t>(i)]));
+    total += sent[static_cast<std::size_t>(i)];
+  }
+  barrier();
+  trace(EventKind::PointToPoint, total, "all-to-all personalized");
+}
+
+std::pair<Group, Group> Group::halves() const {
+  assert(size() >= 2);
+  if (is_subcube_) {
+    auto [a, b] = cube_.halves();
+    return {Group(*machine_, a), Group(*machine_, b)};
+  }
+  const int half = size() / 2;
+  std::vector<Rank> lo(ranks_.begin(), ranks_.begin() + half);
+  std::vector<Rank> hi(ranks_.begin() + half, ranks_.end());
+  return {Group(*machine_, std::move(lo)), Group(*machine_, std::move(hi))};
+}
+
+Group Group::merged_with(const Group& other) const {
+  std::vector<Rank> all = ranks_;
+  all.insert(all.end(), other.ranks_.begin(), other.ranks_.end());
+  Group g(*machine_, std::move(all));
+  g.barrier();
+  g.trace(EventKind::Rejoin, 0.0, "groups merged");
+  return g;
+}
+
+}  // namespace pdt::mpsim

@@ -1,0 +1,115 @@
+// A processor partition (Section 3.3 calls these "partitions") and its
+// collective operations.
+//
+// A Group is normally an aligned hypercube subcube; after an idle-partition
+// rejoin it may be an arbitrary rank set, in which case collective costs
+// use ceil(log2 |group|) dimensions (the paper's virtual-hypercube
+// embedding argument, Section 3.3).
+//
+// Collectives have barrier semantics: every member's clock first advances
+// to the group maximum (waiting ranks accrue idle time — this is where the
+// paper's load-imbalance penalty physically shows up), then the collective
+// cost is charged to every member.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpsim/machine.hpp"
+#include "mpsim/topology.hpp"
+
+namespace pdt::mpsim {
+
+/// A planned item transfer between two group members (indices into the
+/// group's rank list, not raw ranks).
+struct Transfer {
+  int from = 0;
+  int to = 0;
+  std::int64_t count = 0;
+};
+
+class Group {
+ public:
+  /// Group over an aligned subcube.
+  Group(Machine& m, Subcube cube);
+  /// Group over an explicit rank list (used after rejoins).
+  Group(Machine& m, std::vector<Rank> ranks);
+  /// Convenience: the whole machine as one group.
+  static Group whole(Machine& m);
+
+  [[nodiscard]] Machine& machine() const { return *machine_; }
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] Rank rank(int member) const { return ranks_[static_cast<std::size_t>(member)]; }
+  [[nodiscard]] const std::vector<Rank>& ranks() const { return ranks_; }
+  [[nodiscard]] bool is_subcube() const { return is_subcube_; }
+  /// Only valid when is_subcube().
+  [[nodiscard]] Subcube subcube() const { return cube_; }
+  [[nodiscard]] int dimension() const { return ceil_log2(size()); }
+
+  /// Max clock over members.
+  [[nodiscard]] Time horizon() const;
+  /// Advance all members to the group max clock, accounting idle time.
+  void barrier() const;
+
+  /// All-reduce (element-wise sum) over per-member buffers; bufs has one
+  /// pointer per member, all pointing at equal-length vectors. On return
+  /// every buffer holds the element-wise sum. Charges the Eq. 2 cost:
+  /// barrier, then ceil(log2 p) * (t_s + t_w * words) to each member.
+  /// `words` defaults to length * sizeof(T) / 4; pass it explicitly when
+  /// the wire format is narrower than the in-memory type (e.g. histogram
+  /// counts kept in int64 locally but 4-byte words on the wire).
+  void all_reduce_sum(const std::vector<std::int64_t*>& bufs, std::size_t len,
+                      double words = -1.0) const;
+  void all_reduce_sum(const std::vector<double*>& bufs, std::size_t len,
+                      double words = -1.0) const;
+
+  /// Cost-only all-reduce of `words` 4-byte words (for reductions whose
+  /// result the caller computes directly in the shared address space).
+  void charge_all_reduce(double words) const;
+  /// Cost-only one-to-all broadcast of `words` words.
+  void charge_broadcast(double words) const;
+
+  /// The "moving" phase of a partition split (Eq. 3): member i exchanges
+  /// with its partner across the highest free dimension of this subcube.
+  /// words_out[i] is the number of words member i sends to its partner;
+  /// pair cost = t_s + t_w * max(out_i, out_partner). Barrier first.
+  /// Requires an even-sized group (subcube when possible).
+  void pairwise_exchange(const std::vector<double>& words_out) const;
+
+  /// Plan an intra-group load balance: given per-member item counts,
+  /// produce transfers that leave every member with floor/ceil of the
+  /// mean (counts differing by at most 1). Pure function of `counts`.
+  [[nodiscard]] static std::vector<Transfer> plan_balance(
+      const std::vector<std::int64_t>& counts);
+
+  /// Charge the communication cost of executing `transfers`, each item
+  /// costing `words_per_item` words (Eq. 4: each member pays
+  /// t_w * words moved in or out, plus t_s per distinct transfer it
+  /// participates in). Barrier first and after.
+  void charge_transfers(const std::vector<Transfer>& transfers,
+                        double words_per_item) const;
+
+  /// All-to-all personalized exchange: words_out[i][j] words from member i
+  /// to member j. Cost per member: t_s * ceil(log2 p) + t_w * max(total
+  /// sent, total received) [KGGK94, optimal hypercube algorithm]. Barrier
+  /// semantics.
+  void all_to_all_personalized(
+      const std::vector<std::vector<double>>& words_out) const;
+
+  /// Split a subcube group into its two half subcubes.
+  [[nodiscard]] std::pair<Group, Group> halves() const;
+
+  /// Merge with another group (rejoin): the union rank set. Clocks are
+  /// synchronized to the union max.
+  [[nodiscard]] Group merged_with(const Group& other) const;
+
+ private:
+  void trace(EventKind kind, double words, const char* detail) const;
+
+  Machine* machine_;
+  std::vector<Rank> ranks_;
+  bool is_subcube_ = false;
+  Subcube cube_{};
+};
+
+}  // namespace pdt::mpsim

@@ -1,0 +1,69 @@
+#include "mpsim/machine.hpp"
+
+#include <algorithm>
+
+namespace pdt::mpsim {
+
+Machine::Machine(int nprocs, CostModel cost)
+    : cost_(cost),
+      clocks_(static_cast<std::size_t>(nprocs), 0.0),
+      stats_(static_cast<std::size_t>(nprocs)) {
+  assert(nprocs >= 1);
+}
+
+Time Machine::max_clock() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+Time Machine::min_clock() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+void Machine::charge_compute(Rank r, double units) {
+  charge_compute_time(r, units * cost_.t_c);
+}
+
+void Machine::charge_compute_time(Rank r, Time t) {
+  assert(t >= 0.0);
+  clocks_[idx(r)] += t;
+  stats_[idx(r)].compute_time += t;
+}
+
+void Machine::charge_comm(Rank r, Time t, double words_sent,
+                          double words_received, std::uint64_t messages) {
+  assert(t >= 0.0);
+  clocks_[idx(r)] += t;
+  auto& s = stats_[idx(r)];
+  s.comm_time += t;
+  s.words_sent += static_cast<std::uint64_t>(words_sent);
+  s.words_received += static_cast<std::uint64_t>(words_received);
+  s.messages_sent += messages;
+}
+
+void Machine::charge_io(Rank r, Time t) {
+  assert(t >= 0.0);
+  clocks_[idx(r)] += t;
+  stats_[idx(r)].io_time += t;
+}
+
+void Machine::wait_until(Rank r, Time t) {
+  const std::size_t i = idx(r);
+  if (clocks_[i] < t) {
+    stats_[i].idle_time += t - clocks_[i];
+    clocks_[i] = t;
+  }
+}
+
+RankStats Machine::total_stats() const {
+  RankStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+void Machine::reset() {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  std::fill(stats_.begin(), stats_.end(), RankStats{});
+  trace_.clear();
+}
+
+}  // namespace pdt::mpsim

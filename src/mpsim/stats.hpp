@@ -1,0 +1,40 @@
+// Per-rank and machine-wide accounting of where virtual time goes and how
+// much traffic the algorithms generate. The experiment harnesses use these
+// to report the compute/communication/idle breakdowns the paper discusses
+// qualitatively (Section 5).
+#pragma once
+
+#include <cstdint>
+
+#include "mpsim/cost_model.hpp"
+
+namespace pdt::mpsim {
+
+/// Accounting for a single simulated processor.
+struct RankStats {
+  Time compute_time = 0.0;  ///< local computation (t_c charges)
+  Time comm_time = 0.0;     ///< time inside communication operations
+  Time io_time = 0.0;       ///< disk I/O while relocating records (t_io)
+  Time idle_time = 0.0;     ///< time spent waiting at barriers / collectives
+
+  std::uint64_t words_sent = 0;     ///< 4-byte words this rank injected
+  std::uint64_t words_received = 0;
+  std::uint64_t messages_sent = 0;  ///< point-to-point + per-collective-round
+
+  [[nodiscard]] Time busy_time() const {
+    return compute_time + comm_time + io_time;
+  }
+
+  RankStats& operator+=(const RankStats& o) {
+    compute_time += o.compute_time;
+    comm_time += o.comm_time;
+    io_time += o.io_time;
+    idle_time += o.idle_time;
+    words_sent += o.words_sent;
+    words_received += o.words_received;
+    messages_sent += o.messages_sent;
+    return *this;
+  }
+};
+
+}  // namespace pdt::mpsim

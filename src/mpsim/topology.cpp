@@ -1,0 +1,37 @@
+#include "mpsim/topology.hpp"
+
+#include "mpsim/cost_model.hpp"
+
+namespace pdt::mpsim {
+
+int next_pow2(int p) {
+  int v = 1;
+  while (v < p) v <<= 1;
+  return v;
+}
+
+int Subcube::dimension() const { return ceil_log2(size); }
+
+std::pair<Subcube, Subcube> Subcube::halves() const {
+  assert(size >= 2);
+  const int half = size / 2;
+  return {Subcube{base, half}, Subcube{base + half, half}};
+}
+
+Rank Subcube::partner(Rank r) const {
+  assert(contains(r));
+  const int half = size / 2;
+  return base + ((r - base) ^ half);
+}
+
+std::vector<Rank> Subcube::ranks() const {
+  std::vector<Rank> out(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) out[static_cast<std::size_t>(i)] = base + i;
+  return out;
+}
+
+bool Subcube::valid() const {
+  return is_pow2(size) && base >= 0 && base % size == 0;
+}
+
+}  // namespace pdt::mpsim

@@ -1,0 +1,29 @@
+#include "mpsim/trace.hpp"
+
+#include <algorithm>
+
+namespace pdt::mpsim {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Compute: return "compute";
+    case EventKind::AllReduce: return "all-reduce";
+    case EventKind::Broadcast: return "broadcast";
+    case EventKind::PointToPoint: return "point-to-point";
+    case EventKind::MovingPhase: return "moving-phase";
+    case EventKind::LoadBalance: return "load-balance";
+    case EventKind::PartitionSplit: return "partition-split";
+    case EventKind::Rejoin: return "rejoin";
+    case EventKind::Barrier: return "barrier";
+    case EventKind::Note: return "note";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(EventKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [k](const TraceEvent& e) { return e.kind == k; }));
+}
+
+}  // namespace pdt::mpsim

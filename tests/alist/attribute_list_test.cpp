@@ -1,0 +1,73 @@
+#include "alist/attribute_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/golf.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::alist {
+namespace {
+
+TEST(AttributeLists, ContinuousListsAreSorted) {
+  const data::Dataset ds = data::quest_generate(500, {.seed = 1});
+  const AttributeLists lists(ds);
+  for (int a = 0; a < lists.num_attributes(); ++a) {
+    if (!ds.schema().attr(a).is_continuous()) continue;
+    const auto& list = lists.list(a);
+    ASSERT_EQ(list.size(), ds.num_rows());
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].value, list[i].value);
+    }
+  }
+}
+
+TEST(AttributeLists, EveryRidAppearsOncePerList) {
+  const data::Dataset ds = data::quest_generate(300, {.seed = 2});
+  const AttributeLists lists(ds);
+  for (int a = 0; a < lists.num_attributes(); ++a) {
+    std::set<data::RowId> rids;
+    for (const Entry& e : lists.list(a)) {
+      EXPECT_TRUE(rids.insert(e.rid).second);
+    }
+    EXPECT_EQ(rids.size(), ds.num_rows());
+  }
+}
+
+TEST(AttributeLists, EntriesCarryCorrectValueAndClass) {
+  const data::Dataset golf = data::golf_dataset();
+  const AttributeLists lists(golf);
+  for (const Entry& e : lists.list(data::golf_attr::kHumidity)) {
+    EXPECT_DOUBLE_EQ(e.value, golf.cont(data::golf_attr::kHumidity, e.rid));
+    EXPECT_EQ(e.label, golf.label(e.rid));
+  }
+  for (const Entry& e : lists.list(data::golf_attr::kOutlook)) {
+    EXPECT_DOUBLE_EQ(e.value,
+                     static_cast<double>(golf.cat(data::golf_attr::kOutlook,
+                                                  e.rid)));
+  }
+}
+
+TEST(AttributeLists, SortTiesBrokenByRid) {
+  const data::Dataset golf = data::golf_dataset();
+  const AttributeLists lists(golf);
+  const auto& list = lists.list(data::golf_attr::kHumidity);
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    if (list[i - 1].value == list[i].value) {
+      EXPECT_LT(list[i - 1].rid, list[i].rid);
+    }
+  }
+}
+
+TEST(ClassList, AssignAndQuery) {
+  ClassList cl(5, 0);
+  EXPECT_EQ(cl.size(), 5u);
+  EXPECT_EQ(cl.node_of(3), 0);
+  cl.assign(3, 7);
+  EXPECT_EQ(cl.node_of(3), 7);
+  EXPECT_EQ(cl.node_of(2), 0);
+}
+
+}  // namespace
+}  // namespace pdt::alist

@@ -1,0 +1,112 @@
+#include "alist/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alist/presorted_builder.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::alist {
+namespace {
+
+data::Dataset workload(std::size_t n = 1200) {
+  return data::quest_generate(n, {.function = 2, .seed = 13});
+}
+
+class SchemeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<HashTableScheme, int>> {};
+
+TEST_P(SchemeEquivalenceTest, GrowsTheSerialTree) {
+  const auto [scheme, procs] = GetParam();
+  const data::Dataset ds = workload();
+  ParallelSprintOptions opt;
+  opt.scheme = scheme;
+  opt.num_procs = procs;
+  opt.grow.max_depth = 10;
+  const ParallelSprintResult res = build_parallel_sprint(ds, opt);
+
+  const AttributeLists lists(ds);
+  const dtree::Tree reference = grow_presorted(lists, opt.grow);
+  EXPECT_TRUE(res.tree.same_as(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndProcs, SchemeEquivalenceTest,
+    ::testing::Combine(::testing::Values(HashTableScheme::ReplicatedSprint,
+                                         HashTableScheme::DistributedScalParC),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+TEST(ParallelSprint, ReplicatedHashIsFullSizePerProcessor) {
+  const data::Dataset ds = workload();
+  ParallelSprintOptions opt;
+  opt.num_procs = 8;
+  opt.grow.max_depth = 8;
+  opt.scheme = HashTableScheme::ReplicatedSprint;
+  const auto sprint = build_parallel_sprint(ds, opt);
+  opt.scheme = HashTableScheme::DistributedScalParC;
+  const auto scalparc = build_parallel_sprint(ds, opt);
+
+  // "each processor requires O(N) memory to store the hash table" vs.
+  // ScalParC's O(N/P) distributed table.
+  EXPECT_DOUBLE_EQ(sprint.peak_hash_words_per_proc,
+                   static_cast<double>(ds.num_rows()));
+  EXPECT_DOUBLE_EQ(scalparc.peak_hash_words_per_proc,
+                   static_cast<double>(ds.num_rows()) / 8);
+}
+
+TEST(ParallelSprint, ScalParCCommunicatesLessAndRunsFaster) {
+  const data::Dataset ds = workload(4000);
+  ParallelSprintOptions opt;
+  opt.num_procs = 16;
+  opt.grow.max_depth = 10;
+  opt.scheme = HashTableScheme::ReplicatedSprint;
+  const auto sprint = build_parallel_sprint(ds, opt);
+  opt.scheme = HashTableScheme::DistributedScalParC;
+  const auto scalparc = build_parallel_sprint(ds, opt);
+
+  EXPECT_LT(scalparc.hash_comm_words, sprint.hash_comm_words);
+  EXPECT_LT(scalparc.parallel_time, sprint.parallel_time);
+  EXPECT_TRUE(scalparc.tree.same_as(sprint.tree));
+}
+
+TEST(ParallelSprint, SprintHashTrafficGrowsWithP) {
+  // The replicated table is broadcast to every processor: total traffic
+  // scales with P, the unscalability the paper calls out.
+  const data::Dataset ds = workload(2000);
+  double last = 0.0;
+  for (const int p : {2, 4, 8}) {
+    ParallelSprintOptions opt;
+    opt.num_procs = p;
+    opt.grow.max_depth = 8;
+    const auto res = build_parallel_sprint(ds, opt);
+    EXPECT_GT(res.hash_comm_words, last);
+    last = res.hash_comm_words;
+  }
+}
+
+TEST(ParallelSprint, ScalParCHashTrafficIndependentOfP) {
+  const data::Dataset ds = workload(2000);
+  ParallelSprintOptions opt;
+  opt.grow.max_depth = 8;
+  opt.scheme = HashTableScheme::DistributedScalParC;
+  opt.num_procs = 2;
+  const auto p2 = build_parallel_sprint(ds, opt);
+  opt.num_procs = 16;
+  const auto p16 = build_parallel_sprint(ds, opt);
+  EXPECT_DOUBLE_EQ(p2.hash_comm_words, p16.hash_comm_words)
+      << "total update traffic is O(N) regardless of P => O(N/P) each";
+}
+
+TEST(ParallelSprint, SpeedsUpWithProcessors) {
+  const data::Dataset ds = workload(4000);
+  ParallelSprintOptions opt;
+  opt.grow.max_depth = 10;
+  opt.scheme = HashTableScheme::DistributedScalParC;
+  opt.num_procs = 1;
+  const auto serial = build_parallel_sprint(ds, opt);
+  opt.num_procs = 8;
+  const auto par = build_parallel_sprint(ds, opt);
+  EXPECT_GT(serial.parallel_time / par.parallel_time, 3.0);
+}
+
+}  // namespace
+}  // namespace pdt::alist

@@ -1,0 +1,112 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 3) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(Vertical, MatchesSerialTree) {
+  const data::Dataset ds = quest_binned(2000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_vertical(ds, o);
+    EXPECT_TRUE(res.tree.same_as(serial.tree)) << "P=" << p;
+  }
+}
+
+TEST(Vertical, NoRecordMovementAndNoHistogramTraffic) {
+  const data::Dataset ds = quest_binned(2000);
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build_vertical(ds, opt);
+  EXPECT_EQ(res.records_moved, 0);
+  EXPECT_DOUBLE_EQ(res.histogram_words, 0.0)
+      << "statistics never cross processors under vertical partitioning";
+}
+
+TEST(Vertical, DoesNotScaleBeyondTheAttributeCount) {
+  // "this scheme does not scale well with increasing number of
+  // processors": with 9 attributes, P=16 cannot beat P=9 by much.
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  auto speedup = [&](int p) {
+    ParOptions o;
+    o.num_procs = p;
+    return serial.parallel_time / build_vertical(ds, o).parallel_time;
+  };
+  const double s9 = speedup(9);
+  const double s16 = speedup(16);
+  EXPECT_LT(s16, s9 * 1.05) << "extra processors idle";
+  EXPECT_LT(s16, 9.5) << "cannot exceed the attribute count";
+}
+
+TEST(Vertical, PerformsReasonablyAtSmallP) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  ParOptions o;
+  o.num_procs = 3;
+  const ParResult res = build_vertical(ds, o);
+  EXPECT_GT(serial.parallel_time / res.parallel_time, 1.5)
+      << "load-balanced and cheap to communicate at small P";
+}
+
+TEST(HostWorker, MatchesSerialTree) {
+  const data::Dataset ds = quest_binned(2000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_host_worker(ds, o);
+    EXPECT_TRUE(res.tree.same_as(serial.tree)) << "P=" << p;
+  }
+}
+
+TEST(HostWorker, HostSerializationBeatenBySyncAllReduce) {
+  // PDT pays (P-1) serialized messages where the synchronous approach
+  // pays a log P collective — the paper's "additional communication
+  // bottleneck".
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 16;
+  const ParResult pdt_res = build_host_worker(ds, opt);
+  const ParResult sync_res = build_sync(ds, opt);
+  EXPECT_GT(pdt_res.parallel_time, sync_res.parallel_time);
+}
+
+TEST(HostWorker, HostHoldsNoDataButStaysBusy) {
+  const data::Dataset ds = quest_binned(1500);
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build_host_worker(ds, opt);
+  EXPECT_GT(res.per_rank[0].comm_time, 0.0);
+  EXPECT_GT(res.per_rank[0].compute_time, 0.0) << "gain evaluation";
+  EXPECT_DOUBLE_EQ(res.per_rank[0].io_time, 0.0) << "no local records";
+  EXPECT_GT(res.per_rank[1].io_time, 0.0);
+}
+
+TEST(HostWorker, RecordsNeverMove) {
+  const data::Dataset ds = quest_binned(1500);
+  ParOptions opt;
+  opt.num_procs = 8;
+  const ParResult res = build_host_worker(ds, opt);
+  EXPECT_EQ(res.records_moved, 0);
+}
+
+}  // namespace
+}  // namespace pdt::core

@@ -1,0 +1,141 @@
+#include "core/cost_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::core {
+namespace {
+
+AnalysisInput paper_input(double n, int p) {
+  AnalysisInput in;
+  in.N = n;
+  in.P = p;
+  in.A_d = 9;
+  in.C = 2;
+  in.M = 12;  // mean of {13,14,6,5,20,9,11,10,20}
+  in.L1 = 20;
+  return in;
+}
+
+TEST(CostAnalysis, FrontierIsCappedByRecords) {
+  AnalysisInput in = paper_input(1600, 4);
+  in.leaf_records = 16.0;
+  EXPECT_DOUBLE_EQ(in.frontier(0), 1.0);
+  EXPECT_DOUBLE_EQ(in.frontier(3), 8.0);
+  EXPECT_DOUBLE_EQ(in.frontier(10), 100.0) << "cap at N / leaf_records";
+}
+
+TEST(CostAnalysis, Eq1ScalesWithRecordsOverProcessors) {
+  const AnalysisInput in = paper_input(1e6, 16);
+  const double t16 = eq1_local_compute(in, in.N, 16, 1.0);
+  const double t1 = eq1_local_compute(in, in.N, 1, 1.0);
+  EXPECT_NEAR(t1 / t16, 16.0, 0.1);
+}
+
+TEST(CostAnalysis, Eq2ZeroForOneProcessorAndLogGrowth) {
+  const AnalysisInput in = paper_input(1e6, 16);
+  EXPECT_DOUBLE_EQ(eq2_comm_per_level(in, 1, 64.0), 0.0);
+  const double c4 = eq2_comm_per_level(in, 4, 64.0);
+  const double c16 = eq2_comm_per_level(in, 16, 64.0);
+  EXPECT_DOUBLE_EQ(c16 / c4, 2.0) << "log2(16)/log2(4)";
+}
+
+TEST(CostAnalysis, Eq2BufferLimitAddsStartups) {
+  const AnalysisInput in = paper_input(1e6, 8);
+  AnalysisInput tight = in;
+  tight.buffer_nodes = 10;
+  const double loose = eq2_comm_per_level(in, 8, 1000.0);
+  const double strict = eq2_comm_per_level(tight, 8, 1000.0);
+  EXPECT_GT(strict, loose);
+}
+
+TEST(CostAnalysis, MovingAndBalancingBoundsMatchEq3Eq4) {
+  const AnalysisInput in = paper_input(1e6, 16);
+  const double words = 13.0;
+  EXPECT_DOUBLE_EQ(
+      eq3_moving(in, in.N, 16, words),
+      2.0 * (1e6 / 16) * words * in.cost.record_move_word_cost());
+  EXPECT_DOUBLE_EQ(eq3_moving(in, in.N, 16, words),
+                   eq4_load_balance(in, in.N, 16, words));
+}
+
+TEST(CostAnalysis, SerialGrowsLinearlyInN) {
+  // In the scan-dominated regime (the paper's Section 4.1 assumption that
+  // the tree size is independent of N) serial time is theta(N) * L1.
+  AnalysisInput a = paper_input(1e6, 1);
+  a.L1 = 12;
+  AnalysisInput b = paper_input(2e6, 1);
+  b.L1 = 12;
+  EXPECT_NEAR(predicted_serial_time(b) / predicted_serial_time(a), 2.0,
+              0.05);
+}
+
+TEST(CostAnalysis, HybridBeatsSyncAtScale) {
+  const AnalysisInput in = paper_input(8e5, 16);
+  const double sync = predicted_sync_time(in);
+  const double hybrid = predicted_hybrid_time(in, 13.0);
+  EXPECT_LT(hybrid, sync);
+}
+
+TEST(CostAnalysis, HybridSpeedupImprovesWithP) {
+  double last = 0.0;
+  for (const int p : {2, 4, 8, 16, 32, 64, 128}) {
+    const AnalysisInput in = paper_input(8e5, p);
+    const double speedup =
+        predicted_serial_time(in) / predicted_hybrid_time(in, 13.0);
+    EXPECT_GT(speedup, last) << "P=" << p;
+    last = speedup;
+  }
+  EXPECT_GT(last, 20.0) << "keeps climbing through P=128";
+}
+
+TEST(CostAnalysis, SyncSpeedupSaturates) {
+  // The model reproduces Figure 6's sync behaviour at the paper's scale:
+  // decent speedup at P=2, decaying efficiency as P grows.
+  const double s2 = predicted_serial_time(paper_input(8e5, 2)) /
+                    predicted_sync_time(paper_input(8e5, 2));
+  const double s16 = predicted_serial_time(paper_input(8e5, 16)) /
+                     predicted_sync_time(paper_input(8e5, 16));
+  EXPECT_GT(s2, 1.2) << "sync is worthwhile at 2 processors";
+  EXPECT_GT(s2 / 2.0, s16 / 16.0) << "efficiency decays";
+}
+
+TEST(CostAnalysis, IsoefficiencyIsPLogP) {
+  const AnalysisInput in = paper_input(1e6, 1);
+  const double n16 = isoefficiency_records(in, 16, 0.8);
+  const double n64 = isoefficiency_records(in, 64, 0.8);
+  // N(P) / (P log P) constant: ratio = (64*6)/(16*4) = 6.
+  EXPECT_NEAR(n64 / n16, 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(isoefficiency_records(in, 1, 0.8), 0.0);
+}
+
+TEST(CostAnalysis, IsoefficiencyGrowsWithTargetEfficiency) {
+  const AnalysisInput in = paper_input(1e6, 1);
+  EXPECT_LT(isoefficiency_records(in, 32, 0.5),
+            isoefficiency_records(in, 32, 0.9));
+}
+
+TEST(CostAnalysis, ModelTracksSimulationOrdering) {
+  // The closed-form model and the simulator must agree on who wins at 16
+  // processors.
+  const data::Dataset ds = data::discretize_uniform(
+      data::quest_generate(6000, {.function = 2, .seed = 3}),
+      data::quest_paper_bins());
+  ParOptions opt;
+  opt.num_procs = 16;
+  const ParResult sync = build_sync(ds, opt);
+  const ParResult hybrid = build_hybrid(ds, opt);
+
+  AnalysisInput in = paper_input(6000, 16);
+  in.L1 = sync.tree.depth();
+  const double model_sync = predicted_sync_time(in);
+  const double model_hybrid = predicted_hybrid_time(in, 10.0);
+  EXPECT_EQ(model_hybrid < model_sync,
+            hybrid.parallel_time < sync.parallel_time);
+}
+
+}  // namespace
+}  // namespace pdt::core

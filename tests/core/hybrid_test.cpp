@@ -1,0 +1,185 @@
+#include "core/hybrid_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 11) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(HybridTree, MatchesSerialTree) {
+  const data::Dataset ds = quest_binned(3000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_hybrid(ds, o);
+    EXPECT_TRUE(res.tree.same_as(serial.tree)) << "P=" << p;
+  }
+}
+
+TEST(HybridTree, SplitsPartitionsOnLargerRuns) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 8;
+  const ParResult res = build_hybrid(ds, opt);
+  EXPECT_GT(res.partition_splits, 0);
+  EXPECT_GT(res.records_moved, 0);
+}
+
+TEST(HybridTree, MovesLessDataThanPartitioned) {
+  // The hybrid delays partitioning until communication justifies it, so it
+  // shuffles far fewer records than the eager partitioned approach.
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 8;
+  const ParResult hybrid = build_hybrid(ds, opt);
+  const ParResult part = build_partitioned(ds, opt);
+  EXPECT_LT(hybrid.records_moved, part.records_moved);
+}
+
+TEST(HybridTree, FasterThanBothBasicFormulationsAt16Procs) {
+  // Figure 6's headline: the hybrid dominates at higher processor counts.
+  const data::Dataset ds = quest_binned(8000);
+  ParOptions opt;
+  opt.num_procs = 16;
+  const ParResult hybrid = build_hybrid(ds, opt);
+  const ParResult sync = build_sync(ds, opt);
+  const ParResult part = build_partitioned(ds, opt);
+  EXPECT_LT(hybrid.parallel_time, sync.parallel_time);
+  EXPECT_LT(hybrid.parallel_time, part.parallel_time);
+}
+
+TEST(HybridTree, SpeedupImprovesWithProcessors) {
+  const data::Dataset ds = quest_binned(8000);
+  ParOptions base;
+  const auto series =
+      speedup_series(Formulation::Hybrid, ds, base, {1, 2, 4, 8, 16});
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].speedup, series[i - 1].speedup)
+        << "P=" << series[i].procs;
+  }
+  EXPECT_GT(series.back().speedup, 4.0);
+}
+
+TEST(HybridTree, ParallelTimeBounds) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_hybrid(ds, o);
+    EXPECT_GE(res.parallel_time, serial.parallel_time / p * 0.9999);
+    EXPECT_LE(res.parallel_time, serial.parallel_time * 1.0001);
+  }
+}
+
+TEST(HybridTree, ExtremeRatiosDegradeRuntime) {
+  // Figure 7: runtime is minimized near ratio 1.0; splitting far too early
+  // or far too late costs time.
+  const data::Dataset ds = quest_binned(8000);
+  auto run = [&](double ratio) {
+    ParOptions opt;
+    opt.num_procs = 8;
+    opt.split_ratio = ratio;
+    return build_hybrid(ds, opt).parallel_time;
+  };
+  const double at_1 = run(1.0);
+  const double early = run(0.01);
+  const double late = run(256.0);
+  EXPECT_LT(at_1, early * 1.02);
+  EXPECT_LT(at_1, late * 1.02);
+}
+
+TEST(HybridTree, RejoinFiresUnderEagerSplittingAndCanBeDisabled) {
+  // Eager splitting idles partitions early, so busy partitions recruit
+  // them at their next splitting round (Section 3.3 / 4.2).
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions on;
+  on.num_procs = 16;
+  on.split_ratio = 0.005;
+  ParOptions off = on;
+  off.rejoin_idle = false;
+  const ParResult with = build_hybrid(ds, on);
+  const ParResult without = build_hybrid(ds, off);
+  EXPECT_GT(with.rejoins, 0);
+  EXPECT_EQ(without.rejoins, 0);
+  // Both still grow the right tree, and help never hurts.
+  EXPECT_TRUE(with.tree.same_as(without.tree));
+  EXPECT_LE(with.parallel_time, without.parallel_time * 1.05);
+}
+
+TEST(HybridTree, SingletonPartitionsCannotRecruitHelp) {
+  // A p=1 partition pays no communication, so its splitting criterion
+  // never fires and idle processors cannot join it — the structural
+  // penalty of splitting far too early (Figure 7's left side).
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.split_ratio = 0.0001;  // cascade to singletons almost immediately
+  const ParResult res = build_hybrid(ds, opt);
+  const ParResult serial = build_serial(ds, opt);
+  EXPECT_TRUE(res.tree.same_as(serial.tree));
+  EXPECT_GT(res.totals.idle_time, 0.0);
+}
+
+TEST(HybridTree, LoadBalanceTogglePreservesTree) {
+  const data::Dataset ds = quest_binned(3000);
+  ParOptions on;
+  on.num_procs = 8;
+  ParOptions off = on;
+  off.load_balance = false;
+  const ParResult a = build_hybrid(ds, on);
+  const ParResult b = build_hybrid(ds, off);
+  EXPECT_TRUE(a.tree.same_as(b.tree));
+}
+
+TEST(HybridTree, OneProcessorIsSerial) {
+  const data::Dataset ds = quest_binned(1000);
+  ParOptions opt;
+  opt.num_procs = 1;
+  const ParResult res = build_hybrid(ds, opt);
+  const ParResult serial = build_serial(ds, opt);
+  EXPECT_TRUE(res.tree.same_as(serial.tree));
+  EXPECT_DOUBLE_EQ(res.parallel_time, serial.parallel_time);
+  EXPECT_EQ(res.partition_splits, 0);
+}
+
+TEST(HybridTree, TraceRecordsTheLifecycle) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 8;
+  opt.trace = true;
+  const ParResult res = build_hybrid(ds, opt);
+  ASSERT_FALSE(res.trace.empty());
+  int reduces = 0, moves = 0, splits = 0;
+  for (const mpsim::TraceEvent& ev : res.trace) {
+    reduces += ev.kind == mpsim::EventKind::AllReduce ? 1 : 0;
+    moves += ev.kind == mpsim::EventKind::MovingPhase ? 1 : 0;
+    splits += ev.kind == mpsim::EventKind::PartitionSplit ? 1 : 0;
+  }
+  EXPECT_GT(reduces, 0) << "synchronous phase";
+  EXPECT_EQ(splits, res.partition_splits);
+  EXPECT_EQ(moves, res.partition_splits)
+      << "one moving phase per halving split";
+  // Tracing must not perturb the run.
+  ParOptions silent = opt;
+  silent.trace = false;
+  const ParResult quiet = build_hybrid(ds, silent);
+  EXPECT_TRUE(quiet.trace.empty());
+  EXPECT_DOUBLE_EQ(quiet.parallel_time, res.parallel_time);
+  EXPECT_TRUE(quiet.tree.same_as(res.tree));
+}
+
+}  // namespace
+}  // namespace pdt::core

@@ -1,0 +1,103 @@
+#include "core/partitioned_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 11) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(PartitionedTree, MatchesSerialTree) {
+  const data::Dataset ds = quest_binned(3000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_partitioned(ds, o);
+    EXPECT_TRUE(res.tree.same_as(serial.tree)) << "P=" << p;
+  }
+}
+
+TEST(PartitionedTree, MovesDataDuringPartitioning) {
+  const data::Dataset ds = quest_binned(2000);
+  ParOptions opt;
+  opt.num_procs = 8;
+  const ParResult res = build_partitioned(ds, opt);
+  EXPECT_GT(res.records_moved, 0)
+      << "shuffles are the cost of the partitioned approach";
+  EXPECT_GT(res.partition_splits, 0);
+}
+
+TEST(PartitionedTree, DataMovementGrowsWithProcessors) {
+  // "As more processors are involved, it takes longer to reach the point
+  // where all the processors work on their local data only" (Section 5).
+  const data::Dataset ds = quest_binned(2000);
+  std::int64_t last = 0;
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions opt;
+    opt.num_procs = p;
+    const ParResult res = build_partitioned(ds, opt);
+    EXPECT_GE(res.records_moved, last) << "P=" << p;
+    last = res.records_moved;
+  }
+}
+
+TEST(PartitionedTree, EventuallyCommunicationFree) {
+  // Once every processor owns a subtree, communication stops: total comm
+  // time is concentrated in the early splits and bounded well below the
+  // busy time for a reasonable machine.
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build_partitioned(ds, opt);
+  EXPECT_GT(res.totals.compute_time, res.totals.comm_time);
+}
+
+TEST(PartitionedTree, ParallelTimeBounds) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_partitioned(ds, o);
+    EXPECT_GE(res.parallel_time, serial.parallel_time / p * 0.9999);
+    EXPECT_LE(res.parallel_time, serial.parallel_time * 1.5)
+        << "moving costs should not blow past serial at these sizes";
+  }
+}
+
+TEST(PartitionedTree, OneProcessorDegeneratesToSerial) {
+  const data::Dataset ds = quest_binned(1000);
+  ParOptions opt;
+  opt.num_procs = 1;
+  const ParResult res = build_partitioned(ds, opt);
+  const ParResult serial = build_serial(ds, opt);
+  EXPECT_TRUE(res.tree.same_as(serial.tree));
+  EXPECT_DOUBLE_EQ(res.parallel_time, serial.parallel_time);
+  EXPECT_EQ(res.records_moved, 0);
+}
+
+TEST(PartitionedTree, WorksWithNonPowerOfTwoProcessors) {
+  const data::Dataset ds = quest_binned(1500);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {3, 5, 6, 7}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_partitioned(ds, o);
+    EXPECT_TRUE(res.tree.same_as(serial.tree)) << "P=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace pdt::core

@@ -1,0 +1,115 @@
+#include "core/sync_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "dtree/builder.hpp"
+#include "dtree/metrics.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 11) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(SyncTree, OneProcessorMatchesSerialBfsBuilder) {
+  const data::Dataset ds = quest_binned(3000);
+  ParOptions opt;
+  opt.num_procs = 1;
+  const ParResult res = build_sync(ds, opt);
+  const dtree::Tree reference = dtree::grow_bfs(ds, opt.grow);
+  EXPECT_TRUE(res.tree.same_as(reference))
+      << "the parallel code on P=1 must be the serial algorithm";
+  EXPECT_DOUBLE_EQ(res.totals.comm_time, 0.0);
+}
+
+TEST(SyncTree, NoRecordsEverMove) {
+  const data::Dataset ds = quest_binned(2000);
+  ParOptions opt;
+  opt.num_procs = 8;
+  const ParResult res = build_sync(ds, opt);
+  EXPECT_EQ(res.records_moved, 0)
+      << "the synchronous approach's defining advantage";
+  EXPECT_EQ(res.partition_splits, 0);
+  EXPECT_EQ(res.rejoins, 0);
+}
+
+TEST(SyncTree, CommunicationGrowsWithProcessors) {
+  const data::Dataset ds = quest_binned(2000);
+  double last = 0.0;
+  for (const int p : {2, 4, 8}) {
+    ParOptions opt;
+    opt.num_procs = p;
+    const ParResult res = build_sync(ds, opt);
+    EXPECT_GT(res.totals.comm_time, last);
+    last = res.totals.comm_time;
+  }
+}
+
+TEST(SyncTree, ParallelTimeBounds) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  const ParResult serial = build_serial(ds, opt);
+  for (const int p : {2, 4, 8, 16}) {
+    ParOptions o;
+    o.num_procs = p;
+    const ParResult res = build_sync(ds, o);
+    EXPECT_LE(res.parallel_time, serial.parallel_time * 1.0001)
+        << "P=" << p << ": parallel no slower than serial (same charges)";
+    EXPECT_GE(res.parallel_time, serial.parallel_time / p * 0.9999)
+        << "P=" << p << ": cannot beat perfect speedup";
+  }
+}
+
+TEST(SyncTree, LevelsMatchTreeDepth) {
+  const data::Dataset ds = quest_binned(1000);
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build_sync(ds, opt);
+  EXPECT_EQ(res.levels, res.tree.depth() + 1)
+      << "one synchronous pass per tree level";
+}
+
+TEST(SyncTree, HistogramVolumeIndependentOfP) {
+  const data::Dataset ds = quest_binned(1500);
+  ParOptions a;
+  a.num_procs = 2;
+  ParOptions b;
+  b.num_procs = 8;
+  const ParResult ra = build_sync(ds, a);
+  const ParResult rb = build_sync(ds, b);
+  EXPECT_DOUBLE_EQ(ra.histogram_words, rb.histogram_words)
+      << "identical tree -> identical per-flush reduction volume";
+}
+
+TEST(SyncTree, ZeroCommMachineScalesNearlyPerfectly) {
+  const data::Dataset ds = quest_binned(8000);
+  ParOptions opt;
+  opt.cost = mpsim::CostModel::zero_comm();
+  // A modest tree keeps the replicated table-initialization term of Eq. 1
+  // (which no formulation parallelizes) from dominating at this scale.
+  opt.grow.min_records = 16;
+  const ParResult serial = build_serial(ds, opt);
+  opt.num_procs = 8;
+  const ParResult res = build_sync(ds, opt);
+  const double speedup = serial.parallel_time / res.parallel_time;
+  EXPECT_GT(speedup, 5.0)
+      << "with free communication only load imbalance and replicated "
+         "table work remain";
+}
+
+TEST(SyncTree, TrainedTreeClassifiesAccurately) {
+  const data::Dataset ds = quest_binned(4000);
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build_sync(ds, opt);
+  EXPECT_GT(dtree::evaluate(res.tree, ds).accuracy(), 0.97);
+}
+
+}  // namespace
+}  // namespace pdt::core

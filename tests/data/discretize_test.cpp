@@ -1,0 +1,150 @@
+#include "data/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/quest.hpp"
+
+namespace pdt::data {
+namespace {
+
+TEST(UniformBoundaries, EvenSpacing) {
+  const auto cuts = uniform_boundaries(0.0, 10.0, 5);
+  ASSERT_EQ(cuts.size(), 4u);
+  EXPECT_DOUBLE_EQ(cuts[0], 2.0);
+  EXPECT_DOUBLE_EQ(cuts[1], 4.0);
+  EXPECT_DOUBLE_EQ(cuts[2], 6.0);
+  EXPECT_DOUBLE_EQ(cuts[3], 8.0);
+}
+
+TEST(UniformBoundaries, SingleBinHasNoCuts) {
+  EXPECT_TRUE(uniform_boundaries(0.0, 1.0, 1).empty());
+}
+
+TEST(BinOf, BoundaryValuesGoRight) {
+  const std::vector<double> cuts{2.0, 4.0};
+  EXPECT_EQ(bin_of(1.9, cuts), 0);
+  EXPECT_EQ(bin_of(2.0, cuts), 1);
+  EXPECT_EQ(bin_of(3.9, cuts), 1);
+  EXPECT_EQ(bin_of(4.0, cuts), 2);
+  EXPECT_EQ(bin_of(100.0, cuts), 2);
+  EXPECT_EQ(bin_of(-5.0, cuts), 0);
+}
+
+TEST(DiscretizeUniform, QuestPaperBinsProduceAllCategorical) {
+  const Dataset raw = quest_generate(2000, {.function = 2, .seed = 3});
+  const Dataset ds = discretize_uniform(raw, quest_paper_bins());
+  EXPECT_EQ(ds.num_rows(), raw.num_rows());
+  EXPECT_EQ(ds.schema().num_categorical(), 9);
+  EXPECT_EQ(ds.schema().num_continuous(), 0);
+  // The paper's bin counts: salary 13, commission 14, age 6, hvalue 11,
+  // hyears 10, loan 20; the 3 nominal attributes keep their cardinality.
+  EXPECT_EQ(ds.schema().attr(quest_attr::kSalary).cardinality, 13);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kCommission).cardinality, 14);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kAge).cardinality, 6);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kElevel).cardinality, 5);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kCar).cardinality, 20);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kZipcode).cardinality, 9);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kHvalue).cardinality, 11);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kHyears).cardinality, 10);
+  EXPECT_EQ(ds.schema().attr(quest_attr::kLoan).cardinality, 20);
+  // Binned continuous attributes keep their order; nominal ones do not.
+  EXPECT_TRUE(ds.schema().attr(quest_attr::kSalary).ordered);
+  EXPECT_FALSE(ds.schema().attr(quest_attr::kCar).ordered);
+}
+
+TEST(DiscretizeUniform, PreservesLabelsAndMonotoneBinning) {
+  const Dataset raw = quest_generate(1000, {.function = 2, .seed = 4});
+  const Dataset ds = discretize_uniform(raw, quest_paper_bins());
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    EXPECT_EQ(ds.label(i), raw.label(i));
+    const int bin = ds.cat(quest_attr::kAge, i);
+    EXPECT_GE(bin, 0);
+    EXPECT_LT(bin, 6);
+  }
+  // Monotone: a larger raw value never lands in a smaller bin.
+  for (std::size_t i = 0; i + 1 < ds.num_rows(); ++i) {
+    const double va = raw.cont(quest_attr::kAge, i);
+    const double vb = raw.cont(quest_attr::kAge, i + 1);
+    const int ba = ds.cat(quest_attr::kAge, i);
+    const int bb = ds.cat(quest_attr::kAge, i + 1);
+    if (va < vb) {
+      EXPECT_LE(ba, bb);
+    } else if (va > vb) {
+      EXPECT_GE(ba, bb);
+    }
+  }
+}
+
+TEST(QuantileBoundaries, EqualWeightsSplitEvenly) {
+  std::vector<WeightedValue> vals;
+  for (int i = 0; i < 100; ++i) {
+    vals.push_back({static_cast<double>(i), 1.0});
+  }
+  const auto cuts = quantile_boundaries(vals, 4);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_NEAR(cuts[0], 24.5, 1.0);
+  EXPECT_NEAR(cuts[1], 49.5, 1.0);
+  EXPECT_NEAR(cuts[2], 74.5, 1.0);
+}
+
+TEST(QuantileBoundaries, SkewedWeights) {
+  // Nearly all mass at value 0: the first boundary must hug it.
+  std::vector<WeightedValue> vals{{0.0, 97.0}, {1.0, 1.0}, {2.0, 1.0},
+                                  {3.0, 1.0}};
+  const auto cuts = quantile_boundaries(vals, 2);
+  ASSERT_LE(cuts.size(), 1u);
+  if (!cuts.empty()) {
+    EXPECT_LT(cuts[0], 1.0);
+  }
+}
+
+TEST(QuantileBoundaries, EmptyAndZeroWeight) {
+  EXPECT_TRUE(quantile_boundaries({}, 4).empty());
+  EXPECT_TRUE(quantile_boundaries({{1.0, 0.0}}, 4).empty());
+}
+
+TEST(KMeansBoundaries, SeparatesTwoClearClusters) {
+  std::vector<WeightedValue> vals;
+  for (int i = 0; i < 10; ++i) {
+    vals.push_back({static_cast<double>(i), 1.0});        // cluster near 5
+    vals.push_back({100.0 + static_cast<double>(i), 1.0});  // near 105
+  }
+  const auto cuts = kmeans_boundaries(vals, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_GT(cuts[0], 9.0);
+  EXPECT_LT(cuts[0], 100.0);
+}
+
+TEST(KMeansBoundaries, AtMostKMinusOneCuts) {
+  std::vector<WeightedValue> vals;
+  for (int i = 0; i < 64; ++i) {
+    vals.push_back({static_cast<double>(i * i % 37), 1.0 + i % 3});
+  }
+  for (int k = 1; k <= 8; ++k) {
+    const auto cuts = kmeans_boundaries(vals, k);
+    EXPECT_LT(static_cast<int>(cuts.size()), k);
+    // Cuts are strictly ascending.
+    for (std::size_t i = 1; i < cuts.size(); ++i) {
+      EXPECT_LT(cuts[i - 1], cuts[i]);
+    }
+  }
+}
+
+TEST(KMeansBoundaries, DegenerateInputs) {
+  EXPECT_TRUE(kmeans_boundaries({}, 4).empty());
+  EXPECT_TRUE(kmeans_boundaries({{5.0, 2.0}}, 4).empty());
+  // All mass at one point: no cuts even with k > 1.
+  EXPECT_TRUE(
+      kmeans_boundaries({{5.0, 1.0}, {5.0, 1.0}, {5.0, 3.0}}, 3).empty());
+}
+
+TEST(KMeansBoundaries, DeterministicAcrossCalls) {
+  std::vector<WeightedValue> vals;
+  for (int i = 0; i < 50; ++i) {
+    vals.push_back({static_cast<double>((i * 17) % 23), 1.0});
+  }
+  EXPECT_EQ(kmeans_boundaries(vals, 5), kmeans_boundaries(vals, 5));
+}
+
+}  // namespace
+}  // namespace pdt::data

@@ -1,0 +1,54 @@
+#include "data/golf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdt::data {
+namespace {
+
+TEST(Golf, FourteenRecordsNinePlayFiveDont) {
+  const Dataset ds = golf_dataset();
+  EXPECT_EQ(ds.num_rows(), 14u);
+  std::int64_t play = 0, dont = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    (ds.label(i) == 0 ? play : dont) += 1;
+  }
+  EXPECT_EQ(play, 9);
+  EXPECT_EQ(dont, 5);
+}
+
+TEST(Golf, SchemaMatchesTable1) {
+  const Schema s = golf_schema();
+  EXPECT_EQ(s.num_attributes(), 4);
+  EXPECT_EQ(s.attr(golf_attr::kOutlook).cardinality, 3);
+  EXPECT_EQ(s.attr(golf_attr::kOutlook).value_names[1], "overcast");
+  EXPECT_TRUE(s.attr(golf_attr::kTemp).is_continuous());
+  EXPECT_TRUE(s.attr(golf_attr::kHumidity).is_continuous());
+  EXPECT_EQ(s.attr(golf_attr::kWindy).cardinality, 2);
+  EXPECT_EQ(s.class_name(0), "Play");
+  EXPECT_EQ(s.class_name(1), "Don't Play");
+}
+
+TEST(Golf, Table2OutlookDistribution) {
+  // Table 2: sunny 2/3, overcast 4/0, rain 3/2.
+  const Dataset ds = golf_dataset();
+  std::int64_t table[3][2] = {};
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    ++table[ds.cat(golf_attr::kOutlook, i)][ds.label(i)];
+  }
+  EXPECT_EQ(table[0][0], 2);
+  EXPECT_EQ(table[0][1], 3);
+  EXPECT_EQ(table[1][0], 4);
+  EXPECT_EQ(table[1][1], 0);
+  EXPECT_EQ(table[2][0], 3);
+  EXPECT_EQ(table[2][1], 2);
+}
+
+TEST(Golf, HumidityRangeMatchesTable3) {
+  const Dataset ds = golf_dataset();
+  const auto [lo, hi] = ds.cont_range(golf_attr::kHumidity);
+  EXPECT_DOUBLE_EQ(lo, 65.0);
+  EXPECT_DOUBLE_EQ(hi, 96.0);
+}
+
+}  // namespace
+}  // namespace pdt::data

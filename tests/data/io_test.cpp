@@ -1,0 +1,95 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/golf.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::data {
+namespace {
+
+TEST(Csv, GolfRoundTrip) {
+  const Dataset original = golf_dataset();
+  std::stringstream buf;
+  save_csv(original, buf);
+  const Dataset loaded = load_csv(buf);
+
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  ASSERT_EQ(loaded.num_attributes(), original.num_attributes());
+  EXPECT_EQ(loaded.schema().num_classes(), 2);
+  for (std::size_t i = 0; i < original.num_rows(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+    EXPECT_EQ(loaded.cat(golf_attr::kOutlook, i),
+              original.cat(golf_attr::kOutlook, i));
+    EXPECT_DOUBLE_EQ(loaded.cont(golf_attr::kHumidity, i),
+                     original.cont(golf_attr::kHumidity, i));
+  }
+}
+
+TEST(Csv, QuestRoundTripPreservesDoublesExactly) {
+  const Dataset original = quest_generate(50, {.function = 7, .seed = 2});
+  std::stringstream buf;
+  save_csv(original, buf);
+  const Dataset loaded = load_csv(buf);
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  for (std::size_t i = 0; i < original.num_rows(); ++i) {
+    for (int a = 0; a < original.num_attributes(); ++a) {
+      if (original.schema().attr(a).is_continuous()) {
+        EXPECT_DOUBLE_EQ(loaded.cont(a, i), original.cont(a, i));
+      } else {
+        EXPECT_EQ(loaded.cat(a, i), original.cat(a, i));
+      }
+    }
+  }
+}
+
+TEST(Csv, HeaderEncodesSchema) {
+  const Dataset original = golf_dataset();
+  std::stringstream buf;
+  save_csv(original, buf);
+  const Dataset loaded = load_csv(buf);
+  EXPECT_EQ(loaded.schema().attr(0).name, "Outlook");
+  EXPECT_TRUE(loaded.schema().attr(0).is_categorical());
+  EXPECT_EQ(loaded.schema().attr(0).cardinality, 3);
+  EXPECT_TRUE(loaded.schema().attr(1).is_continuous());
+}
+
+TEST(Csv, OrderedFlagSurvives) {
+  Schema s({Attribute::categorical("bin", 4, /*ordered=*/true),
+            Attribute::categorical("nom", 3)},
+           2);
+  Dataset ds(s, 1);
+  const std::size_t r = ds.add_row(1);
+  ds.set_cat(0, r, 2);
+  ds.set_cat(1, r, 1);
+  std::stringstream buf;
+  save_csv(ds, buf);
+  const Dataset loaded = load_csv(buf);
+  EXPECT_TRUE(loaded.schema().attr(0).ordered);
+  EXPECT_FALSE(loaded.schema().attr(1).ordered);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)load_csv(empty), std::runtime_error);
+
+  std::stringstream bad_header("foo,class:cat:2\n");
+  EXPECT_THROW((void)load_csv(bad_header), std::runtime_error);
+
+  std::stringstream bad_row("x:cont,class:cat:2\n1.0\n");
+  EXPECT_THROW((void)load_csv(bad_row), std::runtime_error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const Dataset original = golf_dataset();
+  const std::string path = ::testing::TempDir() + "/golf_io_test.csv";
+  save_csv_file(original, path);
+  const Dataset loaded = load_csv_file(path);
+  EXPECT_EQ(loaded.num_rows(), original.num_rows());
+  EXPECT_THROW((void)load_csv_file(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdt::data

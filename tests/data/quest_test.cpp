@@ -1,0 +1,296 @@
+#include "data/quest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdt::data {
+namespace {
+
+QuestRecord base_record() {
+  QuestRecord r;
+  r.salary = 60000;
+  r.commission = 20000;
+  r.age = 30;
+  r.elevel = 1;
+  r.car = 5;
+  r.zipcode = 3;
+  r.hvalue = 200000;
+  r.hyears = 10;
+  r.loan = 150000;
+  return r;
+}
+
+TEST(QuestSchema, MatchesThePaper) {
+  const Schema s = quest_schema();
+  EXPECT_EQ(s.num_attributes(), 9);
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_EQ(s.num_categorical(), 3) << "3 categoric attributes";
+  EXPECT_EQ(s.num_continuous(), 6) << "6 continuous attributes";
+  EXPECT_EQ(s.attr(quest_attr::kElevel).cardinality, 5);
+  EXPECT_EQ(s.attr(quest_attr::kCar).cardinality, 20);
+  EXPECT_EQ(s.attr(quest_attr::kZipcode).cardinality, 9);
+  EXPECT_EQ(s.class_name(0), "Group A");
+}
+
+TEST(QuestFunctions, Function1AgeOnly) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  EXPECT_EQ(quest_classify(1, r), 0);
+  r.age = 50;
+  EXPECT_EQ(quest_classify(1, r), 1);
+  r.age = 65;
+  EXPECT_EQ(quest_classify(1, r), 0);
+  r.age = 40;  // boundary: age >= 40 and < 60 is Group B
+  EXPECT_EQ(quest_classify(1, r), 1);
+  r.age = 60;  // boundary: age >= 60 is Group A
+  EXPECT_EQ(quest_classify(1, r), 0);
+}
+
+TEST(QuestFunctions, Function2AgeSalaryBands) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  r.salary = 60000;  // in [50K, 100K]
+  EXPECT_EQ(quest_classify(2, r), 0);
+  r.salary = 40000;  // below band
+  EXPECT_EQ(quest_classify(2, r), 1);
+  r.age = 50;
+  r.salary = 100000;  // in [75K, 125K]
+  EXPECT_EQ(quest_classify(2, r), 0);
+  r.salary = 60000;
+  EXPECT_EQ(quest_classify(2, r), 1);
+  r.age = 70;
+  r.salary = 50000;  // in [25K, 75K]
+  EXPECT_EQ(quest_classify(2, r), 0);
+  r.salary = 100000;
+  EXPECT_EQ(quest_classify(2, r), 1);
+}
+
+TEST(QuestFunctions, Function3AgeElevel) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  r.elevel = 1;
+  EXPECT_EQ(quest_classify(3, r), 0);
+  r.elevel = 3;
+  EXPECT_EQ(quest_classify(3, r), 1);
+  r.age = 50;
+  EXPECT_EQ(quest_classify(3, r), 0);
+  r.elevel = 0;
+  EXPECT_EQ(quest_classify(3, r), 1);
+  r.age = 70;
+  r.elevel = 4;
+  EXPECT_EQ(quest_classify(3, r), 0);
+  r.elevel = 1;
+  EXPECT_EQ(quest_classify(3, r), 1);
+}
+
+TEST(QuestFunctions, Function4NestedElevelSalary) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  r.elevel = 0;
+  r.salary = 50000;  // [25K, 75K]
+  EXPECT_EQ(quest_classify(4, r), 0);
+  r.salary = 90000;
+  EXPECT_EQ(quest_classify(4, r), 1);
+  r.elevel = 3;
+  r.salary = 90000;  // [50K, 100K]
+  EXPECT_EQ(quest_classify(4, r), 0);
+}
+
+TEST(QuestFunctions, Function5SalaryLoan) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  r.salary = 60000;   // in band
+  r.loan = 200000;    // [100K, 300K]
+  EXPECT_EQ(quest_classify(5, r), 0);
+  r.loan = 350000;
+  EXPECT_EQ(quest_classify(5, r), 1);
+  r.salary = 30000;   // out of band
+  r.loan = 350000;    // [200K, 400K]
+  EXPECT_EQ(quest_classify(5, r), 0);
+}
+
+TEST(QuestFunctions, Function6TotalIncome) {
+  QuestRecord r = base_record();
+  r.age = 30;
+  r.salary = 40000;
+  r.commission = 20000;  // total 60K in [50K, 100K]
+  EXPECT_EQ(quest_classify(6, r), 0);
+  r.commission = 5000;  // total 45K
+  EXPECT_EQ(quest_classify(6, r), 1);
+}
+
+TEST(QuestFunctions, Function7LinearDisposable) {
+  QuestRecord r = base_record();
+  r.salary = 60000;
+  r.commission = 0;
+  r.loan = 0;
+  // 0.67 * 60000 - 20000 = 20200 > 0 -> Group A
+  EXPECT_EQ(quest_classify(7, r), 0);
+  r.loan = 500000;
+  // 40200 - 100000 < 0 -> Group B
+  EXPECT_EQ(quest_classify(7, r), 1);
+}
+
+TEST(QuestFunctions, Function8ElevelPenalty) {
+  QuestRecord r = base_record();
+  r.salary = 50000;
+  r.commission = 0;
+  r.elevel = 0;
+  // 33500 - 0 - 20000 > 0
+  EXPECT_EQ(quest_classify(8, r), 0);
+  r.elevel = 4;
+  // 33500 - 20000 - 20000 < 0
+  EXPECT_EQ(quest_classify(8, r), 1);
+}
+
+TEST(QuestFunctions, Function9CombinedTerms) {
+  QuestRecord r = base_record();
+  r.salary = 60000;
+  r.commission = 0;
+  r.elevel = 1;
+  r.loan = 100000;
+  // 40200 - 5000 - 20000 - 10000 = 5200 > 0
+  EXPECT_EQ(quest_classify(9, r), 0);
+  r.loan = 200000;
+  // 40200 - 5000 - 40000 - 10000 < 0
+  EXPECT_EQ(quest_classify(9, r), 1);
+}
+
+TEST(QuestFunctions, Function10HomeEquity) {
+  QuestRecord r = base_record();
+  r.salary = 20000;
+  r.commission = 0;
+  r.elevel = 1;
+  r.hyears = 10;  // < 20 -> zero equity
+  r.hvalue = 500000;
+  // 13400 - 5000 + 0 - 10000 < 0
+  EXPECT_EQ(quest_classify(10, r), 1);
+  r.hyears = 30;  // equity = 0.1 * 500000 * 10 = 500000
+  // 13400 - 5000 + 100000 - 10000 > 0
+  EXPECT_EQ(quest_classify(10, r), 0);
+}
+
+TEST(QuestGenerate, DeterministicForSeed) {
+  const Dataset a = quest_generate(500, {.function = 2, .seed = 99});
+  const Dataset b = quest_generate(500, {.function = 2, .seed = 99});
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_DOUBLE_EQ(a.cont(quest_attr::kSalary, i),
+                     b.cont(quest_attr::kSalary, i));
+    EXPECT_EQ(a.cat(quest_attr::kCar, i), b.cat(quest_attr::kCar, i));
+  }
+}
+
+TEST(QuestGenerate, AttributeRanges) {
+  const Dataset ds = quest_generate(5000, {.function = 1, .seed = 5});
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const double salary = ds.cont(quest_attr::kSalary, i);
+    EXPECT_GE(salary, 20000.0);
+    EXPECT_LT(salary, 150000.0);
+    const double commission = ds.cont(quest_attr::kCommission, i);
+    if (salary >= 75000.0) {
+      EXPECT_DOUBLE_EQ(commission, 0.0);
+    } else {
+      EXPECT_GE(commission, 10000.0);
+      EXPECT_LT(commission, 75000.0);
+    }
+    const double age = ds.cont(quest_attr::kAge, i);
+    EXPECT_GE(age, 20.0);
+    EXPECT_LT(age, 80.0);
+    const int zip = ds.cat(quest_attr::kZipcode, i);
+    const double hvalue = ds.cont(quest_attr::kHvalue, i);
+    EXPECT_GE(hvalue, 0.5 * (zip + 1) * 100000.0);
+    EXPECT_LT(hvalue, 1.5 * (zip + 1) * 100000.0);
+    EXPECT_GE(ds.cont(quest_attr::kLoan, i), 0.0);
+    EXPECT_LT(ds.cont(quest_attr::kLoan, i), 500000.0);
+  }
+}
+
+TEST(QuestGenerate, LabelsMatchFunctionPredicate) {
+  const Dataset ds = quest_generate(2000, {.function = 2, .seed = 31});
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    QuestRecord r;
+    r.salary = ds.cont(quest_attr::kSalary, i);
+    r.commission = ds.cont(quest_attr::kCommission, i);
+    r.age = ds.cont(quest_attr::kAge, i);
+    r.elevel = ds.cat(quest_attr::kElevel, i);
+    r.loan = ds.cont(quest_attr::kLoan, i);
+    EXPECT_EQ(ds.label(i), quest_classify(2, r));
+  }
+}
+
+TEST(QuestGenerate, LabelNoiseFlipsRoughlyTheRequestedFraction) {
+  const std::size_t n = 20000;
+  const Dataset noisy = quest_generate(
+      n, {.function = 2, .seed = 77, .label_noise = 0.1});
+  // A label disagrees with the noise-free predicate exactly when it was
+  // flipped, so the disagreement rate estimates the noise level.
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    QuestRecord r;
+    r.salary = noisy.cont(quest_attr::kSalary, i);
+    r.age = noisy.cont(quest_attr::kAge, i);
+    flipped += noisy.label(i) != quest_classify(2, r) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(flipped) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+
+TEST(QuestGenerate, PerturbationJittersContinuousValuesOnly) {
+  const std::size_t n = 3000;
+  const Dataset clean = quest_generate(n, {.function = 2, .seed = 88});
+  const Dataset noisy = quest_generate(
+      n, {.function = 2, .seed = 88, .perturbation = 0.05});
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Categorical attributes are untouched by perturbation.
+    EXPECT_EQ(noisy.cat(quest_attr::kElevel, i),
+              clean.cat(quest_attr::kElevel, i));
+    EXPECT_EQ(noisy.cat(quest_attr::kCar, i), clean.cat(quest_attr::kCar, i));
+    EXPECT_EQ(noisy.cat(quest_attr::kZipcode, i),
+              clean.cat(quest_attr::kZipcode, i));
+    // Labels were assigned before perturbation.
+    EXPECT_EQ(noisy.label(i), clean.label(i));
+    const double da = std::abs(noisy.cont(quest_attr::kAge, i) -
+                               clean.cont(quest_attr::kAge, i));
+    moved += da > 0.0 ? 1 : 0;
+    EXPECT_LE(da, 0.05 * (80.0 - 20.0) / 2.0 + 1e-9)
+        << "jitter bounded by p * range / 2";
+    EXPECT_GE(noisy.cont(quest_attr::kAge, i), 20.0);
+    EXPECT_LE(noisy.cont(quest_attr::kAge, i), 80.0);
+  }
+  EXPECT_GT(moved, n / 2) << "perturbation actually moves values";
+}
+
+TEST(QuestGenerate, ZeroPerturbationIsIdentity) {
+  const Dataset a = quest_generate(200, {.function = 3, .seed = 90});
+  const Dataset b =
+      quest_generate(200, {.function = 3, .seed = 90, .perturbation = 0.0});
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cont(quest_attr::kLoan, i),
+                     b.cont(quest_attr::kLoan, i));
+  }
+}
+
+class QuestEveryFunctionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuestEveryFunctionTest, ProducesBothClasses) {
+  const int f = GetParam();
+  const Dataset ds = quest_generate(
+      3000, {.function = f, .seed = static_cast<std::uint64_t>(f) * 13 + 1});
+  std::int64_t counts[2] = {0, 0};
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    ++counts[ds.label(i)];
+  }
+  EXPECT_GT(counts[0], 0) << "function " << f << " never produced Group A";
+  EXPECT_GT(counts[1], 0) << "function " << f << " never produced Group B";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTenFunctions, QuestEveryFunctionTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pdt::data

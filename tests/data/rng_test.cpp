@@ -1,0 +1,80 @@
+#include "data/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdt::data {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-5.0, 3.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = r.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace pdt::data

@@ -1,0 +1,96 @@
+#include "dtree/criteria.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace pdt::dtree {
+namespace {
+
+TEST(Entropy, PureIsZero) {
+  const std::array<std::int64_t, 2> pure{10, 0};
+  EXPECT_DOUBLE_EQ(entropy(pure), 0.0);
+  const std::array<std::int64_t, 3> pure3{0, 0, 7};
+  EXPECT_DOUBLE_EQ(entropy(pure3), 0.0);
+}
+
+TEST(Entropy, UniformIsLogK) {
+  const std::array<std::int64_t, 2> half{5, 5};
+  EXPECT_DOUBLE_EQ(entropy(half), 1.0);
+  const std::array<std::int64_t, 4> quarter{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(entropy(quarter), 2.0);
+}
+
+TEST(Entropy, GolfRootValue) {
+  // 9 Play / 5 Don't: H = 0.940 bits (Quinlan's classic number).
+  const std::array<std::int64_t, 2> root{9, 5};
+  EXPECT_NEAR(entropy(root), 0.940286, 1e-6);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  const std::array<std::int64_t, 2> none{0, 0};
+  EXPECT_DOUBLE_EQ(entropy(none), 0.0);
+}
+
+TEST(Gini, KnownValues) {
+  const std::array<std::int64_t, 2> pure{10, 0};
+  EXPECT_DOUBLE_EQ(gini(pure), 0.0);
+  const std::array<std::int64_t, 2> half{5, 5};
+  EXPECT_DOUBLE_EQ(gini(half), 0.5);
+  const std::array<std::int64_t, 2> root{9, 5};
+  EXPECT_NEAR(gini(root), 1.0 - (81.0 + 25.0) / 196.0, 1e-12);
+}
+
+TEST(Impurity, DispatchesOnCriterion) {
+  const std::array<std::int64_t, 2> half{5, 5};
+  EXPECT_DOUBLE_EQ(impurity(Criterion::Entropy, half), 1.0);
+  EXPECT_DOUBLE_EQ(impurity(Criterion::Gini, half), 0.5);
+}
+
+TEST(Total, Sums) {
+  const std::array<std::int64_t, 3> c{1, 2, 3};
+  EXPECT_EQ(total(c), 6);
+}
+
+TEST(Gain, OutlookGainMatchesQuinlan) {
+  // Splitting golf's root on Outlook: gain = 0.940 - 0.694 = 0.2467 bits.
+  const std::array<std::int64_t, 2> parent{9, 5};
+  const std::array<std::int64_t, 6> children{2, 3, 4, 0, 3, 2};
+  EXPECT_NEAR(gain(Criterion::Entropy, parent, children, 2), 0.24675, 1e-4);
+}
+
+TEST(Gain, PerfectSplitRecoversParentImpurity) {
+  const std::array<std::int64_t, 2> parent{6, 6};
+  const std::array<std::int64_t, 4> children{6, 0, 0, 6};
+  EXPECT_DOUBLE_EQ(gain(Criterion::Entropy, parent, children, 2), 1.0);
+  EXPECT_DOUBLE_EQ(gain(Criterion::Gini, parent, children, 2), 0.5);
+}
+
+TEST(Gain, UselessSplitIsZero) {
+  const std::array<std::int64_t, 2> parent{8, 4};
+  const std::array<std::int64_t, 4> children{4, 2, 4, 2};
+  EXPECT_NEAR(gain(Criterion::Entropy, parent, children, 2), 0.0, 1e-12);
+  EXPECT_NEAR(gain(Criterion::Gini, parent, children, 2), 0.0, 1e-12);
+}
+
+TEST(Gain, NonNegativeForEntropyOverManyPartitions) {
+  // Information gain is non-negative for any split (concavity of H).
+  const std::array<std::int64_t, 2> parent{13, 7};
+  for (std::int64_t a = 0; a <= 13; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      const std::array<std::int64_t, 4> children{a, b, 13 - a, 7 - b};
+      EXPECT_GE(gain(Criterion::Entropy, parent, children, 2), -1e-12);
+      EXPECT_GE(gain(Criterion::Gini, parent, children, 2), -1e-12);
+    }
+  }
+}
+
+TEST(Gain, EmptyChildrenIgnored) {
+  const std::array<std::int64_t, 2> parent{5, 5};
+  const std::array<std::int64_t, 6> children{5, 0, 0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(gain(Criterion::Entropy, parent, children, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace pdt::dtree

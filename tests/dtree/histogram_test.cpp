@@ -1,0 +1,129 @@
+#include "dtree/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/golf.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::dtree {
+namespace {
+
+std::vector<data::RowId> all_rows(const data::Dataset& ds) {
+  std::vector<data::RowId> rows(ds.num_rows());
+  std::iota(rows.begin(), rows.end(), data::RowId{0});
+  return rows;
+}
+
+TEST(Histogram, Table2OutlookAtGolfRoot) {
+  // The paper's Table 2: sunny 2/3, overcast 4/0, rain 3/2.
+  const data::Dataset golf = data::golf_dataset();
+  const auto rows = all_rows(golf);
+  const auto table =
+      categorical_distribution(golf, rows, data::golf_attr::kOutlook);
+  EXPECT_EQ(table, (std::vector<std::int64_t>{2, 3, 4, 0, 3, 2}));
+}
+
+TEST(Histogram, Table3HumidityBinaryTests) {
+  // The paper's Table 3: for each distinct Humidity value, the <=/> class
+  // distributions. Spot-check the rows printed in the paper.
+  const data::Dataset golf = data::golf_dataset();
+  const auto rows = all_rows(golf);
+  const auto table =
+      continuous_binary_distribution(golf, rows, data::golf_attr::kHumidity);
+  ASSERT_EQ(table.size(), 9u) << "nine distinct humidity values";
+
+  // 65: <= gives 1 Play / 0 Don't; > gives 8 / 5.
+  EXPECT_DOUBLE_EQ(table[0].value, 65.0);
+  EXPECT_EQ(table[0].le, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(table[0].gt, (std::vector<std::int64_t>{8, 5}));
+  // 70: <= gives 3 / 1; > gives 6 / 4.
+  EXPECT_DOUBLE_EQ(table[1].value, 70.0);
+  EXPECT_EQ(table[1].le, (std::vector<std::int64_t>{3, 1}));
+  EXPECT_EQ(table[1].gt, (std::vector<std::int64_t>{6, 4}));
+  // 75: <= gives 4 / 1.
+  EXPECT_EQ(table[2].le, (std::vector<std::int64_t>{4, 1}));
+  // 80: <= gives 7 / 2 (the paper's fifth row).
+  EXPECT_DOUBLE_EQ(table[4].value, 80.0);
+  EXPECT_EQ(table[4].le, (std::vector<std::int64_t>{7, 2}));
+  EXPECT_EQ(table[4].gt, (std::vector<std::int64_t>{2, 3}));
+  // 96: everything on the <= side: 9 / 5.
+  EXPECT_DOUBLE_EQ(table[8].value, 96.0);
+  EXPECT_EQ(table[8].le, (std::vector<std::int64_t>{9, 5}));
+  EXPECT_EQ(table[8].gt, (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(Histogram, AccumulateMatchesDirectCounts) {
+  const data::Dataset ds = data::quest_generate(300, {.seed = 12});
+  const SlotMapper mapper(ds, 8);
+  const AttrLayout layout(ds.schema(), 8);
+  const auto rows = all_rows(ds);
+  Hist h(static_cast<std::size_t>(layout.total()), 0);
+  accumulate(h, layout, mapper, rows);
+
+  // Every attribute's table has identical class marginals equal to the
+  // overall class distribution.
+  const auto expected = class_counts_of_rows(ds, rows);
+  for (int a = 0; a < layout.num_attributes(); ++a) {
+    std::vector<std::int64_t> marginal(2, 0);
+    for (int s = 0; s < layout.slots(a); ++s) {
+      for (int c = 0; c < 2; ++c) {
+        marginal[static_cast<std::size_t>(c)] +=
+            h[static_cast<std::size_t>(layout.index(a, s, c))];
+      }
+    }
+    EXPECT_EQ(marginal, expected) << "attribute " << a;
+  }
+  EXPECT_EQ(class_counts(h, layout), expected);
+}
+
+TEST(Histogram, AccumulateIsAdditive) {
+  const data::Dataset ds = data::quest_generate(200, {.seed = 14});
+  const SlotMapper mapper(ds, 8);
+  const AttrLayout layout(ds.schema(), 8);
+  const auto rows = all_rows(ds);
+  const std::span<const data::RowId> first(rows.data(), 90);
+  const std::span<const data::RowId> rest(rows.data() + 90, rows.size() - 90);
+
+  Hist whole(static_cast<std::size_t>(layout.total()), 0);
+  accumulate(whole, layout, mapper, rows);
+  Hist parts(static_cast<std::size_t>(layout.total()), 0);
+  accumulate(parts, layout, mapper, first);
+  accumulate(parts, layout, mapper, rest);
+  EXPECT_EQ(whole, parts);
+}
+
+TEST(Histogram, EmptyRowsLeaveZeros) {
+  const data::Dataset ds = data::golf_dataset();
+  const SlotMapper mapper(ds, 4);
+  const AttrLayout layout(ds.schema(), 4);
+  Hist h(static_cast<std::size_t>(layout.total()), 0);
+  accumulate(h, layout, mapper, {});
+  for (const auto v : h) {
+    EXPECT_EQ(v, 0);
+  }
+  EXPECT_EQ(class_counts(h, layout), (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(Histogram, FormattersMentionNamesAndCounts) {
+  const data::Dataset golf = data::golf_dataset();
+  const auto rows = all_rows(golf);
+  const auto table =
+      categorical_distribution(golf, rows, data::golf_attr::kOutlook);
+  const std::string text = format_categorical_distribution(
+      golf, table, data::golf_attr::kOutlook);
+  EXPECT_NE(text.find("sunny"), std::string::npos);
+  EXPECT_NE(text.find("overcast"), std::string::npos);
+  EXPECT_NE(text.find("Play"), std::string::npos);
+
+  const auto bin = continuous_binary_distribution(
+      golf, rows, data::golf_attr::kHumidity);
+  const std::string btext =
+      format_binary_distribution(golf, bin, data::golf_attr::kHumidity);
+  EXPECT_NE(btext.find("Humidity"), std::string::npos);
+  EXPECT_NE(btext.find("<="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdt::dtree

@@ -1,0 +1,42 @@
+#include "dtree/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/golf.hpp"
+#include "dtree/builder.hpp"
+
+namespace pdt::dtree {
+namespace {
+
+TEST(Evaluate, PerfectTreeOnGolf) {
+  const data::Dataset golf = data::golf_dataset();
+  GrowOptions opt;
+  opt.policy = SplitPolicy::Multiway;
+  const Tree t = grow_dfs_exact(golf, opt);
+  const Evaluation ev = evaluate(t, golf);
+  EXPECT_EQ(ev.total, 14);
+  EXPECT_EQ(ev.correct, 14);
+  EXPECT_DOUBLE_EQ(ev.accuracy(), 1.0);
+  // Diagonal confusion matrix: 9 Play, 5 Don't.
+  EXPECT_EQ(ev.confusion, (std::vector<std::int64_t>{9, 0, 0, 5}));
+}
+
+TEST(Evaluate, StumpAccuracyAndConfusion) {
+  const data::Dataset golf = data::golf_dataset();
+  const Tree stump(std::vector<std::int64_t>{9, 5});  // predicts Play always
+  const Evaluation ev = evaluate(stump, golf);
+  EXPECT_EQ(ev.correct, 9);
+  EXPECT_NEAR(ev.accuracy(), 9.0 / 14.0, 1e-12);
+  EXPECT_EQ(ev.confusion, (std::vector<std::int64_t>{9, 0, 5, 0}));
+}
+
+TEST(Evaluate, EmptyDatasetGivesZeroAccuracy) {
+  data::Dataset empty(data::golf_schema());
+  const Tree stump(std::vector<std::int64_t>{1, 0});
+  const Evaluation ev = evaluate(stump, empty);
+  EXPECT_EQ(ev.total, 0);
+  EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdt::dtree

@@ -1,0 +1,73 @@
+#include "dtree/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/quest.hpp"
+#include "data/discretize.hpp"
+#include "dtree/builder.hpp"
+#include "dtree/metrics.hpp"
+
+namespace pdt::dtree {
+namespace {
+
+TEST(PessimisticError, ZeroErrorsStillPositive) {
+  // C4.5's point: an observed error of 0 on few records is not a true 0.
+  const double e = pessimistic_error(0, 10, 0.25);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 0.5);
+}
+
+TEST(PessimisticError, ShrinksWithMoreData) {
+  const double small = pessimistic_error(1, 10, 0.25);
+  const double large = pessimistic_error(100, 1000, 0.25);
+  EXPECT_GT(small, large) << "same 10% rate, tighter bound with more data";
+}
+
+TEST(PessimisticError, GrowsWithErrorRate) {
+  EXPECT_LT(pessimistic_error(1, 100, 0.25),
+            pessimistic_error(30, 100, 0.25));
+}
+
+TEST(PessimisticError, MoreConfidencePrunesLess) {
+  // Larger CF -> smaller z -> smaller upper bound.
+  EXPECT_GT(pessimistic_error(5, 50, 0.05), pessimistic_error(5, 50, 0.45));
+}
+
+TEST(Prune, LeavesPerfectSubtreesMostlyAlone) {
+  // A clean, strongly-predictive dataset: pruning should not destroy the
+  // fit.
+  const data::Dataset raw = data::quest_generate(3000, {.seed = 41});
+  const data::Dataset ds =
+      data::discretize_uniform(raw, data::quest_paper_bins());
+  Tree t = grow_bfs(ds, GrowOptions{});
+  const double before = evaluate(t, ds).accuracy();
+  const PruneStats stats = prune(t);
+  EXPECT_EQ(stats.leaves_after, t.num_leaves());
+  EXPECT_LE(stats.leaves_after, stats.leaves_before);
+  EXPECT_GT(evaluate(t, ds).accuracy(), before - 0.1);
+}
+
+TEST(Prune, CollapsesNoiseFits) {
+  // With 20% label noise the deep tree memorizes noise; pessimistic
+  // pruning must collapse a substantial part of it.
+  const data::Dataset raw = data::quest_generate(
+      3000, {.function = 1, .seed = 42, .label_noise = 0.2});
+  const data::Dataset ds =
+      data::discretize_uniform(raw, data::quest_paper_bins());
+  Tree t = grow_bfs(ds, GrowOptions{});
+  const int leaves_before = t.num_leaves();
+  const PruneStats stats = prune(t);
+  EXPECT_GT(stats.subtrees_collapsed, 0);
+  EXPECT_LT(t.num_leaves(), leaves_before);
+}
+
+TEST(Prune, RootOnlyTreeIsUntouched) {
+  Tree t(std::vector<std::int64_t>{5, 5});
+  const PruneStats stats = prune(t);
+  EXPECT_EQ(stats.subtrees_collapsed, 0);
+  EXPECT_EQ(stats.leaves_before, 1);
+  EXPECT_EQ(stats.leaves_after, 1);
+}
+
+}  // namespace
+}  // namespace pdt::dtree

@@ -1,0 +1,100 @@
+#include "dtree/slots.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/golf.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::dtree {
+namespace {
+
+TEST(AttrLayout, OffsetsAndTotals) {
+  const data::Schema s = data::golf_schema();
+  const AttrLayout layout(s, 8);
+  // Outlook(3), Temp(8 bins), Humidity(8 bins), Windy(2); 2 classes.
+  EXPECT_EQ(layout.num_attributes(), 4);
+  EXPECT_EQ(layout.num_classes(), 2);
+  EXPECT_EQ(layout.slots(0), 3);
+  EXPECT_EQ(layout.slots(1), 8);
+  EXPECT_EQ(layout.slots(3), 2);
+  EXPECT_EQ(layout.offset(0), 0);
+  EXPECT_EQ(layout.offset(1), 6);
+  EXPECT_EQ(layout.offset(2), 22);
+  EXPECT_EQ(layout.offset(3), 38);
+  EXPECT_EQ(layout.total(), 42);
+  EXPECT_EQ(layout.index(1, 2, 1), 6 + 2 * 2 + 1);
+}
+
+TEST(AttrLayout, HistWordsMatchPaperFormulaForAllCategorical) {
+  // For all-categorical data, total = C * sum(M_a) = C * A_d * M.
+  const data::Dataset raw = data::quest_generate(10, {});
+  const AttrLayout layout(raw.schema(), 16);
+  const data::Schema& s = raw.schema();
+  int expected = 0;
+  for (int a = 0; a < s.num_attributes(); ++a) {
+    expected += (s.attr(a).is_categorical() ? s.attr(a).cardinality : 16) * 2;
+  }
+  EXPECT_EQ(layout.total(), expected);
+}
+
+TEST(SlotMapper, CategoricalPassThrough) {
+  const data::Dataset golf = data::golf_dataset();
+  const SlotMapper mapper(golf, 4);
+  for (std::size_t i = 0; i < golf.num_rows(); ++i) {
+    EXPECT_EQ(mapper.slot(data::golf_attr::kOutlook, i),
+              golf.cat(data::golf_attr::kOutlook, i));
+    EXPECT_EQ(mapper.slot(data::golf_attr::kWindy, i),
+              golf.cat(data::golf_attr::kWindy, i));
+  }
+}
+
+TEST(SlotMapper, ContinuousBinsCoverRange) {
+  const data::Dataset golf = data::golf_dataset();
+  const SlotMapper mapper(golf, 4);
+  for (std::size_t i = 0; i < golf.num_rows(); ++i) {
+    const int s = mapper.slot(data::golf_attr::kHumidity, i);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+  }
+  // Humidity range [65, 96]: min maps to slot 0, max to slot 3.
+  EXPECT_EQ(mapper.slot_of_value(data::golf_attr::kHumidity, 65.0), 0);
+  EXPECT_EQ(mapper.slot_of_value(data::golf_attr::kHumidity, 96.0), 3);
+}
+
+TEST(SlotMapper, BoundariesAreMonotoneAndConsistent) {
+  const data::Dataset ds = data::quest_generate(500, {.seed = 6});
+  const SlotMapper mapper(ds, 32);
+  const int attr = data::quest_attr::kSalary;
+  const auto& cuts = mapper.boundaries(attr);
+  ASSERT_EQ(cuts.size(), 31u);
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_LT(cuts[i - 1], cuts[i]);
+  }
+  // slot_of_value is the inverse of the boundary relation: values strictly
+  // below boundary(s) map to slots <= s.
+  for (int s = 0; s < 31; ++s) {
+    EXPECT_EQ(mapper.slot_of_value(attr, mapper.boundary(attr, s) - 1e-6), s);
+    EXPECT_EQ(mapper.slot_of_value(attr, mapper.boundary(attr, s)), s + 1);
+  }
+}
+
+TEST(SlotMapper, BinCentersBetweenBoundaries) {
+  const data::Dataset ds = data::quest_generate(500, {.seed = 8});
+  const SlotMapper mapper(ds, 8);
+  const int attr = data::quest_attr::kAge;
+  const auto [lo, hi] = ds.cont_range(attr);
+  for (int s = 0; s < 8; ++s) {
+    const double c = mapper.bin_center(attr, s);
+    EXPECT_GE(c, lo);
+    EXPECT_LE(c, hi);
+    if (s > 0) {
+      EXPECT_GE(c, mapper.boundary(attr, s - 1));
+    }
+    if (s < 7) {
+      EXPECT_LE(c, mapper.boundary(attr, s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdt::dtree

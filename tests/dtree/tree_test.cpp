@@ -1,0 +1,149 @@
+#include "dtree/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/golf.hpp"
+
+namespace pdt::dtree {
+namespace {
+
+SplitDecision binary_decision(int attr, double threshold,
+                              std::vector<std::int64_t> child_counts) {
+  SplitDecision d;
+  d.test.kind = SplitTest::Kind::Threshold;
+  d.test.attr = attr;
+  d.test.threshold = threshold;
+  d.test.num_children = 2;
+  d.child_counts = std::move(child_counts);
+  d.gain = 0.5;
+  return d;
+}
+
+TEST(MajorityClass, PicksLargestWithDeterministicTies) {
+  EXPECT_EQ(majority_class(std::vector<std::int64_t>{3, 7}), 1);
+  EXPECT_EQ(majority_class(std::vector<std::int64_t>{7, 3}), 0);
+  EXPECT_EQ(majority_class(std::vector<std::int64_t>{5, 5}), 0)
+      << "tie goes to the lower class id";
+  EXPECT_EQ(majority_class(std::vector<std::int64_t>{0, 0}, 1), 1)
+      << "empty counts fall back";
+}
+
+TEST(Tree, RootOnlyTree) {
+  const Tree t(std::vector<std::int64_t>{9, 5});
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.num_leaves(), 1);
+  EXPECT_EQ(t.depth(), 0);
+  EXPECT_TRUE(t.node(0).is_leaf());
+  EXPECT_EQ(t.node(0).majority, 0);
+  EXPECT_EQ(t.node(0).num_records(), 14);
+}
+
+TEST(Tree, ExpandCreatesContiguousChildren) {
+  Tree t(std::vector<std::int64_t>{9, 5});
+  const int first = t.expand(0, binary_decision(1, 75.0, {7, 1, 2, 4}));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.num_leaves(), 2);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_FALSE(t.node(0).is_leaf());
+  EXPECT_EQ(t.node(1).parent, 0);
+  EXPECT_EQ(t.node(1).depth, 1);
+  EXPECT_EQ(t.node(1).class_counts, (std::vector<std::int64_t>{7, 1}));
+  EXPECT_EQ(t.node(1).majority, 0);
+  EXPECT_EQ(t.node(2).majority, 1);
+}
+
+TEST(Tree, EmptyChildInheritsParentMajority) {
+  // Hunt's method Case 3: a leaf with no records takes the parent's class.
+  Tree t(std::vector<std::int64_t>{2, 12});
+  const int first = t.expand(0, binary_decision(0, 1.0, {0, 0, 2, 12}));
+  EXPECT_EQ(t.node(first).num_records(), 0);
+  EXPECT_EQ(t.node(first).majority, 1) << "parent majority is class 1";
+}
+
+TEST(Tree, RouteThresholdIsStrictLess) {
+  const data::Dataset golf = data::golf_dataset();
+  Tree t(std::vector<std::int64_t>{9, 5});
+  t.expand(0, binary_decision(data::golf_attr::kHumidity, 80.0, {5, 2, 4, 3}));
+  // Row 0 has humidity 70 (< 80 -> child 0); row 1 has 90 (-> child 1);
+  // row 9 has exactly 80 (boundary -> child 1, strict less).
+  EXPECT_EQ(t.route(0, golf, 0), 0);
+  EXPECT_EQ(t.route(0, golf, 1), 1);
+  EXPECT_EQ(t.route(0, golf, 9), 1);
+}
+
+TEST(Tree, RouteSubsetAndMultiway) {
+  const data::Dataset golf = data::golf_dataset();
+  Tree sub(std::vector<std::int64_t>{9, 5});
+  SplitDecision d;
+  d.test.kind = SplitTest::Kind::Subset;
+  d.test.attr = data::golf_attr::kOutlook;
+  d.test.in_left = {0, 1, 0};  // overcast goes left
+  d.test.num_children = 2;
+  d.child_counts = {4, 0, 5, 5};
+  sub.expand(0, d);
+  EXPECT_EQ(sub.route(0, golf, 5), 0) << "row 5 is overcast";
+  EXPECT_EQ(sub.route(0, golf, 0), 1) << "row 0 is sunny";
+
+  Tree multi(std::vector<std::int64_t>{9, 5});
+  SplitDecision m;
+  m.test.kind = SplitTest::Kind::Multiway;
+  m.test.attr = data::golf_attr::kOutlook;
+  m.test.num_children = 3;
+  m.child_counts = {2, 3, 4, 0, 3, 2};
+  multi.expand(0, m);
+  EXPECT_EQ(multi.route(0, golf, 0), 0);
+  EXPECT_EQ(multi.route(0, golf, 5), 1);
+  EXPECT_EQ(multi.route(0, golf, 9), 2);
+}
+
+TEST(Tree, ClassifyWalksToLeafMajority) {
+  const data::Dataset golf = data::golf_dataset();
+  Tree t(std::vector<std::int64_t>{9, 5});
+  t.expand(0, binary_decision(data::golf_attr::kHumidity, 80.0, {6, 1, 3, 4}));
+  EXPECT_EQ(t.classify(golf, 0), 0) << "humidity 70 -> left leaf, Play";
+  EXPECT_EQ(t.classify(golf, 1), 1) << "humidity 90 -> right leaf, Don't";
+}
+
+TEST(Tree, SameAsDetectsStructuralDifferences) {
+  Tree a(std::vector<std::int64_t>{9, 5});
+  Tree b(std::vector<std::int64_t>{9, 5});
+  EXPECT_TRUE(a.same_as(b));
+  a.expand(0, binary_decision(1, 75.0, {7, 1, 2, 4}));
+  EXPECT_FALSE(a.same_as(b));
+  b.expand(0, binary_decision(1, 75.0, {7, 1, 2, 4}));
+  EXPECT_TRUE(a.same_as(b));
+
+  Tree c(std::vector<std::int64_t>{9, 5});
+  c.expand(0, binary_decision(2, 75.0, {7, 1, 2, 4}));  // different attr
+  EXPECT_FALSE(a.same_as(c));
+  Tree d2(std::vector<std::int64_t>{9, 5});
+  d2.expand(0, binary_decision(1, 76.0, {7, 1, 2, 4}));  // different cut
+  EXPECT_FALSE(a.same_as(d2));
+  Tree e(std::vector<std::int64_t>{9, 4});  // different counts
+  EXPECT_FALSE(a.same_as(e));
+}
+
+TEST(Tree, MakeLeafCollapsesSubtree) {
+  Tree t(std::vector<std::int64_t>{9, 5});
+  t.expand(0, binary_decision(1, 75.0, {7, 1, 2, 4}));
+  t.expand(1, binary_decision(2, 80.0, {6, 0, 1, 1}));
+  EXPECT_EQ(t.num_leaves(), 3);
+  t.make_leaf(0);
+  EXPECT_EQ(t.num_leaves(), 1);
+  EXPECT_EQ(t.depth(), 0);
+  EXPECT_TRUE(t.node(0).is_leaf());
+}
+
+TEST(Tree, ToStringShowsTestsAndLeaves) {
+  const data::Dataset golf = data::golf_dataset();
+  Tree t(std::vector<std::int64_t>{9, 5});
+  t.expand(0, binary_decision(data::golf_attr::kHumidity, 80.0, {6, 1, 3, 4}));
+  const std::string s = t.to_string(golf.schema());
+  EXPECT_NE(s.find("Humidity"), std::string::npos);
+  EXPECT_NE(s.find("80"), std::string::npos);
+  EXPECT_NE(s.find("Play"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdt::dtree

@@ -1,0 +1,70 @@
+#include "mpsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdt::mpsim {
+namespace {
+
+TEST(CeilLog2, SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(128), 7);
+  EXPECT_EQ(ceil_log2(1024), 10);
+}
+
+TEST(CostModel, MessageCostIsStartupPlusPerWord) {
+  CostModel cm;
+  cm.t_s = 10.0;
+  cm.t_w = 0.5;
+  EXPECT_DOUBLE_EQ(cm.message(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cm.message(100.0), 60.0);
+}
+
+TEST(CostModel, AllReduceScalesWithLogP) {
+  CostModel cm;
+  cm.t_s = 1.0;
+  cm.t_w = 1.0;
+  EXPECT_DOUBLE_EQ(cm.all_reduce(10.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.all_reduce(10.0, 2), 11.0);
+  EXPECT_DOUBLE_EQ(cm.all_reduce(10.0, 4), 22.0);
+  EXPECT_DOUBLE_EQ(cm.all_reduce(10.0, 16), 44.0);
+}
+
+TEST(CostModel, BroadcastMatchesAllReduceShape) {
+  CostModel cm;
+  cm.t_s = 2.0;
+  cm.t_w = 0.25;
+  EXPECT_DOUBLE_EQ(cm.broadcast(8.0, 8), (2.0 + 0.25 * 8.0) * 3);
+  EXPECT_DOUBLE_EQ(cm.broadcast(8.0, 1), 0.0);
+}
+
+TEST(CostModel, ZeroCommPresetHasNoCommunicationCost) {
+  const CostModel cm = CostModel::zero_comm();
+  EXPECT_DOUBLE_EQ(cm.t_s, 0.0);
+  EXPECT_DOUBLE_EQ(cm.t_w, 0.0);
+  EXPECT_GT(cm.t_c, 0.0);
+  EXPECT_DOUBLE_EQ(cm.all_reduce(1000.0, 64), 0.0);
+}
+
+TEST(CostModel, CheapCommIsHundredTimesCheaper) {
+  const CostModel base = CostModel::sp2();
+  const CostModel cheap = CostModel::cheap_comm();
+  EXPECT_DOUBLE_EQ(cheap.t_s * 100.0, base.t_s);
+  EXPECT_DOUBLE_EQ(cheap.t_w * 100.0, base.t_w);
+  EXPECT_DOUBLE_EQ(cheap.t_c, base.t_c);
+}
+
+TEST(CostModel, Sp2DefaultsAreSane) {
+  const CostModel cm = CostModel::sp2();
+  EXPECT_GT(cm.t_s, cm.t_w) << "latency dominates per-word cost";
+  EXPECT_GT(cm.t_w, 0.0);
+  EXPECT_GT(cm.t_c, 0.0);
+}
+
+}  // namespace
+}  // namespace pdt::mpsim

@@ -1,0 +1,229 @@
+#include "mpsim/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pdt::mpsim {
+namespace {
+
+CostModel unit_cost() {
+  CostModel cm;
+  cm.t_s = 1.0;
+  cm.t_w = 1.0;
+  cm.t_c = 1.0;
+  cm.t_io = 0.0;  // isolate wire costs; I/O charging has its own tests
+  return cm;
+}
+
+TEST(Group, WholeMachineIsASubcubeForPow2) {
+  Machine m(8);
+  const Group g = Group::whole(m);
+  EXPECT_EQ(g.size(), 8);
+  EXPECT_TRUE(g.is_subcube());
+  EXPECT_EQ(g.dimension(), 3);
+}
+
+TEST(Group, WholeMachineHandlesNonPow2) {
+  Machine m(6);
+  const Group g = Group::whole(m);
+  EXPECT_EQ(g.size(), 6);
+  EXPECT_FALSE(g.is_subcube());
+  EXPECT_EQ(g.dimension(), 3) << "collectives round up to 3 rounds";
+}
+
+TEST(Group, ExplicitRankListDetectsSubcube) {
+  Machine m(8);
+  const Group aligned(m, std::vector<Rank>{4, 5, 6, 7});
+  EXPECT_TRUE(aligned.is_subcube());
+  const Group unaligned(m, std::vector<Rank>{2, 3, 4, 5});
+  EXPECT_FALSE(unaligned.is_subcube());
+  const Group scattered(m, std::vector<Rank>{0, 3, 5});
+  EXPECT_FALSE(scattered.is_subcube());
+}
+
+TEST(Group, BarrierAlignsClocksAndChargesIdle) {
+  Machine m(4, unit_cost());
+  m.charge_compute(2, 10.0);
+  Group g = Group::whole(m);
+  g.barrier();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(m.clock(r), 10.0);
+  }
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 10.0);
+  EXPECT_DOUBLE_EQ(m.stats(2).idle_time, 0.0);
+}
+
+TEST(Group, AllReduceSumsAndRedistributes) {
+  Machine m(4, unit_cost());
+  Group g = Group::whole(m);
+  std::vector<std::vector<std::int64_t>> bufs(4, std::vector<std::int64_t>(3));
+  for (int i = 0; i < 4; ++i) {
+    bufs[static_cast<std::size_t>(i)] = {i, 2 * i, 10};
+  }
+  std::vector<std::int64_t*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  g.all_reduce_sum(ptrs, 3);
+  for (const auto& b : bufs) {
+    EXPECT_EQ(b, (std::vector<std::int64_t>{6, 12, 40}));
+  }
+  // Cost: (t_s + t_w * words) * log2(4), words = 3 * 8/4 = 6.
+  EXPECT_DOUBLE_EQ(m.clock(0), (1.0 + 6.0) * 2);
+}
+
+TEST(Group, AllReduceHonoursExplicitWireWords) {
+  Machine m(2, unit_cost());
+  Group g = Group::whole(m);
+  std::vector<std::int64_t> a{1}, b{2};
+  const std::vector<std::int64_t*> bufs{a.data(), b.data()};
+  g.all_reduce_sum(bufs, 1, /*words=*/100.0);
+  EXPECT_EQ(a[0], 3);
+  EXPECT_DOUBLE_EQ(m.clock(0), 1.0 + 100.0);
+}
+
+TEST(Group, SingletonCollectivesAreFree) {
+  Machine m(4, unit_cost());
+  Group g(m, std::vector<Rank>{2});
+  g.charge_all_reduce(1000.0);
+  g.charge_broadcast(1000.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 0.0);
+}
+
+TEST(Group, PairwiseExchangeChargesMaxOfPair) {
+  Machine m(4, unit_cost());
+  Group g = Group::whole(m);
+  // Members 0<->2 exchange (10 out, 4 back); 1<->3 exchange (0, 0).
+  g.pairwise_exchange({10.0, 0.0, 4.0, 0.0});
+  // Pair (0,2): t_s + t_w * max(10,4) = 11; pair (1,3): t_s = 1.
+  // The final barrier aligns everyone to 11.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(m.clock(r), 11.0);
+  }
+  EXPECT_EQ(m.stats(0).words_sent, 10u);
+  EXPECT_EQ(m.stats(2).words_sent, 4u);
+  EXPECT_EQ(m.stats(2).words_received, 10u);
+}
+
+TEST(Group, RecordMovesChargeLocalIo) {
+  CostModel cm = unit_cost();
+  cm.t_io = 2.0;
+  Machine m(2, cm);
+  Group g = Group::whole(m);
+  g.pairwise_exchange({10.0, 4.0});
+  // Each member reads what it sends and writes what it receives:
+  // io = t_io * (10 + 4) = 28 on both ends.
+  EXPECT_DOUBLE_EQ(m.stats(0).io_time, 28.0);
+  EXPECT_DOUBLE_EQ(m.stats(1).io_time, 28.0);
+  EXPECT_DOUBLE_EQ(cm.record_move_word_cost(), 1.0 + 2.0 * 2.0);
+}
+
+TEST(Group, PlanBalanceEvensCountsWithinOne) {
+  const auto transfers = Group::plan_balance({10, 0, 2, 0});
+  std::vector<std::int64_t> counts{10, 0, 2, 0};
+  for (const Transfer& t : transfers) {
+    counts[static_cast<std::size_t>(t.from)] -= t.count;
+    counts[static_cast<std::size_t>(t.to)] += t.count;
+    EXPECT_GT(t.count, 0);
+  }
+  const std::int64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  EXPECT_EQ(total, 12);
+  for (const auto c : counts) {
+    EXPECT_EQ(c, 3);
+  }
+}
+
+TEST(Group, PlanBalanceHandlesAlreadyBalanced) {
+  EXPECT_TRUE(Group::plan_balance({5, 5, 5, 5}).empty());
+  EXPECT_TRUE(Group::plan_balance({3}).empty());
+}
+
+TEST(Group, PlanBalanceRemainderWithinOne) {
+  const std::vector<std::int64_t> counts{13, 1, 0};
+  auto cur = counts;
+  for (const Transfer& t : Group::plan_balance(counts)) {
+    cur[static_cast<std::size_t>(t.from)] -= t.count;
+    cur[static_cast<std::size_t>(t.to)] += t.count;
+  }
+  const auto [lo, hi] = std::minmax_element(cur.begin(), cur.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(Group, ChargeTransfersBillsBothEnds) {
+  Machine m(2, unit_cost());
+  Group g = Group::whole(m);
+  g.charge_transfers({Transfer{0, 1, 5}}, 2.0);
+  // Each end: t_s + t_w * 10 = 11; final barrier keeps them equal.
+  EXPECT_DOUBLE_EQ(m.clock(0), 11.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 11.0);
+  EXPECT_EQ(m.stats(0).words_sent, 10u);
+}
+
+TEST(Group, AllToAllPersonalizedUsesMaxVolume) {
+  Machine m(2, unit_cost());
+  Group g = Group::whole(m);
+  // Member 0 sends 10 words to 1; member 1 sends nothing.
+  g.all_to_all_personalized({{0.0, 10.0}, {0.0, 0.0}});
+  // Cost per member: t_s * log2(2) + t_w * max(sent, recv) = 1 + 10.
+  EXPECT_DOUBLE_EQ(m.clock(0), 11.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 11.0);
+}
+
+TEST(Group, HalvesOfSubcube) {
+  Machine m(8);
+  Group g = Group::whole(m);
+  const auto [a, b] = g.halves();
+  EXPECT_EQ(a.ranks(), (std::vector<Rank>{0, 1, 2, 3}));
+  EXPECT_EQ(b.ranks(), (std::vector<Rank>{4, 5, 6, 7}));
+  EXPECT_TRUE(a.is_subcube());
+  EXPECT_TRUE(b.is_subcube());
+}
+
+TEST(Group, MergeSynchronizesClocks) {
+  Machine m(4, unit_cost());
+  m.charge_compute(0, 5.0);
+  Group a(m, std::vector<Rank>{0, 1});
+  Group b(m, std::vector<Rank>{2, 3});
+  const Group merged = a.merged_with(b);
+  EXPECT_EQ(merged.size(), 4);
+  EXPECT_TRUE(merged.is_subcube());
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(m.clock(r), 5.0);
+  }
+}
+
+class AllReducePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllReducePropertyTest, ConservesTotalsAtAnyGroupSize) {
+  const int p = GetParam();
+  Machine m(p, unit_cost());
+  Group g = Group::whole(m);
+  std::vector<std::vector<std::int64_t>> bufs(
+      static_cast<std::size_t>(p), std::vector<std::int64_t>(5));
+  std::int64_t expect_total = 0;
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      bufs[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          i * 7 + j;
+      expect_total += i * 7 + j;
+    }
+  }
+  std::vector<std::int64_t*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  g.all_reduce_sum(ptrs, 5);
+  for (const auto& b : bufs) {
+    EXPECT_EQ(std::accumulate(b.begin(), b.end(), std::int64_t{0}),
+              expect_total);
+    EXPECT_EQ(b, bufs.front());
+  }
+  // Barrier semantics: all member clocks equal after the collective.
+  for (int r = 1; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(m.clock(r), m.clock(0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, AllReducePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+}  // namespace
+}  // namespace pdt::mpsim

@@ -1,0 +1,115 @@
+#include "mpsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdt::mpsim {
+namespace {
+
+TEST(Machine, StartsAtZero) {
+  Machine m(4);
+  EXPECT_EQ(m.size(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(m.clock(r), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min_clock(), 0.0);
+}
+
+TEST(Machine, ComputeChargesUnitsTimesTc) {
+  CostModel cm;
+  cm.t_c = 2.0;
+  Machine m(2, cm);
+  m.charge_compute(0, 10.0);
+  EXPECT_DOUBLE_EQ(m.clock(0), 20.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.stats(0).compute_time, 20.0);
+  EXPECT_DOUBLE_EQ(m.max_clock(), 20.0);
+  EXPECT_DOUBLE_EQ(m.min_clock(), 0.0);
+}
+
+TEST(Machine, CommChargeTracksTrafficAndMessages) {
+  Machine m(2);
+  m.charge_comm(1, 5.0, 100.0, 40.0, 3);
+  EXPECT_DOUBLE_EQ(m.clock(1), 5.0);
+  EXPECT_DOUBLE_EQ(m.stats(1).comm_time, 5.0);
+  EXPECT_EQ(m.stats(1).words_sent, 100u);
+  EXPECT_EQ(m.stats(1).words_received, 40u);
+  EXPECT_EQ(m.stats(1).messages_sent, 3u);
+}
+
+TEST(Machine, WaitUntilAccruesIdleOnlyForward) {
+  Machine m(1);
+  m.wait_until(0, 7.5);
+  EXPECT_DOUBLE_EQ(m.clock(0), 7.5);
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 7.5);
+  m.wait_until(0, 3.0);  // already past; no-op
+  EXPECT_DOUBLE_EQ(m.clock(0), 7.5);
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 7.5);
+}
+
+TEST(Machine, ClockIsMonotone) {
+  Machine m(1);
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    switch (i % 3) {
+      case 0: m.charge_compute(0, static_cast<double>(i)); break;
+      case 1: m.charge_comm(0, 1.0, 1.0, 1.0); break;
+      default: m.wait_until(0, m.clock(0) + 0.5); break;
+    }
+    EXPECT_GE(m.clock(0), last);
+    last = m.clock(0);
+  }
+}
+
+TEST(Machine, TotalStatsSumsRanks) {
+  Machine m(3);
+  m.charge_compute(0, 1.0);
+  m.charge_compute(1, 2.0);
+  m.charge_comm(2, 4.0, 10.0, 20.0, 2);
+  const RankStats t = m.total_stats();
+  EXPECT_DOUBLE_EQ(t.compute_time, (1.0 + 2.0) * m.cost().t_c);
+  EXPECT_DOUBLE_EQ(t.comm_time, 4.0);
+  EXPECT_EQ(t.words_sent, 10u);
+  EXPECT_EQ(t.messages_sent, 2u);
+}
+
+TEST(Machine, ResetClearsClocksAndStats) {
+  Machine m(2);
+  m.charge_compute(0, 5.0);
+  m.wait_until(1, 3.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stats(0).compute_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.stats(1).idle_time, 0.0);
+}
+
+TEST(Machine, BusyTimeExcludesIdle) {
+  RankStats s;
+  s.compute_time = 3.0;
+  s.comm_time = 2.0;
+  s.idle_time = 100.0;
+  EXPECT_DOUBLE_EQ(s.busy_time(), 5.0);
+}
+
+TEST(Trace, DisabledByDefaultAndCountsKinds) {
+  Machine m(2);
+  EXPECT_FALSE(m.trace().enabled());
+  m.trace().record({0.0, EventKind::Note, 0, 1, 0.0, "dropped"});
+  EXPECT_TRUE(m.trace().events().empty());
+  m.trace().enable(true);
+  m.trace().record({1.0, EventKind::AllReduce, 0, 2, 10.0, "x"});
+  m.trace().record({2.0, EventKind::AllReduce, 0, 2, 10.0, "y"});
+  m.trace().record({3.0, EventKind::MovingPhase, 0, 2, 5.0, "z"});
+  EXPECT_EQ(m.trace().count(EventKind::AllReduce), 2u);
+  EXPECT_EQ(m.trace().count(EventKind::MovingPhase), 1u);
+  EXPECT_EQ(m.trace().count(EventKind::Rejoin), 0u);
+}
+
+TEST(Trace, EventKindNames) {
+  EXPECT_STREQ(to_string(EventKind::AllReduce), "all-reduce");
+  EXPECT_STREQ(to_string(EventKind::PartitionSplit), "partition-split");
+  EXPECT_STREQ(to_string(EventKind::LoadBalance), "load-balance");
+}
+
+}  // namespace
+}  // namespace pdt::mpsim

@@ -1,0 +1,93 @@
+#include "mpsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdt::mpsim {
+namespace {
+
+TEST(Pow2, Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(17), 32);
+}
+
+TEST(Subcube, DimensionAndValidity) {
+  EXPECT_TRUE((Subcube{0, 8}).valid());
+  EXPECT_TRUE((Subcube{8, 8}).valid());
+  EXPECT_FALSE((Subcube{4, 8}).valid()) << "base must be aligned";
+  EXPECT_FALSE((Subcube{0, 6}).valid()) << "size must be a power of two";
+  EXPECT_EQ((Subcube{0, 8}).dimension(), 3);
+  EXPECT_EQ((Subcube{0, 1}).dimension(), 0);
+}
+
+TEST(Subcube, HalvesAreAlignedAndDisjoint) {
+  const Subcube c{8, 8};
+  const auto [lo, hi] = c.halves();
+  EXPECT_EQ(lo.base, 8);
+  EXPECT_EQ(lo.size, 4);
+  EXPECT_EQ(hi.base, 12);
+  EXPECT_EQ(hi.size, 4);
+  EXPECT_TRUE(lo.valid());
+  EXPECT_TRUE(hi.valid());
+}
+
+TEST(Subcube, PartnerCrossesHighestFreeDimension) {
+  const Subcube c{0, 8};
+  EXPECT_EQ(c.partner(0), 4);
+  EXPECT_EQ(c.partner(4), 0);
+  EXPECT_EQ(c.partner(3), 7);
+  EXPECT_EQ(c.partner(7), 3);
+  const Subcube off{8, 4};
+  EXPECT_EQ(off.partner(8), 10);
+  EXPECT_EQ(off.partner(11), 9);
+}
+
+TEST(Subcube, PartnerIsAnInvolution) {
+  const Subcube c{16, 16};
+  for (Rank r = 16; r < 32; ++r) {
+    EXPECT_EQ(c.partner(c.partner(r)), r);
+    EXPECT_TRUE(c.contains(c.partner(r)));
+  }
+}
+
+TEST(Subcube, RanksEnumeratesMembers) {
+  const Subcube c{4, 4};
+  EXPECT_EQ(c.ranks(), (std::vector<Rank>{4, 5, 6, 7}));
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_FALSE(c.contains(8));
+}
+
+class SubcubeRecursionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubcubeRecursionTest, RepeatedHalvingReachesSingletons) {
+  const int size = GetParam();
+  std::vector<Subcube> cubes{Subcube{0, size}};
+  while (cubes.front().size > 1) {
+    std::vector<Subcube> next;
+    for (const Subcube& c : cubes) {
+      const auto [a, b] = c.halves();
+      EXPECT_TRUE(a.valid());
+      EXPECT_TRUE(b.valid());
+      next.push_back(a);
+      next.push_back(b);
+    }
+    cubes = std::move(next);
+  }
+  EXPECT_EQ(static_cast<int>(cubes.size()), size);
+  for (int i = 0; i < size; ++i) {
+    EXPECT_EQ(cubes[static_cast<std::size_t>(i)].base, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, SubcubeRecursionTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace pdt::mpsim
