@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_buffer.cpp" "bench/CMakeFiles/ablation_buffer.dir/ablation_buffer.cpp.o" "gcc" "bench/CMakeFiles/ablation_buffer.dir/ablation_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alist/CMakeFiles/pdt_alist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/pdt_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pdt_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

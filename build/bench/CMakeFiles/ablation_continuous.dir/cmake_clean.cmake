@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_continuous.dir/ablation_continuous.cpp.o"
+  "CMakeFiles/ablation_continuous.dir/ablation_continuous.cpp.o.d"
+  "ablation_continuous"
+  "ablation_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_features.dir/ablation_hybrid_features.cpp.o"
+  "CMakeFiles/ablation_hybrid_features.dir/ablation_hybrid_features.cpp.o.d"
+  "ablation_hybrid_features"
+  "ablation_hybrid_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_splitting_criterion.dir/fig7_splitting_criterion.cpp.o"
+  "CMakeFiles/fig7_splitting_criterion.dir/fig7_splitting_criterion.cpp.o.d"
+  "fig7_splitting_criterion"
+  "fig7_splitting_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_splitting_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

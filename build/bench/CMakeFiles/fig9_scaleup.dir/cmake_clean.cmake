@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scaleup.dir/fig9_scaleup.cpp.o"
+  "CMakeFiles/fig9_scaleup.dir/fig9_scaleup.cpp.o.d"
+  "fig9_scaleup"
+  "fig9_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formulations_tour.dir/formulations_tour.cpp.o"
+  "CMakeFiles/formulations_tour.dir/formulations_tour.cpp.o.d"
+  "formulations_tour"
+  "formulations_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formulations_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_pipeline.dir/mining_pipeline.cpp.o"
+  "CMakeFiles/mining_pipeline.dir/mining_pipeline.cpp.o.d"
+  "mining_pipeline"
+  "mining_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alist/attribute_list.cpp" "src/alist/CMakeFiles/pdt_alist.dir/attribute_list.cpp.o" "gcc" "src/alist/CMakeFiles/pdt_alist.dir/attribute_list.cpp.o.d"
+  "/root/repo/src/alist/level.cpp" "src/alist/CMakeFiles/pdt_alist.dir/level.cpp.o" "gcc" "src/alist/CMakeFiles/pdt_alist.dir/level.cpp.o.d"
+  "/root/repo/src/alist/parallel.cpp" "src/alist/CMakeFiles/pdt_alist.dir/parallel.cpp.o" "gcc" "src/alist/CMakeFiles/pdt_alist.dir/parallel.cpp.o.d"
+  "/root/repo/src/alist/presorted_builder.cpp" "src/alist/CMakeFiles/pdt_alist.dir/presorted_builder.cpp.o" "gcc" "src/alist/CMakeFiles/pdt_alist.dir/presorted_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtree/CMakeFiles/pdt_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pdt_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_alist.dir/attribute_list.cpp.o"
+  "CMakeFiles/pdt_alist.dir/attribute_list.cpp.o.d"
+  "CMakeFiles/pdt_alist.dir/level.cpp.o"
+  "CMakeFiles/pdt_alist.dir/level.cpp.o.d"
+  "CMakeFiles/pdt_alist.dir/parallel.cpp.o"
+  "CMakeFiles/pdt_alist.dir/parallel.cpp.o.d"
+  "CMakeFiles/pdt_alist.dir/presorted_builder.cpp.o"
+  "CMakeFiles/pdt_alist.dir/presorted_builder.cpp.o.d"
+  "libpdt_alist.a"
+  "libpdt_alist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_alist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

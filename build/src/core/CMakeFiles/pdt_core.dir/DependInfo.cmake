@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/pdt_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/cost_analysis.cpp" "src/core/CMakeFiles/pdt_core.dir/cost_analysis.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/cost_analysis.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/core/CMakeFiles/pdt_core.dir/frontier.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/frontier.cpp.o.d"
+  "/root/repo/src/core/hybrid_tree.cpp" "src/core/CMakeFiles/pdt_core.dir/hybrid_tree.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/hybrid_tree.cpp.o.d"
+  "/root/repo/src/core/partitioned_tree.cpp" "src/core/CMakeFiles/pdt_core.dir/partitioned_tree.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/partitioned_tree.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/pdt_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/sync_tree.cpp" "src/core/CMakeFiles/pdt_core.dir/sync_tree.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/sync_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtree/CMakeFiles/pdt_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pdt_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_core.dir/baselines.cpp.o"
+  "CMakeFiles/pdt_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/cost_analysis.cpp.o"
+  "CMakeFiles/pdt_core.dir/cost_analysis.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/frontier.cpp.o"
+  "CMakeFiles/pdt_core.dir/frontier.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/hybrid_tree.cpp.o"
+  "CMakeFiles/pdt_core.dir/hybrid_tree.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/partitioned_tree.cpp.o"
+  "CMakeFiles/pdt_core.dir/partitioned_tree.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/runner.cpp.o"
+  "CMakeFiles/pdt_core.dir/runner.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/sync_tree.cpp.o"
+  "CMakeFiles/pdt_core.dir/sync_tree.cpp.o.d"
+  "libpdt_core.a"
+  "libpdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

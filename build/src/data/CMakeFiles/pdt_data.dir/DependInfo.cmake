@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/pdt_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/discretize.cpp" "src/data/CMakeFiles/pdt_data.dir/discretize.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/discretize.cpp.o.d"
+  "/root/repo/src/data/golf.cpp" "src/data/CMakeFiles/pdt_data.dir/golf.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/golf.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/pdt_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/pdt_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/quest.cpp" "src/data/CMakeFiles/pdt_data.dir/quest.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/quest.cpp.o.d"
+  "/root/repo/src/data/schema.cpp" "src/data/CMakeFiles/pdt_data.dir/schema.cpp.o" "gcc" "src/data/CMakeFiles/pdt_data.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

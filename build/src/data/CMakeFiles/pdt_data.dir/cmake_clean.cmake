@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_data.dir/dataset.cpp.o"
+  "CMakeFiles/pdt_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/discretize.cpp.o"
+  "CMakeFiles/pdt_data.dir/discretize.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/golf.cpp.o"
+  "CMakeFiles/pdt_data.dir/golf.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/io.cpp.o"
+  "CMakeFiles/pdt_data.dir/io.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/partition.cpp.o"
+  "CMakeFiles/pdt_data.dir/partition.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/quest.cpp.o"
+  "CMakeFiles/pdt_data.dir/quest.cpp.o.d"
+  "CMakeFiles/pdt_data.dir/schema.cpp.o"
+  "CMakeFiles/pdt_data.dir/schema.cpp.o.d"
+  "libpdt_data.a"
+  "libpdt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

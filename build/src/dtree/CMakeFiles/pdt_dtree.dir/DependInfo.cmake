@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtree/builder.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/builder.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/builder.cpp.o.d"
+  "/root/repo/src/dtree/criteria.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/criteria.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/criteria.cpp.o.d"
+  "/root/repo/src/dtree/histogram.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/histogram.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/histogram.cpp.o.d"
+  "/root/repo/src/dtree/metrics.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/metrics.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/metrics.cpp.o.d"
+  "/root/repo/src/dtree/prune.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/prune.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/prune.cpp.o.d"
+  "/root/repo/src/dtree/slots.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/slots.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/slots.cpp.o.d"
+  "/root/repo/src/dtree/split.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/split.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/split.cpp.o.d"
+  "/root/repo/src/dtree/split_eval.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/split_eval.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/split_eval.cpp.o.d"
+  "/root/repo/src/dtree/tree.cpp" "src/dtree/CMakeFiles/pdt_dtree.dir/tree.cpp.o" "gcc" "src/dtree/CMakeFiles/pdt_dtree.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

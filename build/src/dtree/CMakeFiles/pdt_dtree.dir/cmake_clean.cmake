@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_dtree.dir/builder.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/builder.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/criteria.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/criteria.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/histogram.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/histogram.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/metrics.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/metrics.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/prune.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/prune.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/slots.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/slots.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/split.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/split.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/split_eval.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/split_eval.cpp.o.d"
+  "CMakeFiles/pdt_dtree.dir/tree.cpp.o"
+  "CMakeFiles/pdt_dtree.dir/tree.cpp.o.d"
+  "libpdt_dtree.a"
+  "libpdt_dtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

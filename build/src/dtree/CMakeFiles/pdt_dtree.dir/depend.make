@@ -1,0 +1,2 @@
+# Empty dependencies file for pdt_dtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpsim/cost_model.cpp" "src/mpsim/CMakeFiles/pdt_mpsim.dir/cost_model.cpp.o" "gcc" "src/mpsim/CMakeFiles/pdt_mpsim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mpsim/group.cpp" "src/mpsim/CMakeFiles/pdt_mpsim.dir/group.cpp.o" "gcc" "src/mpsim/CMakeFiles/pdt_mpsim.dir/group.cpp.o.d"
+  "/root/repo/src/mpsim/machine.cpp" "src/mpsim/CMakeFiles/pdt_mpsim.dir/machine.cpp.o" "gcc" "src/mpsim/CMakeFiles/pdt_mpsim.dir/machine.cpp.o.d"
+  "/root/repo/src/mpsim/topology.cpp" "src/mpsim/CMakeFiles/pdt_mpsim.dir/topology.cpp.o" "gcc" "src/mpsim/CMakeFiles/pdt_mpsim.dir/topology.cpp.o.d"
+  "/root/repo/src/mpsim/trace.cpp" "src/mpsim/CMakeFiles/pdt_mpsim.dir/trace.cpp.o" "gcc" "src/mpsim/CMakeFiles/pdt_mpsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

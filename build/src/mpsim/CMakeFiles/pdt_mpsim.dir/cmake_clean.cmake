@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_mpsim.dir/cost_model.cpp.o"
+  "CMakeFiles/pdt_mpsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pdt_mpsim.dir/group.cpp.o"
+  "CMakeFiles/pdt_mpsim.dir/group.cpp.o.d"
+  "CMakeFiles/pdt_mpsim.dir/machine.cpp.o"
+  "CMakeFiles/pdt_mpsim.dir/machine.cpp.o.d"
+  "CMakeFiles/pdt_mpsim.dir/topology.cpp.o"
+  "CMakeFiles/pdt_mpsim.dir/topology.cpp.o.d"
+  "CMakeFiles/pdt_mpsim.dir/trace.cpp.o"
+  "CMakeFiles/pdt_mpsim.dir/trace.cpp.o.d"
+  "libpdt_mpsim.a"
+  "libpdt_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alist_tests.dir/alist/attribute_list_test.cpp.o"
+  "CMakeFiles/alist_tests.dir/alist/attribute_list_test.cpp.o.d"
+  "CMakeFiles/alist_tests.dir/alist/parallel_test.cpp.o"
+  "CMakeFiles/alist_tests.dir/alist/parallel_test.cpp.o.d"
+  "CMakeFiles/alist_tests.dir/alist/presorted_test.cpp.o"
+  "CMakeFiles/alist_tests.dir/alist/presorted_test.cpp.o.d"
+  "alist_tests"
+  "alist_tests.pdb"
+  "alist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

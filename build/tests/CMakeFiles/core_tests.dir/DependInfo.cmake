@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/cost_analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cost_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_test.cpp" "tests/CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/exact_continuous_test.cpp" "tests/CMakeFiles/core_tests.dir/core/exact_continuous_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/exact_continuous_test.cpp.o.d"
+  "/root/repo/tests/core/frontier_test.cpp" "tests/CMakeFiles/core_tests.dir/core/frontier_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/frontier_test.cpp.o.d"
+  "/root/repo/tests/core/hybrid_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/partitioned_test.cpp" "tests/CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o.d"
+  "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/robustness_test.cpp.o.d"
+  "/root/repo/tests/core/sync_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sync_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alist/CMakeFiles/pdt_alist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/pdt_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pdt_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

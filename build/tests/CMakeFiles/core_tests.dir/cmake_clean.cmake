@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cost_analysis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cost_analysis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/exact_continuous_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/exact_continuous_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/frontier_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/frontier_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/hybrid_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/hybrid_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/robustness_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sync_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sync_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

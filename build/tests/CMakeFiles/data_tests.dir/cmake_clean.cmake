@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/discretize_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/discretize_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/golf_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/golf_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/io_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/io_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/partition_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/partition_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/quest_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/quest_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/rng_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/rng_test.cpp.o.d"
+  "data_tests"
+  "data_tests.pdb"
+  "data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

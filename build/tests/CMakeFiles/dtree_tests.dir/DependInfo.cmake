@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dtree/builder_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/builder_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/builder_test.cpp.o.d"
+  "/root/repo/tests/dtree/criteria_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/criteria_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/criteria_test.cpp.o.d"
+  "/root/repo/tests/dtree/histogram_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/histogram_test.cpp.o.d"
+  "/root/repo/tests/dtree/metrics_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/metrics_test.cpp.o.d"
+  "/root/repo/tests/dtree/prune_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/prune_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/prune_test.cpp.o.d"
+  "/root/repo/tests/dtree/slots_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/slots_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/slots_test.cpp.o.d"
+  "/root/repo/tests/dtree/split_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/split_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/split_test.cpp.o.d"
+  "/root/repo/tests/dtree/tree_test.cpp" "tests/CMakeFiles/dtree_tests.dir/dtree/tree_test.cpp.o" "gcc" "tests/CMakeFiles/dtree_tests.dir/dtree/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alist/CMakeFiles/pdt_alist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtree/CMakeFiles/pdt_dtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pdt_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_tests.dir/dtree/builder_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/builder_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/criteria_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/criteria_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/histogram_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/histogram_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/metrics_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/metrics_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/prune_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/prune_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/slots_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/slots_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/split_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/split_test.cpp.o.d"
+  "CMakeFiles/dtree_tests.dir/dtree/tree_test.cpp.o"
+  "CMakeFiles/dtree_tests.dir/dtree/tree_test.cpp.o.d"
+  "dtree_tests"
+  "dtree_tests.pdb"
+  "dtree_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_tests.dir/mpsim/cost_model_test.cpp.o"
+  "CMakeFiles/mpsim_tests.dir/mpsim/cost_model_test.cpp.o.d"
+  "CMakeFiles/mpsim_tests.dir/mpsim/group_test.cpp.o"
+  "CMakeFiles/mpsim_tests.dir/mpsim/group_test.cpp.o.d"
+  "CMakeFiles/mpsim_tests.dir/mpsim/machine_test.cpp.o"
+  "CMakeFiles/mpsim_tests.dir/mpsim/machine_test.cpp.o.d"
+  "CMakeFiles/mpsim_tests.dir/mpsim/topology_test.cpp.o"
+  "CMakeFiles/mpsim_tests.dir/mpsim/topology_test.cpp.o.d"
+  "mpsim_tests"
+  "mpsim_tests.pdb"
+  "mpsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
