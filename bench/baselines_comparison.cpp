@@ -13,6 +13,7 @@ using namespace pdt;
 
 int main() {
   bench::header("Related work", "all parallelization schemes, same workload");
+  bench::BenchReport rep("baselines_comparison");
   const std::size_t n = bench::scaled(0.8e6);
   const data::Dataset binned = bench::fig6_workload(n, 9);
   const data::Dataset raw =
@@ -28,14 +29,39 @@ int main() {
   for (const int p : procs) std::printf(" %8d", p);
   std::printf("\n");
 
+  obs::JsonWriter* w = rep.writer();
+  if (w != nullptr) {
+    w->begin_object();
+    w->kv("type", "speedup_table");
+    w->kv("n", static_cast<std::int64_t>(n));
+    w->kv("serial_time_us", serial);
+    w->key("rows").begin_array();
+  }
   auto row = [&](const char* name, auto&& build) {
     std::printf("%-28s", name);
+    if (w != nullptr) {
+      w->begin_object();
+      w->kv("scheme", name);
+      w->key("points").begin_array();
+    }
     for (const int p : procs) {
       core::ParOptions opt;
       opt.num_procs = p;
-      std::printf(" %8.2f", serial / build(opt).parallel_time);
+      const double t = build(opt).parallel_time;
+      std::printf(" %8.2f", serial / t);
+      if (w != nullptr) {
+        w->begin_object();
+        w->kv("procs", p);
+        w->kv("time_us", t);
+        w->kv("speedup", serial / t);
+        w->end_object();
+      }
     }
     std::printf("\n");
+    if (w != nullptr) {
+      w->end_array();
+      w->end_object();
+    }
   };
   row("synchronous (DP-rec)", [&](const core::ParOptions& o) {
     return core::build_sync(binned, o);
@@ -52,6 +78,10 @@ int main() {
   row("hybrid (this paper)", [&](const core::ParOptions& o) {
     return core::build_hybrid(binned, o);
   });
+  if (w != nullptr) {
+    w->end_array();
+    w->end_object();
+  }
 
   // Attribute-list algorithms run on the raw continuous data with exact
   // thresholds; their baseline is their own 1-processor run.

@@ -4,24 +4,50 @@
 // (Section 5) on the simulated SP-2. Dataset sizes default to 1/10 of the
 // paper's (the simulator runs on one host core); set PDT_SCALE to change,
 // e.g. PDT_SCALE=1.0 for the paper's full 0.8M/1.6M records.
+//
+// Besides the human-readable text, every harness emits a machine-readable
+// JSON report ("pdt-bench-v1") next to its text output — <harness>.json
+// in the working directory — and the instrumented sections dump
+// Perfetto-loadable traces (<harness>.<tag>.trace.json). Set PDT_JSON=0
+// to disable all file output, PDT_JSON_DIR=<dir> to redirect it.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
 
 namespace pdt::bench {
 
 /// Global size multiplier from the PDT_SCALE env var (default 0.1).
+/// Rejects non-numeric or non-positive values with a warning instead of
+/// silently training on a 0-record dataset.
 inline double scale() {
   const char* env = std::getenv("PDT_SCALE");
-  if (env == nullptr) return 0.1;
-  const double s = std::atof(env);
-  return s > 0.0 ? s : 0.1;
+  if (env == nullptr || *env == '\0') return 0.1;
+  char* end = nullptr;
+  const double s = std::strtod(env, &end);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == env || *end != '\0' || !std::isfinite(s) || s <= 0.0) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: PDT_SCALE=\"%s\" is not a positive number; "
+                   "using the default 0.1\n",
+                   env);
+    }
+    return 0.1;
+  }
+  return s;
 }
 
 inline std::size_t scaled(double paper_n) {
@@ -57,6 +83,140 @@ inline void header(const char* fig, const char* what) {
   std::printf("dataset scale: %.2fx the paper's (PDT_SCALE to change)\n",
               scale());
   std::printf("================================================================\n");
+}
+
+/// Directory for JSON artifacts, or nullopt when disabled (PDT_JSON=0).
+inline std::optional<std::string> json_dir() {
+  const char* toggle = std::getenv("PDT_JSON");
+  if (toggle != nullptr &&
+      (std::string(toggle) == "0" || std::string(toggle) == "off")) {
+    return std::nullopt;
+  }
+  const char* dir = std::getenv("PDT_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return std::string(".");
+  return std::string(dir);
+}
+
+inline std::string json_path(const std::string& file) {
+  return *json_dir() + "/" + file;
+}
+
+/// The harness's JSON report: an envelope object with run metadata and a
+/// "sections" array that the harness appends section objects to through
+/// writer(). All methods are safe no-ops when JSON output is disabled.
+class BenchReport {
+ public:
+  explicit BenchReport(const char* harness) : harness_(harness) {
+    if (!json_dir().has_value()) return;
+    path_ = json_path(std::string(harness) + ".json");
+    os_.open(path_);
+    if (!os_) {
+      std::fprintf(stderr, "warning: cannot write %s; JSON report disabled\n",
+                   path_.c_str());
+      return;
+    }
+    w_.emplace(os_);
+    w_->begin_object();
+    w_->kv("schema", "pdt-bench-v1");
+    w_->kv("harness", harness);
+    w_->kv("scale", scale());
+    w_->key("cost_model").begin_object();
+    w_->kv("t_s", mpsim::CostModel::sp2().t_s);
+    w_->kv("t_w", mpsim::CostModel::sp2().t_w);
+    w_->kv("t_c", mpsim::CostModel::sp2().t_c);
+    w_->kv("t_io", mpsim::CostModel::sp2().t_io);
+    w_->end_object();
+    w_->key("sections").begin_array();
+  }
+
+  ~BenchReport() {
+    if (!w_.has_value()) return;
+    w_->end_array();
+    w_->end_object();
+    os_ << '\n';
+    os_.close();
+    std::printf("\n[json] wrote %s\n", path_.c_str());
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Streaming writer positioned inside the "sections" array, or nullptr
+  /// when JSON output is disabled.
+  [[nodiscard]] obs::JsonWriter* writer() {
+    return w_.has_value() ? &*w_ : nullptr;
+  }
+  [[nodiscard]] const char* harness() const { return harness_; }
+
+ private:
+  const char* harness_;
+  std::string path_;
+  std::ofstream os_;
+  std::optional<obs::JsonWriter> w_;
+};
+
+/// Append a {"type":"speedup_series",...} section.
+inline void emit_speedup_series(BenchReport& rep, const char* workload,
+                                const char* formulation,
+                                const std::vector<core::SpeedupPoint>& series) {
+  obs::JsonWriter* w = rep.writer();
+  if (w == nullptr) return;
+  w->begin_object();
+  w->kv("type", "speedup_series");
+  w->kv("workload", workload);
+  w->kv("formulation", formulation);
+  w->key("points").begin_array();
+  for (const core::SpeedupPoint& pt : series) {
+    w->begin_object();
+    w->kv("procs", pt.procs);
+    w->kv("time_us", pt.time_us);
+    w->kv("speedup", pt.speedup);
+    w->kv("efficiency", pt.efficiency);
+    w->kv("records_moved", pt.result.records_moved);
+    w->kv("histogram_words", pt.result.histogram_words);
+    w->end_object();
+  }
+  w->end_array();
+  w->end_object();
+}
+
+/// Run one build with full observability attached and append an
+/// {"type":"instrumented_run",...} section containing the pdt-metrics-v1
+/// report (per-phase x per-level breakdown, load-imbalance factors,
+/// registry metrics). Also dumps a Perfetto trace of the run to
+/// <harness>.<tag>.trace.json unless JSON output is disabled.
+inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
+                                        core::Formulation f,
+                                        const data::Dataset& ds,
+                                        core::ParOptions opt) {
+  obs::Observability o(obs::ProfilerConfig{.timeline = true});
+  opt.obs = &o;
+  opt.trace = true;  // collective events feed the trace's flow arrows
+  const core::ParResult res = core::build(f, ds, opt);
+
+  obs::JsonWriter* w = rep.writer();
+  if (w != nullptr) {
+    w->begin_object();
+    w->kv("type", "instrumented_run");
+    w->kv("tag", tag);
+    w->kv("formulation", core::to_string(f));
+    w->kv("procs", opt.num_procs);
+    w->kv("n", static_cast<std::int64_t>(ds.num_rows()));
+    w->kv("max_clock_us", res.parallel_time);
+    w->key("metrics");
+    obs::write_metrics(*w, o);
+    w->end_object();
+
+    const std::string trace_path = json_path(
+        std::string(rep.harness()) + "." + tag + ".trace.json");
+    std::ofstream ts(trace_path);
+    if (ts) {
+      obs::write_perfetto_trace(ts, o.profiler(), res.trace);
+      std::printf("[json] wrote %s (load at https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
+  return res;
 }
 
 }  // namespace pdt::bench

@@ -5,6 +5,9 @@
 // Expected shape (paper): the synchronous approach speeds up at P=2 but
 // flattens or degrades for P>=4; the partitioned approach does better but
 // loses efficiency at 8-16; the hybrid keeps improving and dominates.
+//
+// Also emits fig6_speedup.json (pdt-bench-v1) and, per formulation, a
+// Perfetto trace of an instrumented P=8 run on the smaller workload.
 #include "bench_util.hpp"
 #include "core/cost_analysis.hpp"
 
@@ -12,12 +15,14 @@ using namespace pdt;
 
 namespace {
 
-void run_size(double paper_n, std::uint64_t seed) {
+void run_size(bench::BenchReport& rep, double paper_n, std::uint64_t seed) {
   const std::size_t n = bench::scaled(paper_n);
   std::printf("\n--- %.1fM paper-scale examples (simulated with N = %zu) ---\n",
               paper_n / 1e6, n);
   const data::Dataset ds = bench::fig6_workload(n, seed);
   const std::vector<int> procs{1, 2, 4, 8, 16};
+  char workload[32];
+  std::snprintf(workload, sizeof workload, "%.1fM", paper_n / 1e6);
 
   core::ParOptions base;
   std::printf("%-13s", "speedup at P:");
@@ -33,6 +38,7 @@ void run_size(double paper_n, std::uint64_t seed) {
     for (const auto& pt : series) std::printf(" %8.2f", pt.speedup);
     std::printf("\n");
     tree_nodes = series.front().result.tree.num_nodes();
+    bench::emit_speedup_series(rep, workload, core::to_string(f), series);
   }
   std::printf("(tree: %d nodes)\n", tree_nodes);
 
@@ -59,11 +65,33 @@ void run_size(double paper_n, std::uint64_t seed) {
   std::printf("\n");
 }
 
+// One fully-instrumented P=8 run per formulation on the smaller workload:
+// the JSON report gets the per-phase x per-level time breakdown plus the
+// load-imbalance factors, and each run dumps a Perfetto trace.
+void instrumented_runs(bench::BenchReport& rep, double paper_n,
+                       std::uint64_t seed) {
+  const data::Dataset ds = bench::fig6_workload(bench::scaled(paper_n), seed);
+  std::printf("\n--- instrumented P=8 runs (%.1fM paper-scale) ---\n",
+              paper_n / 1e6);
+  for (const auto& [f, tag] :
+       {std::pair{core::Formulation::Sync, "sync.P8"},
+        std::pair{core::Formulation::Partitioned, "partitioned.P8"},
+        std::pair{core::Formulation::Hybrid, "hybrid.P8"}}) {
+    core::ParOptions opt;
+    opt.num_procs = 8;
+    const core::ParResult res = bench::run_instrumented(rep, tag, f, ds, opt);
+    std::printf("%-13s %10.1f ms\n", core::to_string(f),
+                res.parallel_time / 1000.0);
+  }
+}
+
 }  // namespace
 
 int main() {
   bench::header("Figure 6", "speedup of the three parallel formulations");
-  run_size(0.8e6, 1);
-  run_size(1.6e6, 2);
+  bench::BenchReport rep("fig6_speedup");
+  run_size(rep, 0.8e6, 1);
+  run_size(rep, 1.6e6, 2);
+  instrumented_runs(rep, 0.8e6, 1);
   return 0;
 }

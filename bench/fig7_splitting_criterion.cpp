@@ -13,7 +13,8 @@ using namespace pdt;
 
 namespace {
 
-void run_config(double paper_n, int procs, std::uint64_t seed) {
+void run_config(bench::BenchReport& rep, double paper_n, int procs,
+                std::uint64_t seed) {
   const std::size_t n = bench::scaled(paper_n);
   std::printf("\n--- %.1fM paper-scale examples on %d processors "
               "(simulated N = %zu) ---\n", paper_n / 1e6, procs, n);
@@ -47,13 +48,34 @@ void run_config(double paper_n, int procs, std::uint64_t seed) {
   std::printf("minimum at ratio %.2f — the paper proposes 1.0 as optimal "
               "(within 2x of optimal communication is guaranteed)\n",
               best_ratio);
+
+  if (obs::JsonWriter* w = rep.writer()) {
+    w->begin_object();
+    w->kv("type", "ratio_sweep");
+    w->kv("paper_n", paper_n);
+    w->kv("procs", procs);
+    w->kv("best_ratio", best_ratio);
+    w->key("points").begin_array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      w->begin_object();
+      w->kv("ratio", ratios[i]);
+      w->kv("time_us", results[i].parallel_time);
+      w->kv("rel_to_one", results[i].parallel_time / at_one);
+      w->kv("splits", results[i].partition_splits);
+      w->kv("records_moved", results[i].records_moved);
+      w->end_object();
+    }
+    w->end_array();
+    w->end_object();
+  }
 }
 
 }  // namespace
 
 int main() {
   bench::header("Figure 7", "splitting-criterion verification for the hybrid");
-  run_config(0.8e6, 8, 3);
-  run_config(1.6e6, 16, 4);
+  bench::BenchReport rep("fig7_splitting_criterion");
+  run_config(rep, 0.8e6, 8, 3);
+  run_config(rep, 1.6e6, 16, 4);
   return 0;
 }

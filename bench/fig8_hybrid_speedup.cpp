@@ -13,6 +13,7 @@ using namespace pdt;
 int main() {
   bench::header("Figure 8",
                 "hybrid speedup with per-node clustering discretization");
+  bench::BenchReport rep("fig8_hybrid_speedup");
   const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64, 128};
   const double paper_sizes[] = {0.2e6, 0.4e6, 0.8e6, 1.6e6};
 
@@ -30,6 +31,23 @@ int main() {
     std::printf("%.1fM examples (N=%-7zu)", paper_n / 1e6, n);
     for (const auto& pt : series) std::printf(" %7.2f", pt.speedup);
     std::printf("\n");
+    char workload[32];
+    std::snprintf(workload, sizeof workload, "%.1fM", paper_n / 1e6);
+    bench::emit_speedup_series(rep, workload, "hybrid", series);
+  }
+
+  // Instrumented P=8 run on the largest workload: per-phase x per-level
+  // breakdown, load-imbalance factors, and a Perfetto trace.
+  {
+    const std::size_t n = bench::scaled(1.6e6);
+    const data::Dataset ds = data::quest_generate(
+        n, {.function = 2, .seed = static_cast<std::uint64_t>(1.6e6)});
+    core::ParOptions opt = bench::fig8_options();
+    opt.num_procs = 8;
+    const core::ParResult res = bench::run_instrumented(
+        rep, "hybrid.P8", core::Formulation::Hybrid, ds, opt);
+    std::printf("\ninstrumented hybrid P=8 (1.6M paper-scale): %.1f ms\n",
+                res.parallel_time / 1000.0);
   }
 
   std::printf("\nclosed-form model at full paper scale:\n%-24s",

@@ -10,9 +10,17 @@ using namespace pdt;
 
 int main() {
   bench::header("Figure 9", "scaleup: 50,000 examples per processor");
+  bench::BenchReport rep("fig9_scaleup");
   const std::size_t per_proc = bench::scaled(50000.0);
   std::printf("\nper-processor examples (scaled): %zu\n\n", per_proc);
 
+  obs::JsonWriter* w = rep.writer();
+  if (w != nullptr) {
+    w->begin_object();
+    w->kv("type", "scaleup");
+    w->kv("per_proc_n", static_cast<std::int64_t>(per_proc));
+    w->key("points").begin_array();
+  }
   std::printf("%6s %10s %14s %14s %10s\n", "P", "N", "runtime(ms)",
               "vs P=1", "splits");
   double base_time = 0.0;
@@ -28,6 +36,19 @@ int main() {
     std::printf("%6d %10zu %14.1f %13.2fx %10d\n", p, n,
                 res.parallel_time / 1000.0, res.parallel_time / base_time,
                 res.partition_splits);
+    if (w != nullptr) {
+      w->begin_object();
+      w->kv("procs", p);
+      w->kv("n", static_cast<std::int64_t>(n));
+      w->kv("time_us", res.parallel_time);
+      w->kv("vs_p1", res.parallel_time / base_time);
+      w->kv("splits", res.partition_splits);
+      w->end_object();
+    }
+  }
+  if (w != nullptr) {
+    w->end_array();
+    w->end_object();
   }
 
   std::printf("\nisoefficiency check (Section 4.3): records needed for "

@@ -93,6 +93,45 @@ ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
   }
   record_words_ = words;
   machine.trace().enable(opt.trace);
+
+  if (opt.obs != nullptr) {
+    obs_ = opt.obs;
+    obs_->attach(machine);
+    profiler_ = &obs_->profiler();
+    obs::MetricsRegistry& reg = obs_->metrics();
+    records_relocated_ = &reg.counter("records_relocated");
+    words_all_reduced_ = &reg.counter("words_all_reduced");
+    splits_evaluated_ = &reg.counter("splits_evaluated");
+    frontier_nodes_ = &reg.histogram("frontier_nodes_per_expansion");
+    shuffle_records_ = &reg.histogram("records_per_shuffle");
+  }
+}
+
+void ParContext::publish_summary_gauges() {
+  if (obs_ == nullptr) return;
+  obs::MetricsRegistry& reg = obs_->metrics();
+  const int p = machine_->size();
+  mpsim::Time max_busy = 0.0;
+  mpsim::Time sum_busy = 0.0;
+  mpsim::Time sum_compute = 0.0;
+  mpsim::Time sum_comm = 0.0;
+  for (int r = 0; r < p; ++r) {
+    const mpsim::RankStats& s = machine_->stats(r);
+    max_busy = std::max(max_busy, s.busy_time());
+    sum_busy += s.busy_time();
+    sum_compute += s.compute_time;
+    sum_comm += s.comm_time;
+  }
+  reg.gauge("load_imbalance_overall")
+      .set(sum_busy > 0.0 ? max_busy / (sum_busy / p) : 0.0);
+  reg.gauge("comm_to_compute_overall")
+      .set(sum_compute > 0.0 ? sum_comm / sum_compute : 0.0);
+  reg.gauge("max_clock_us").set(machine_->max_clock());
+  reg.gauge("levels").set(static_cast<double>(levels));
+  reg.gauge("partition_splits").set(static_cast<double>(partition_splits));
+  reg.gauge("rejoins").set(static_cast<double>(rejoins));
+  reg.gauge("records_moved_total").set(static_cast<double>(records_moved));
+  reg.gauge("histogram_words_total").set(histogram_words);
 }
 
 NodeWork ParContext::initial_root(const mpsim::Group& g) {
@@ -143,47 +182,63 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
   const int buffer_nodes = std::max(1, ctx.options().comm_buffer_nodes);
   dtree::Hist hist;
 
+  // All nodes of one frontier share a depth; attribute this expansion's
+  // charges to it (restores the caller's level on exit — partitions at
+  // different depths interleave in the hybrid).
+  const obs::LevelScope level_scope(
+      ctx.profiler(), work.empty()
+                          ? obs::kNoLevel
+                          : tree.node(work.front()->node_id).depth);
+  ctx.observe_frontier_nodes(static_cast<std::int64_t>(work.size()));
+
   for (std::size_t c0 = 0; c0 < work.size(); c0 += static_cast<std::size_t>(buffer_nodes)) {
     const std::size_t c1 =
         std::min(work.size(), c0 + static_cast<std::size_t>(buffer_nodes));
     const std::size_t chunk_nodes = c1 - c0;
     hist.assign(chunk_nodes * static_cast<std::size_t>(entries), 0);
 
-    // Local histogram construction. The sum over members lands directly in
-    // the shared buffer — arithmetically identical to reducing per-member
-    // local histograms, while each member is charged for its own share of
-    // the update work (this is where load imbalance surfaces as idle time
-    // at the following collective).
-    for (std::size_t i = c0; i < c1; ++i) {
-      auto node_hist =
-          std::span<std::int64_t>(hist).subspan((i - c0) * static_cast<std::size_t>(entries),
-                                                static_cast<std::size_t>(entries));
-      for (int m = 0; m < p; ++m) {
-        const auto& rows = work[i]->local_rows[static_cast<std::size_t>(m)];
-        if (rows.empty()) continue;
-        dtree::accumulate(node_hist, layout, mapper, rows);
-        machine.charge_compute(g.rank(m),
-                               static_cast<double>(rows.size()) * num_attrs);
-        // Eq. 1's "I/O scan of the training set": the attribute lists are
-        // disk-resident, so every level re-reads each local record once.
-        machine.charge_io(g.rank(m), static_cast<double>(rows.size()) *
-                                         ctx.record_words() * cm.t_io);
+    {
+      const obs::PhaseScope phase(ctx.profiler(), "histogram");
+      // Local histogram construction. The sum over members lands directly
+      // in the shared buffer — arithmetically identical to reducing
+      // per-member local histograms, while each member is charged for its
+      // own share of the update work (this is where load imbalance
+      // surfaces as idle time at the following collective).
+      for (std::size_t i = c0; i < c1; ++i) {
+        auto node_hist =
+            std::span<std::int64_t>(hist).subspan((i - c0) * static_cast<std::size_t>(entries),
+                                                  static_cast<std::size_t>(entries));
+        for (int m = 0; m < p; ++m) {
+          const auto& rows = work[i]->local_rows[static_cast<std::size_t>(m)];
+          if (rows.empty()) continue;
+          dtree::accumulate(node_hist, layout, mapper, rows);
+          machine.charge_compute(g.rank(m),
+                                 static_cast<double>(rows.size()) * num_attrs);
+          // Eq. 1's "I/O scan of the training set": the attribute lists are
+          // disk-resident, so every level re-reads each local record once.
+          machine.charge_io(g.rank(m), static_cast<double>(rows.size()) *
+                                           ctx.record_words() * cm.t_io);
+        }
       }
-    }
-    // Table initialization plus split-gain evaluation (Eq. 1's
-    // C*A_d*M*2^L term), identical on every member. Charged at 0.5 t_c
-    // per entry: zeroing and a sequential gain scan are far cheaper per
-    // entry than the random-access increments t_c is calibrated to.
-    for (int m = 0; m < p; ++m) {
-      machine.charge_compute(g.rank(m),
-                             0.5 * static_cast<double>(chunk_nodes) * entries);
+      // Table initialization plus split-gain evaluation (Eq. 1's
+      // C*A_d*M*2^L term), identical on every member. Charged at 0.5 t_c
+      // per entry: zeroing and a sequential gain scan are far cheaper per
+      // entry than the random-access increments t_c is calibrated to.
+      for (int m = 0; m < p; ++m) {
+        machine.charge_compute(g.rank(m),
+                               0.5 * static_cast<double>(chunk_nodes) * entries);
+      }
     }
 
     // Flush the communication buffer: one global reduction of this chunk's
     // histograms (Section 3.1 step 3 / Eq. 2).
     const double words =
         static_cast<double>(chunk_nodes) * ctx.hist_words();
-    g.charge_all_reduce(words);
+    {
+      const obs::PhaseScope phase(ctx.profiler(), "all-reduce");
+      g.charge_all_reduce(words);
+    }
+    ctx.count_words_all_reduced(words);
     ctx.histogram_words += words;
     level_comm += cm.all_reduce(words, p);
 
@@ -193,6 +248,7 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
     // exchange the paper warns about.
     const int num_cont = ctx.dataset().schema().num_continuous();
     if (ctx.options().exact_continuous && num_cont > 0) {
+      const obs::PhaseScope phase(ctx.profiler(), "sort");
       std::vector<double> member_rows(static_cast<std::size_t>(p), 0.0);
       for (std::size_t i = c0; i < c1; ++i) {
         for (int m = 0; m < p; ++m) {
@@ -233,6 +289,8 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
 
     // Split selection — computed simultaneously (and identically) by every
     // member (Section 3.1 step 4), then local row partitioning (step 5).
+    const obs::PhaseScope split_phase(ctx.profiler(), "split-eval");
+    ctx.count_splits_evaluated(static_cast<std::int64_t>(chunk_nodes));
     for (std::size_t i = c0; i < c1; ++i) {
       auto node_hist = std::span<const std::int64_t>(hist).subspan(
           (i - c0) * static_cast<std::size_t>(entries),

@@ -10,6 +10,7 @@
 #include "data/partition.hpp"
 #include "dtree/histogram.hpp"
 #include "mpsim/group.hpp"
+#include "obs/observability.hpp"
 
 namespace pdt::core {
 
@@ -40,6 +41,39 @@ class ParContext {
   [[nodiscard]] const dtree::AttrLayout& layout() const { return layout_; }
   [[nodiscard]] dtree::Tree& tree() { return tree_; }
 
+  /// Phase profiler of the attached observability sink, or nullptr when
+  /// observability is disabled (obs::PhaseScope treats nullptr as no-op).
+  [[nodiscard]] obs::PhaseProfiler* profiler() const { return profiler_; }
+
+  // Branch-cheap metric updates (handles resolved once in the ctor;
+  // no-ops when observability is disabled).
+  void count_records_relocated(std::int64_t n) {
+    if (records_relocated_ != nullptr) {
+      records_relocated_->add(static_cast<double>(n));
+    }
+  }
+  void count_words_all_reduced(double words) {
+    if (words_all_reduced_ != nullptr) words_all_reduced_->add(words);
+  }
+  void count_splits_evaluated(std::int64_t n) {
+    if (splits_evaluated_ != nullptr) {
+      splits_evaluated_->add(static_cast<double>(n));
+    }
+  }
+  void observe_frontier_nodes(std::int64_t n) {
+    if (frontier_nodes_ != nullptr) {
+      frontier_nodes_->observe(static_cast<double>(n));
+    }
+  }
+  void observe_shuffle_records(std::int64_t n) {
+    if (shuffle_records_ != nullptr) {
+      shuffle_records_->observe(static_cast<double>(n));
+    }
+  }
+  /// Publish run-summary gauges (overall load imbalance, comm:compute,
+  /// lifecycle totals) into the registry; called by collect_result.
+  void publish_summary_gauges();
+
   /// Words on the wire of one node's flat histogram (counts travel as
   /// 4-byte words, the unit of Eq. 2's C * A_d * M).
   [[nodiscard]] double hist_words() const {
@@ -68,6 +102,14 @@ class ParContext {
   dtree::AttrLayout layout_;
   dtree::Tree tree_;
   double record_words_ = 0.0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::Counter* records_relocated_ = nullptr;
+  obs::Counter* words_all_reduced_ = nullptr;
+  obs::Counter* splits_evaluated_ = nullptr;
+  obs::Histogram* frontier_nodes_ = nullptr;
+  obs::Histogram* shuffle_records_ = nullptr;
 };
 
 /// Expand every node of `frontier` by one level, synchronously within

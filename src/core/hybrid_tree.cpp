@@ -45,6 +45,7 @@ std::vector<int> allocate_nodes(const std::vector<NodeWork>& frontier,
 /// without changing which tree node they belong to.
 void balance_half(ParContext& ctx, const mpsim::Group& g,
                   std::vector<NodeWork>& frontier) {
+  const obs::PhaseScope phase(ctx.profiler(), "load-balance");
   const int p = g.size();
   if (p <= 1) return;
   std::vector<std::int64_t> counts(static_cast<std::size_t>(p), 0);
@@ -68,6 +69,7 @@ void balance_half(ParContext& ctx, const mpsim::Group& g,
     }
     assert(remaining == 0);
     ctx.records_moved += t.count;
+    ctx.count_records_relocated(t.count);
   }
   g.charge_transfers(transfers, ctx.record_words());
 }
@@ -84,31 +86,37 @@ std::pair<HPartition, HPartition> split_partition(ParContext& ctx,
 
   // Moving phase (Eq. 3): member m sends every row it holds of nodes
   // assigned to the other side to its partner m +/- h.
+  const std::int64_t moved_before = ctx.records_moved;
   std::vector<double> words_out(static_cast<std::size_t>(p), 0.0);
   std::vector<NodeWork> fa, fb;
-  for (std::size_t j = 0; j < part.frontier.size(); ++j) {
-    NodeWork& nw = part.frontier[j];
-    NodeWork out;
-    out.node_id = nw.node_id;
-    out.local_rows.resize(static_cast<std::size_t>(h));
-    const bool to_a = side[j] == 0;
-    for (int m = 0; m < p; ++m) {
-      auto& rows = nw.local_rows[static_cast<std::size_t>(m)];
-      if (rows.empty()) continue;
-      const bool stays = to_a == (m < h);
-      if (!stays) {
-        words_out[static_cast<std::size_t>(m)] +=
-            static_cast<double>(rows.size()) * ctx.record_words();
-        ctx.records_moved += static_cast<std::int64_t>(rows.size());
+  {
+    const obs::PhaseScope move_phase(ctx.profiler(), "record-shuffle");
+    for (std::size_t j = 0; j < part.frontier.size(); ++j) {
+      NodeWork& nw = part.frontier[j];
+      NodeWork out;
+      out.node_id = nw.node_id;
+      out.local_rows.resize(static_cast<std::size_t>(h));
+      const bool to_a = side[j] == 0;
+      for (int m = 0; m < p; ++m) {
+        auto& rows = nw.local_rows[static_cast<std::size_t>(m)];
+        if (rows.empty()) continue;
+        const bool stays = to_a == (m < h);
+        if (!stays) {
+          words_out[static_cast<std::size_t>(m)] +=
+              static_cast<double>(rows.size()) * ctx.record_words();
+          ctx.records_moved += static_cast<std::int64_t>(rows.size());
+        }
+        auto& dst = out.local_rows[static_cast<std::size_t>(m % h)];
+        dst.insert(dst.end(), rows.begin(), rows.end());
+        rows.clear();
+        rows.shrink_to_fit();
       }
-      auto& dst = out.local_rows[static_cast<std::size_t>(m % h)];
-      dst.insert(dst.end(), rows.begin(), rows.end());
-      rows.clear();
-      rows.shrink_to_fit();
+      (to_a ? fa : fb).push_back(std::move(out));
     }
-    (to_a ? fa : fb).push_back(std::move(out));
+    part.group.pairwise_exchange(words_out);
   }
-  part.group.pairwise_exchange(words_out);
+  ctx.count_records_relocated(ctx.records_moved - moved_before);
+  ctx.observe_shuffle_records(ctx.records_moved - moved_before);
 
   if (ctx.options().load_balance) {
     balance_half(ctx, ga, fa);
@@ -117,10 +125,14 @@ std::pair<HPartition, HPartition> split_partition(ParContext& ctx,
   ++ctx.partition_splits;
   if (ctx.machine().trace().enabled()) {
     ctx.machine().trace().record(
-        {ga.horizon(), mpsim::EventKind::PartitionSplit,
-         part.group.rank(0), p, 0.0,
-         "partition halved: " + std::to_string(fa.size()) + " + " +
-             std::to_string(fb.size()) + " frontier nodes"});
+        {.time = ga.horizon(),
+         .kind = mpsim::EventKind::PartitionSplit,
+         .rank = part.group.rank(0),
+         .group_base = part.group.rank(0),
+         .group_size = p,
+         .words = 0.0,
+         .detail = "partition halved: " + std::to_string(fa.size()) + " + " +
+                   std::to_string(fb.size()) + " frontier nodes"});
   }
   return {HPartition{std::move(ga), std::move(fa), 0.0},
           HPartition{std::move(gb), std::move(fb), 0.0}};
@@ -159,9 +171,11 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
       union_transfers.push_back(mpsim::Transfer{i, p + i,
                                                 given[static_cast<std::size_t>(i)]});
       ctx.records_moved += given[static_cast<std::size_t>(i)];
+      ctx.count_records_relocated(given[static_cast<std::size_t>(i)]);
     }
   }
   {
+    const obs::PhaseScope phase(ctx.profiler(), "record-shuffle");
     // Charge on a group whose member order is busy-then-idle so the
     // transfer indices line up.
     std::vector<mpsim::Rank> ordered = busy.group.ranks();
@@ -204,10 +218,14 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
   ++ctx.rejoins;
   if (ctx.machine().trace().enabled()) {
     ctx.machine().trace().record(
-        {busy.group.horizon(), mpsim::EventKind::Rejoin, busy.group.rank(0),
-         p, 0.0,
-         "idle partition recruited for " +
-             std::to_string(helper.frontier.size()) + " frontier nodes"});
+        {.time = busy.group.horizon(),
+         .kind = mpsim::EventKind::Rejoin,
+         .rank = busy.group.rank(0),
+         .group_base = busy.group.rank(0),
+         .group_size = p,
+         .words = 0.0,
+         .detail = "idle partition recruited for " +
+                   std::to_string(helper.frontier.size()) + " frontier nodes"});
   }
   return helper;
 }

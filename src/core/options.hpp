@@ -9,6 +9,10 @@
 #include "mpsim/machine.hpp"
 #include "mpsim/trace.hpp"
 
+namespace pdt::obs {
+class Observability;
+}
+
 namespace pdt::core {
 
 struct ParOptions {
@@ -40,6 +44,12 @@ struct ParOptions {
   std::uint64_t seed = 7;
   /// Record run events in the machine trace (for the tour example).
   bool trace = false;
+  /// Observability sink (phase profiler + metrics registry), borrowed from
+  /// the caller; nullptr disables all instrumentation (one branch per
+  /// charge). Attaching it never changes simulated time — tests enforce a
+  /// bit-identical max_clock either way. Use one Observability per build_*
+  /// call: a reused sink keeps accumulating across runs.
+  obs::Observability* obs = nullptr;
 };
 
 struct ParResult {

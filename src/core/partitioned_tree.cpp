@@ -86,6 +86,8 @@ std::vector<std::vector<NodeWork>> shuffle_to_parts(
     ParContext& ctx, const mpsim::Group& g, std::vector<NodeWork>& children,
     const std::vector<int>& part_of,
     const std::vector<std::vector<int>>& part_members) {
+  const obs::PhaseScope phase(ctx.profiler(), "record-shuffle");
+  const std::int64_t moved_before = ctx.records_moved;
   const int p = g.size();
   std::vector<std::vector<double>> words(
       static_cast<std::size_t>(p),
@@ -157,6 +159,8 @@ std::vector<std::vector<NodeWork>> shuffle_to_parts(
   }
 
   g.all_to_all_personalized(words);
+  ctx.count_records_relocated(ctx.records_moved - moved_before);
+  ctx.observe_shuffle_records(ctx.records_moved - moved_before);
   return out;
 }
 

@@ -4,6 +4,7 @@ namespace pdt::core {
 
 ParResult collect_result(ParContext& ctx) {
   mpsim::Machine& m = ctx.machine();
+  ctx.publish_summary_gauges();
   ParResult res;
   res.tree = std::move(ctx.tree());
   res.parallel_time = m.max_clock();

@@ -50,6 +50,7 @@ void Group::trace(EventKind kind, double words, const char* detail) const {
   TraceEvent ev;
   ev.time = horizon();
   ev.kind = kind;
+  ev.rank = ranks_.front();
   ev.group_base = ranks_.front();
   ev.group_size = size();
   ev.words = words;

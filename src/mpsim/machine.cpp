@@ -4,6 +4,16 @@
 
 namespace pdt::mpsim {
 
+const char* to_string(ChargeKind k) {
+  switch (k) {
+    case ChargeKind::Compute: return "compute";
+    case ChargeKind::Comm: return "comm";
+    case ChargeKind::Io: return "io";
+    case ChargeKind::Idle: return "idle";
+  }
+  return "?";
+}
+
 Machine::Machine(int nprocs, CostModel cost)
     : cost_(cost),
       clocks_(static_cast<std::size_t>(nprocs), 0.0),
@@ -25,32 +35,49 @@ void Machine::charge_compute(Rank r, double units) {
 
 void Machine::charge_compute_time(Rank r, Time t) {
   assert(t >= 0.0);
+  const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   stats_[idx(r)].compute_time += t;
+  if (observer_ != nullptr) {
+    observer_->on_charge(r, ChargeKind::Compute, start, t, 0.0, 0.0);
+  }
 }
 
 void Machine::charge_comm(Rank r, Time t, double words_sent,
                           double words_received, std::uint64_t messages) {
   assert(t >= 0.0);
+  const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   auto& s = stats_[idx(r)];
   s.comm_time += t;
   s.words_sent += static_cast<std::uint64_t>(words_sent);
   s.words_received += static_cast<std::uint64_t>(words_received);
   s.messages_sent += messages;
+  if (observer_ != nullptr) {
+    observer_->on_charge(r, ChargeKind::Comm, start, t, words_sent,
+                         words_received);
+  }
 }
 
 void Machine::charge_io(Rank r, Time t) {
   assert(t >= 0.0);
+  const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   stats_[idx(r)].io_time += t;
+  if (observer_ != nullptr) {
+    observer_->on_charge(r, ChargeKind::Io, start, t, 0.0, 0.0);
+  }
 }
 
 void Machine::wait_until(Rank r, Time t) {
   const std::size_t i = idx(r);
   if (clocks_[i] < t) {
-    stats_[i].idle_time += t - clocks_[i];
+    const Time start = clocks_[i];
+    stats_[i].idle_time += t - start;
     clocks_[i] = t;
+    if (observer_ != nullptr) {
+      observer_->on_charge(r, ChargeKind::Idle, start, t - start, 0.0, 0.0);
+    }
   }
 }
 

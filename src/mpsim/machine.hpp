@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mpsim/cost_model.hpp"
+#include "mpsim/observer.hpp"
 #include "mpsim/stats.hpp"
 #include "mpsim/topology.hpp"
 #include "mpsim/trace.hpp"
@@ -58,7 +59,14 @@ class Machine {
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
-  /// Reset all clocks and stats to zero (keeps the trace setting).
+  /// Attach (or detach, with nullptr) a passive observer notified of every
+  /// clock advance. Not owned. Costs one predictable branch per charge
+  /// when detached; never alters simulated time either way.
+  void set_observer(ChargeObserver* obs) { observer_ = obs; }
+  [[nodiscard]] ChargeObserver* observer() const { return observer_; }
+
+  /// Reset all clocks and stats to zero (keeps the trace setting and the
+  /// attached observer).
   void reset();
 
  private:
@@ -71,6 +79,7 @@ class Machine {
   std::vector<Time> clocks_;
   std::vector<RankStats> stats_;
   Trace trace_;
+  ChargeObserver* observer_ = nullptr;
 };
 
 }  // namespace pdt::mpsim

@@ -1,0 +1,37 @@
+// Observer hook for virtual-time accounting events.
+//
+// A ChargeObserver attached to a Machine is notified of every clock
+// advance (compute / communication / I/O charges and barrier idling)
+// *after* the clock has moved. Observers are strictly passive: they may
+// not touch the machine, so attaching one can never change simulated
+// time. The obs library's PhaseProfiler is the canonical implementation;
+// mpsim itself only defines the interface so that it does not depend on
+// obs.
+#pragma once
+
+#include "mpsim/cost_model.hpp"
+#include "mpsim/topology.hpp"
+
+namespace pdt::mpsim {
+
+/// What a clock advance was accounted as (mirrors RankStats fields).
+enum class ChargeKind {
+  Compute,  ///< charge_compute / charge_compute_time
+  Comm,     ///< charge_comm
+  Io,       ///< charge_io
+  Idle,     ///< wait_until gap
+};
+
+[[nodiscard]] const char* to_string(ChargeKind k);
+
+class ChargeObserver {
+ public:
+  virtual ~ChargeObserver() = default;
+
+  /// Rank r's clock advanced from `start` to `start + dt` (dt >= 0).
+  /// `words_sent` / `words_received` are nonzero only for Comm charges.
+  virtual void on_charge(Rank r, ChargeKind kind, Time start, Time dt,
+                         double words_sent, double words_received) = 0;
+};
+
+}  // namespace pdt::mpsim

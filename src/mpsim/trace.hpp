@@ -28,6 +28,8 @@ enum class EventKind {
 struct TraceEvent {
   Time time = 0.0;       ///< virtual time at which the event completed
   EventKind kind = EventKind::Note;
+  int rank = -1;         ///< representative rank (first group member for
+                         ///< collectives); -1 when no rank applies
   int group_base = 0;    ///< subcube base of the group involved
   int group_size = 1;
   double words = 0.0;    ///< traffic volume, where applicable

@@ -1,0 +1,302 @@
+#include "obs/export.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pdt::obs {
+
+// ---------------------------------------------------------------- JSON --
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!first_.empty());
+  first_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!first_.empty());
+  first_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  escaped(k);
+  os_ << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  separate();
+  os_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  separate();
+  os_ << u;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+// ------------------------------------------------------------ Perfetto --
+
+void write_perfetto_trace(std::ostream& os, const PhaseProfiler& profiler,
+                          const std::vector<mpsim::TraceEvent>& collectives) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.kv("generator", "pdtree obs");
+  w.kv("clock", "virtual microseconds (mpsim)");
+  w.kv("truncated", profiler.truncated());
+  w.end_object();
+  w.key("traceEvents").begin_array();
+
+  // Track metadata: one process, one named thread per rank.
+  w.begin_object();
+  w.kv("ph", "M").kv("pid", 0).kv("tid", 0).kv("name", "process_name");
+  w.key("args").begin_object().kv("name", "mpsim machine").end_object();
+  w.end_object();
+  for (int r = 0; r < profiler.num_ranks(); ++r) {
+    w.begin_object();
+    w.kv("ph", "M").kv("pid", 0).kv("tid", r).kv("name", "thread_name");
+    w.key("args")
+        .begin_object()
+        .kv("name", "rank " + std::to_string(r))
+        .end_object();
+    w.end_object();
+  }
+
+  // Phase slices: complete duration events on the rank's track. "ts" is
+  // already in microseconds — the virtual clock's unit.
+  for (const Slice& s : profiler.slices()) {
+    w.begin_object();
+    w.kv("ph", "X").kv("pid", 0).kv("tid", s.rank);
+    w.kv("ts", s.start).kv("dur", s.dur);
+    w.kv("name", std::string(profiler.phase_name(s.phase)) + "/" +
+                     mpsim::to_string(s.kind));
+    w.kv("cat", mpsim::to_string(s.kind));
+    w.key("args").begin_object();
+    w.kv("level", s.level);
+    w.kv("phase", profiler.phase_name(s.phase));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Collectives as flow arrows from the group's first to its last rank at
+  // the completion time (a point-tied visual cue of who synchronized).
+  std::uint64_t flow_id = 1;
+  for (const mpsim::TraceEvent& ev : collectives) {
+    if (ev.group_size <= 1) continue;
+    const int first = ev.group_base;
+    const int last = ev.group_base + ev.group_size - 1;
+    w.begin_object();
+    w.kv("ph", "s").kv("id", flow_id).kv("pid", 0).kv("tid", first);
+    w.kv("ts", ev.time).kv("name", mpsim::to_string(ev.kind));
+    w.kv("cat", "collective");
+    w.key("args").begin_object();
+    w.kv("words", ev.words).kv("detail", ev.detail);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("ph", "f").kv("bp", "e").kv("id", flow_id).kv("pid", 0);
+    w.kv("tid", last).kv("ts", ev.time);
+    w.kv("name", mpsim::to_string(ev.kind)).kv("cat", "collective");
+    w.end_object();
+    ++flow_id;
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+// ------------------------------------------------------------- metrics --
+
+namespace {
+
+void write_totals_fields(JsonWriter& w, const PhaseTotals& t) {
+  w.kv("compute_us", t.compute);
+  w.kv("comm_us", t.comm);
+  w.kv("io_us", t.io);
+  w.kv("idle_us", t.idle);
+  w.kv("words_sent", t.words_sent);
+  w.kv("words_received", t.words_received);
+  w.kv("charges", t.charges);
+}
+
+}  // namespace
+
+void write_metrics(JsonWriter& w, const Observability& o) {
+  const PhaseProfiler& prof = o.profiler();
+  w.begin_object();
+  w.kv("schema", "pdt-metrics-v1");
+  w.kv("num_ranks", prof.num_ranks());
+  w.kv("max_level", prof.max_level());
+
+  // Per-(phase, level, rank) breakdown — the full attribution table.
+  w.key("phases").begin_array();
+  {
+    const auto rows = prof.rows();
+    // Group rows by (phase, level); rows() is sorted that way already.
+    std::size_t i = 0;
+    while (i < rows.size()) {
+      const PhaseId phase = rows[i].phase;
+      const int level = rows[i].level;
+      w.begin_object();
+      w.kv("phase", prof.phase_name(phase));
+      w.kv("level", level);
+      PhaseTotals sum;
+      w.key("per_rank").begin_array();
+      for (; i < rows.size() && rows[i].phase == phase &&
+             rows[i].level == level;
+           ++i) {
+        sum += rows[i].totals;
+        w.begin_object();
+        w.kv("rank", rows[i].rank);
+        write_totals_fields(w, rows[i].totals);
+        w.end_object();
+      }
+      w.end_array();
+      write_totals_fields(w, sum);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  // Per-level rollup across phases: the Section-5 "where did the time go
+  // at this depth" view, with the derived balance factors.
+  w.key("levels").begin_array();
+  for (int level = -1; level <= prof.max_level(); ++level) {
+    const std::vector<PhaseTotals> per_rank = prof.level_rank_totals(level);
+    PhaseTotals sum;
+    for (const PhaseTotals& t : per_rank) sum += t;
+    if (sum.charges == 0) continue;
+    w.begin_object();
+    w.kv("level", level);
+    write_totals_fields(w, sum);
+    w.kv("load_imbalance", prof.load_imbalance(level));
+    w.kv("comm_to_compute",
+         sum.compute > 0.0 ? sum.comm / sum.compute : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+
+  const MetricsRegistry& reg = o.metrics();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : reg.counters()) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : reg.gauges()) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : reg.histograms()) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("mean", h.mean());
+    // Sparse buckets: [upper_bound, count] pairs, zero buckets omitted.
+    w.key("buckets").begin_array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h.buckets()[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      w.begin_array().value(Histogram::bucket_bound(b)).value(n).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+void write_metrics_report(std::ostream& os, const Observability& o) {
+  JsonWriter w(os);
+  write_metrics(w, o);
+  os << '\n';
+}
+
+}  // namespace pdt::obs

@@ -1,0 +1,77 @@
+// Structured exporters for the observability layer:
+//
+//  * write_perfetto_trace — Chrome/Perfetto `trace_event` JSON of the
+//    simulated timeline: one track (tid) per rank, coalesced phase slices
+//    as complete ("X") duration events on the virtual clocks, and the
+//    machine's collective TraceEvents as flow arrows spanning the group.
+//    Load the file at https://ui.perfetto.dev or chrome://tracing.
+//
+//  * write_metrics — the machine-readable run report ("pdt-metrics-v1"):
+//    registry counters/gauges/histograms, the per-phase x per-level x
+//    per-rank virtual-time breakdown, and per-level rollups with
+//    load-imbalance and comm-to-compute factors. Schema documented in
+//    DESIGN.md §Observability.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "mpsim/trace.hpp"
+#include "obs/observability.hpp"
+
+namespace pdt::obs {
+
+/// Minimal streaming JSON writer (comma/nesting management + escaping).
+/// Also used by the bench harnesses for their report envelopes.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separate();  // emit "," if not the first element at this depth
+  void escaped(std::string_view s);
+
+  std::ostream& os_;
+  std::vector<bool> first_;   // per open container: next element is first?
+  bool after_key_ = false;
+};
+
+/// Perfetto/Chrome trace_event JSON. `collectives` (typically
+/// Machine::trace().events()) become flow events tying the group's first
+/// and last rank tracks together at the collective's completion time.
+void write_perfetto_trace(std::ostream& os, const PhaseProfiler& profiler,
+                          const std::vector<mpsim::TraceEvent>& collectives = {});
+
+/// Emit the "pdt-metrics-v1" report as one JSON object value on `w`
+/// (composable into a larger document — the bench envelopes do this).
+void write_metrics(JsonWriter& w, const Observability& o);
+
+/// Standalone file variant of write_metrics.
+void write_metrics_report(std::ostream& os, const Observability& o);
+
+}  // namespace pdt::obs

@@ -1,0 +1,37 @@
+// The per-run observability bundle: one PhaseProfiler plus one
+// MetricsRegistry, attachable to a simulated Machine.
+//
+// Ownership: the caller (a bench harness, test, or example) owns the
+// Observability and points ParOptions::obs at it; the run attaches the
+// profiler to its Machine and resolves metric handles. One Observability
+// per build_* call — reusing one across runs accumulates, which is only
+// what you want when you mean it.
+#pragma once
+
+#include "mpsim/machine.hpp"
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+
+namespace pdt::obs {
+
+class Observability {
+ public:
+  explicit Observability(ProfilerConfig cfg = {}) : profiler_(cfg) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  [[nodiscard]] PhaseProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const { return profiler_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach the profiler as the machine's charge observer.
+  void attach(mpsim::Machine& m) { m.set_observer(&profiler_); }
+
+ private:
+  PhaseProfiler profiler_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace pdt::obs

@@ -1,0 +1,215 @@
+// Scoped phase profiler for the simulated machine.
+//
+// Algorithm code opens nestable, named phases ("histogram", "all-reduce",
+// "record-shuffle", ...) plus one level scope per tree level; every
+// Machine charge (compute / comm / io / idle) issued while a phase is
+// open is attributed to the *innermost* open phase at the *current*
+// level, producing the per-rank x per-phase x per-level virtual-time
+// breakdown the paper argues from qualitatively in Section 5.
+//
+// The profiler is a passive mpsim::ChargeObserver: attaching it can never
+// change simulated time (tests enforce bit-identical max_clock with the
+// profiler on and off). When no profiler is attached the cost is one
+// branch per charge inside Machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpsim/observer.hpp"
+
+namespace pdt::obs {
+
+/// Index into PhaseProfiler::phase_names(). 0 is always the implicit
+/// "(unattributed)" phase that catches charges outside any scope.
+using PhaseId = int;
+
+/// Level value used when no LevelScope is open.
+inline constexpr int kNoLevel = -1;
+
+/// Virtual-time totals of one (phase, level, rank) cell.
+struct PhaseTotals {
+  mpsim::Time compute = 0.0;
+  mpsim::Time comm = 0.0;
+  mpsim::Time io = 0.0;
+  mpsim::Time idle = 0.0;
+  double words_sent = 0.0;
+  double words_received = 0.0;
+  std::uint64_t charges = 0;
+
+  [[nodiscard]] mpsim::Time busy() const { return compute + comm + io; }
+  [[nodiscard]] mpsim::Time total() const { return busy() + idle; }
+
+  PhaseTotals& operator+=(const PhaseTotals& o) {
+    compute += o.compute;
+    comm += o.comm;
+    io += o.io;
+    idle += o.idle;
+    words_sent += o.words_sent;
+    words_received += o.words_received;
+    charges += o.charges;
+    return *this;
+  }
+};
+
+/// One contiguous span of a rank's virtual timeline, for trace export.
+/// Adjacent charges of the same (phase, level, kind) on the same rank are
+/// coalesced, so the slice list stays far smaller than the charge count.
+struct Slice {
+  mpsim::Rank rank = 0;
+  mpsim::Time start = 0.0;
+  mpsim::Time dur = 0.0;
+  PhaseId phase = 0;
+  int level = kNoLevel;
+  mpsim::ChargeKind kind = mpsim::ChargeKind::Compute;
+};
+
+struct ProfilerConfig {
+  /// Collect per-charge timeline slices (needed for Perfetto export).
+  /// Aggregated per-phase totals are always collected.
+  bool timeline = false;
+  /// Stop collecting slices beyond this many (aggregates keep going);
+  /// truncated() reports whether the cap was hit.
+  std::size_t max_slices = 2u << 20;
+};
+
+class PhaseProfiler final : public mpsim::ChargeObserver {
+ public:
+  explicit PhaseProfiler(ProfilerConfig cfg = {});
+
+  /// Open the named phase (nested inside the currently open one). Phase
+  /// names are interned: reusing a name accumulates into the same row.
+  /// Prefer the RAII PhaseScope below.
+  void open(std::string_view name);
+  void close();
+  /// Set the tree level attributed to subsequent charges; returns the
+  /// previous level so LevelScope can restore it.
+  int set_level(int level);
+
+  [[nodiscard]] int current_level() const { return level_; }
+  /// Innermost open phase (0 = unattributed).
+  [[nodiscard]] PhaseId current_phase() const {
+    return stack_.empty() ? 0 : stack_.back();
+  }
+
+  // mpsim::ChargeObserver
+  void on_charge(mpsim::Rank r, mpsim::ChargeKind kind, mpsim::Time start,
+                 mpsim::Time dt, double words_sent,
+                 double words_received) override;
+
+  /// Interned phase names; index == PhaseId. phase_names()[0] is
+  /// "(unattributed)".
+  [[nodiscard]] const std::vector<std::string>& phase_names() const {
+    return names_;
+  }
+  [[nodiscard]] std::string_view phase_name(PhaseId p) const {
+    return names_[static_cast<std::size_t>(p)];
+  }
+
+  /// Number of ranks seen so far (== 1 + max rank charged).
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  /// Highest level seen (kNoLevel if none).
+  [[nodiscard]] int max_level() const { return max_level_; }
+
+  /// A (phase, level, rank) row of the breakdown.
+  struct Row {
+    PhaseId phase = 0;
+    int level = kNoLevel;
+    mpsim::Rank rank = 0;
+    PhaseTotals totals;
+  };
+  /// All nonzero rows, ordered by (phase, level, rank) — deterministic.
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  /// Totals of one phase at one level summed over ranks; pass
+  /// level == kNoLevel & any_level == true to sum over levels too.
+  [[nodiscard]] PhaseTotals phase_totals(PhaseId p, int level,
+                                         bool any_level = false) const;
+  /// Per-rank totals across all phases at one level (vector indexed by
+  /// rank). With any_level == true, sums over levels.
+  [[nodiscard]] std::vector<PhaseTotals> level_rank_totals(
+      int level, bool any_level = false) const;
+
+  /// max(busy) / mean(busy) over the ranks active at `level`
+  /// (1.0 = perfectly balanced; 0.0 when the level did no work).
+  [[nodiscard]] double load_imbalance(int level) const;
+
+  [[nodiscard]] const std::vector<Slice>& slices() const { return slices_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] const ProfilerConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] PhaseId intern(std::string_view name);
+
+  ProfilerConfig cfg_;
+  std::vector<std::string> names_;
+  std::vector<PhaseId> stack_;
+  int level_ = kNoLevel;
+  int num_ranks_ = 0;
+  int max_level_ = kNoLevel;
+
+  // Accumulation cells keyed by (phase, level, rank), stored sparsely:
+  // cells_[key] with key packed below. Kept as a sorted flat map built
+  // lazily would complicate the hot path; an unordered probe with a
+  // one-entry cache covers the "same cell charged repeatedly" pattern.
+  struct Cell {
+    std::uint64_t key = ~0ull;
+    PhaseTotals totals;
+  };
+  static std::uint64_t pack(PhaseId p, int level, mpsim::Rank r) {
+    // level is >= -1; bias by 1 so it packs as unsigned.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level + 1))
+            << 20) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
+  }
+  PhaseTotals& cell(PhaseId p, int level, mpsim::Rank r);
+  std::vector<Cell> cells_;     // open-addressed, power-of-two size
+  std::size_t cells_used_ = 0;
+  std::size_t last_hit_ = static_cast<std::size_t>(-1);
+  void grow_cells();
+
+  std::vector<Slice> slices_;
+  /// Per-rank index of the rank's last slice (for coalescing), or -1.
+  std::vector<std::ptrdiff_t> last_slice_;
+  bool truncated_ = false;
+};
+
+/// RAII phase scope. Null profiler => no-op, so call sites stay
+/// branch-cheap when observability is disabled.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProfiler* p, std::string_view name) : p_(p) {
+    if (p_ != nullptr) p_->open(name);
+  }
+  ~PhaseScope() {
+    if (p_ != nullptr) p_->close();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseProfiler* p_;
+};
+
+/// RAII tree-level scope (restores the previous level on exit, so nested
+/// expansions of different partitions attribute correctly).
+class LevelScope {
+ public:
+  LevelScope(PhaseProfiler* p, int level) : p_(p) {
+    if (p_ != nullptr) prev_ = p_->set_level(level);
+  }
+  ~LevelScope() {
+    if (p_ != nullptr) p_->set_level(prev_);
+  }
+  LevelScope(const LevelScope&) = delete;
+  LevelScope& operator=(const LevelScope&) = delete;
+
+ private:
+  PhaseProfiler* p_;
+  int prev_ = kNoLevel;
+};
+
+}  // namespace pdt::obs

@@ -94,12 +94,12 @@ TEST(Machine, BusyTimeExcludesIdle) {
 TEST(Trace, DisabledByDefaultAndCountsKinds) {
   Machine m(2);
   EXPECT_FALSE(m.trace().enabled());
-  m.trace().record({0.0, EventKind::Note, 0, 1, 0.0, "dropped"});
+  m.trace().record({0.0, EventKind::Note, 0, 0, 1, 0.0, "dropped"});
   EXPECT_TRUE(m.trace().events().empty());
   m.trace().enable(true);
-  m.trace().record({1.0, EventKind::AllReduce, 0, 2, 10.0, "x"});
-  m.trace().record({2.0, EventKind::AllReduce, 0, 2, 10.0, "y"});
-  m.trace().record({3.0, EventKind::MovingPhase, 0, 2, 5.0, "z"});
+  m.trace().record({1.0, EventKind::AllReduce, 0, 0, 2, 10.0, "x"});
+  m.trace().record({2.0, EventKind::AllReduce, 0, 0, 2, 10.0, "y"});
+  m.trace().record({3.0, EventKind::MovingPhase, 0, 0, 2, 5.0, "z"});
   EXPECT_EQ(m.trace().count(EventKind::AllReduce), 2u);
   EXPECT_EQ(m.trace().count(EventKind::MovingPhase), 1u);
   EXPECT_EQ(m.trace().count(EventKind::Rejoin), 0u);

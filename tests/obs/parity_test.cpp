@@ -1,0 +1,126 @@
+// The observability layer is passive: attaching it must not perturb the
+// simulation by a single bit. These tests run every formulation with and
+// without an Observability sink and require bit-identical virtual time
+// and accounting — which also pins the disabled path to the pre-obs seed
+// behaviour (the disabled path is the original code plus one branch).
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "obs/observability.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 31) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+void expect_bit_identical(const ParResult& off, const ParResult& on,
+                          const char* what) {
+  EXPECT_EQ(off.parallel_time, on.parallel_time) << what << ": max_clock";
+  EXPECT_EQ(off.totals.compute_time, on.totals.compute_time) << what;
+  EXPECT_EQ(off.totals.comm_time, on.totals.comm_time) << what;
+  EXPECT_EQ(off.totals.io_time, on.totals.io_time) << what;
+  EXPECT_EQ(off.totals.idle_time, on.totals.idle_time) << what;
+  EXPECT_EQ(off.totals.words_sent, on.totals.words_sent) << what;
+  EXPECT_EQ(off.totals.messages_sent, on.totals.messages_sent) << what;
+  EXPECT_EQ(off.records_moved, on.records_moved) << what;
+  EXPECT_EQ(off.histogram_words, on.histogram_words) << what;
+  EXPECT_EQ(off.levels, on.levels) << what;
+  EXPECT_EQ(off.partition_splits, on.partition_splits) << what;
+  EXPECT_EQ(off.rejoins, on.rejoins) << what;
+  ASSERT_EQ(off.per_rank.size(), on.per_rank.size()) << what;
+  for (std::size_t r = 0; r < off.per_rank.size(); ++r) {
+    EXPECT_EQ(off.per_rank[r].busy_time(), on.per_rank[r].busy_time())
+        << what << ": rank " << r;
+    EXPECT_EQ(off.per_rank[r].idle_time, on.per_rank[r].idle_time)
+        << what << ": rank " << r;
+  }
+  EXPECT_TRUE(off.tree.same_as(on.tree)) << what << ": tree";
+}
+
+class ObsParity : public ::testing::TestWithParam<std::tuple<Formulation, int>> {
+};
+
+TEST_P(ObsParity, AttachingObservabilityNeverChangesTheRun) {
+  const auto [f, procs] = GetParam();
+  const data::Dataset ds = quest_binned(2500);
+  ParOptions opt;
+  opt.num_procs = procs;
+
+  const ParResult off = build(f, ds, opt);
+
+  obs::Observability o(obs::ProfilerConfig{.timeline = true});
+  opt.obs = &o;
+  const ParResult on = build(f, ds, opt);
+
+  expect_bit_identical(off, on, to_string(f));
+
+  // And the instrumented run did actually observe the machine.
+  EXPECT_GT(o.profiler().phase_totals(0, obs::kNoLevel, /*any_level=*/true)
+                    .charges +
+                o.profiler().rows().size(),
+            0u);
+  const auto totals = o.profiler().level_rank_totals(obs::kNoLevel, true);
+  double busy = 0.0;
+  for (const auto& t : totals) busy += t.busy();
+  EXPECT_DOUBLE_EQ(busy, on.totals.busy_time())
+      << "profiler must account every busy microsecond";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormulations, ObsParity,
+    ::testing::Combine(::testing::Values(Formulation::Sync,
+                                         Formulation::Partitioned,
+                                         Formulation::Hybrid),
+                       ::testing::Values(4, 8)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ObsParity, ExactContinuousSortPhaseAlsoBitIdentical) {
+  const data::Dataset ds = data::quest_generate(800, {.function = 2,
+                                                      .seed = 5});
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.exact_continuous = true;
+  const ParResult off = build_sync(ds, opt);
+  obs::Observability o;
+  opt.obs = &o;
+  const ParResult on = build_sync(ds, opt);
+  expect_bit_identical(off, on, "sync exact-continuous");
+  bool has_sort = false;
+  for (const auto& n : o.profiler().phase_names()) has_sort |= (n == "sort");
+  EXPECT_TRUE(has_sort) << "the parallel-sort phase must be annotated";
+}
+
+TEST(ObsParity, MetricsAgreeWithRunAccounting) {
+  const data::Dataset ds = quest_binned(2500);
+  ParOptions opt;
+  opt.num_procs = 8;
+  obs::Observability o;
+  opt.obs = &o;
+  const ParResult res = build(Formulation::Hybrid, ds, opt);
+
+  const auto& counters = o.metrics().counters();
+  ASSERT_TRUE(counters.count("records_relocated"));
+  ASSERT_TRUE(counters.count("words_all_reduced"));
+  EXPECT_DOUBLE_EQ(counters.at("records_relocated").value(),
+                   static_cast<double>(res.records_moved));
+  EXPECT_DOUBLE_EQ(counters.at("words_all_reduced").value(),
+                   res.histogram_words);
+
+  const auto& gauges = o.metrics().gauges();
+  ASSERT_TRUE(gauges.count("max_clock_us"));
+  EXPECT_DOUBLE_EQ(gauges.at("max_clock_us").value(), res.parallel_time);
+  ASSERT_TRUE(gauges.count("load_imbalance_overall"));
+  EXPECT_GE(gauges.at("load_imbalance_overall").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace pdt::core

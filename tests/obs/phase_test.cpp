@@ -1,0 +1,252 @@
+#include "obs/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpsim/machine.hpp"
+
+namespace pdt::obs {
+namespace {
+
+/// Unit-friendly cost model: t_c = 1us so charge_compute(r, n) advances
+/// the clock by exactly n microseconds.
+mpsim::CostModel unit_costs() {
+  mpsim::CostModel cm;
+  cm.t_c = 1.0;
+  cm.t_s = 0.0;
+  cm.t_w = 0.0;
+  cm.t_io = 1.0;
+  return cm;
+}
+
+TEST(PhaseProfiler, ChargesOutsideAnyScopeAreUnattributed) {
+  mpsim::Machine m(2, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+  m.charge_compute(0, 5.0);
+
+  EXPECT_EQ(prof.current_phase(), 0);
+  EXPECT_EQ(prof.phase_name(0), "(unattributed)");
+  const PhaseTotals t = prof.phase_totals(0, kNoLevel);
+  EXPECT_DOUBLE_EQ(t.compute, 5.0);
+  EXPECT_EQ(t.charges, 1u);
+}
+
+TEST(PhaseProfiler, InnermostOpenPhaseWins) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+
+  prof.open("outer");
+  m.charge_compute(0, 1.0);
+  prof.open("inner");
+  m.charge_compute(0, 10.0);
+  prof.close();
+  m.charge_compute(0, 100.0);
+  prof.close();
+  m.charge_compute(0, 1000.0);
+
+  const auto& names = prof.phase_names();
+  ASSERT_EQ(names.size(), 3u);  // (unattributed), outer, inner
+  const PhaseId outer = 1;
+  const PhaseId inner = 2;
+  EXPECT_EQ(names[outer], "outer");
+  EXPECT_EQ(names[inner], "inner");
+  EXPECT_DOUBLE_EQ(prof.phase_totals(outer, kNoLevel).compute, 101.0);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(inner, kNoLevel).compute, 10.0);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, kNoLevel).compute, 1000.0);
+}
+
+TEST(PhaseProfiler, ReusedNameAccumulatesIntoSameRow) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+
+  for (int i = 0; i < 3; ++i) {
+    PhaseScope s(&prof, "histogram");
+    m.charge_compute(0, 2.0);
+  }
+  ASSERT_EQ(prof.phase_names().size(), 2u);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(1, kNoLevel).compute, 6.0);
+  EXPECT_EQ(prof.phase_totals(1, kNoLevel).charges, 3u);
+}
+
+TEST(PhaseProfiler, AllChargeKindsLandInTheirBuckets) {
+  mpsim::Machine m(2, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+
+  PhaseScope s(&prof, "p");
+  m.charge_compute(0, 3.0);
+  m.charge_comm(0, 7.0, 20.0, 10.0);
+  m.charge_io(0, 2.0);
+  m.wait_until(0, 20.0);  // clock at 12 -> 8us idle
+
+  const PhaseTotals t = prof.phase_totals(1, kNoLevel);
+  EXPECT_DOUBLE_EQ(t.compute, 3.0);
+  EXPECT_DOUBLE_EQ(t.comm, 7.0);
+  EXPECT_DOUBLE_EQ(t.io, 2.0);
+  EXPECT_DOUBLE_EQ(t.idle, 8.0);
+  EXPECT_DOUBLE_EQ(t.words_sent, 20.0);
+  EXPECT_DOUBLE_EQ(t.words_received, 10.0);
+  EXPECT_DOUBLE_EQ(t.busy(), 12.0);
+  EXPECT_DOUBLE_EQ(t.total(), 20.0);
+}
+
+TEST(PhaseProfiler, NoOpWaitIsNotCounted) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+  m.charge_compute(0, 5.0);
+  m.wait_until(0, 3.0);  // already past 3us: no idle charge
+  EXPECT_EQ(prof.phase_totals(0, kNoLevel).charges, 1u);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, kNoLevel).idle, 0.0);
+}
+
+TEST(PhaseProfiler, LevelScopeAttributesAndRestores) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+
+  EXPECT_EQ(prof.current_level(), kNoLevel);
+  {
+    LevelScope l0(&prof, 0);
+    m.charge_compute(0, 1.0);
+    {
+      LevelScope l3(&prof, 3);  // a nested partition at depth 3
+      m.charge_compute(0, 10.0);
+    }
+    EXPECT_EQ(prof.current_level(), 0);
+    m.charge_compute(0, 100.0);
+  }
+  EXPECT_EQ(prof.current_level(), kNoLevel);
+  m.charge_compute(0, 1000.0);
+
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, 0).compute, 101.0);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, 3).compute, 10.0);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, kNoLevel).compute, 1000.0);
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, kNoLevel, /*any_level=*/true).compute,
+                   1111.0);
+  EXPECT_EQ(prof.max_level(), 3);
+}
+
+TEST(PhaseProfiler, NullScopesAreNoOps) {
+  PhaseScope p(nullptr, "x");
+  LevelScope l(nullptr, 5);
+  // Nothing to assert beyond "does not crash": the disabled path.
+  SUCCEED();
+}
+
+TEST(PhaseProfiler, RowsAreSortedAndComplete) {
+  mpsim::Machine m(4, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+
+  {
+    PhaseScope s(&prof, "b");
+    m.charge_compute(3, 1.0);
+    m.charge_compute(1, 1.0);
+  }
+  {
+    PhaseScope s(&prof, "a");
+    m.charge_compute(2, 1.0);
+  }
+  const auto rows = prof.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const bool ordered =
+        rows[i - 1].phase < rows[i].phase ||
+        (rows[i - 1].phase == rows[i].phase &&
+         (rows[i - 1].level < rows[i].level ||
+          (rows[i - 1].level == rows[i].level &&
+           rows[i - 1].rank < rows[i].rank)));
+    EXPECT_TRUE(ordered) << "rows must sort by (phase, level, rank)";
+  }
+  EXPECT_EQ(prof.num_ranks(), 4);
+}
+
+TEST(PhaseProfiler, LoadImbalanceIsMaxOverMean) {
+  mpsim::Machine m(2, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+  LevelScope l(&prof, 0);
+  m.charge_compute(0, 30.0);
+  m.charge_compute(1, 10.0);
+  // max 30 / mean 20 = 1.5
+  EXPECT_DOUBLE_EQ(prof.load_imbalance(0), 1.5);
+  EXPECT_DOUBLE_EQ(prof.load_imbalance(7), 0.0) << "no work at that level";
+}
+
+TEST(PhaseProfiler, TimelineCoalescesAdjacentCharges) {
+  mpsim::Machine m(2, unit_costs());
+  PhaseProfiler prof(ProfilerConfig{.timeline = true});
+  m.set_observer(&prof);
+
+  {
+    PhaseScope s(&prof, "p");
+    m.charge_compute(0, 1.0);
+    m.charge_compute(0, 2.0);  // gapless, same attribution: coalesce
+  }
+  m.charge_compute(0, 4.0);    // phase changed: new slice
+  m.charge_compute(1, 8.0);    // other rank: its own slice
+
+  const auto& sl = prof.slices();
+  ASSERT_EQ(sl.size(), 3u);
+  EXPECT_EQ(sl[0].rank, 0);
+  EXPECT_DOUBLE_EQ(sl[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(sl[0].dur, 3.0);
+  EXPECT_EQ(sl[1].phase, 0);
+  EXPECT_DOUBLE_EQ(sl[1].dur, 4.0);
+  EXPECT_EQ(sl[2].rank, 1);
+  EXPECT_FALSE(prof.truncated());
+}
+
+TEST(PhaseProfiler, TimelineOffCollectsNoSlices) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof;  // timeline defaults to off
+  m.set_observer(&prof);
+  m.charge_compute(0, 5.0);
+  EXPECT_TRUE(prof.slices().empty());
+  EXPECT_DOUBLE_EQ(prof.phase_totals(0, kNoLevel).compute, 5.0)
+      << "aggregates still collected";
+}
+
+TEST(PhaseProfiler, SliceCapSetsTruncatedFlag) {
+  mpsim::Machine m(1, unit_costs());
+  PhaseProfiler prof(ProfilerConfig{.timeline = true, .max_slices = 1});
+  m.set_observer(&prof);
+  {
+    PhaseScope a(&prof, "a");
+    m.charge_compute(0, 1.0);
+  }
+  {
+    PhaseScope b(&prof, "b");
+    m.charge_compute(0, 1.0);  // second distinct slice: over the cap
+  }
+  EXPECT_EQ(prof.slices().size(), 1u);
+  EXPECT_TRUE(prof.truncated());
+  EXPECT_DOUBLE_EQ(prof.phase_totals(2, kNoLevel).compute, 1.0)
+      << "aggregation keeps going past the slice cap";
+}
+
+TEST(PhaseProfiler, ManyCellsSurviveTableGrowth) {
+  mpsim::Machine m(8, unit_costs());
+  PhaseProfiler prof;
+  m.set_observer(&prof);
+  // 4 phases x 32 levels x 8 ranks = 1024 cells, forcing several rehashes.
+  const char* names[] = {"a", "b", "c", "d"};
+  for (const char* n : names) {
+    PhaseScope s(&prof, n);
+    for (int level = 0; level < 32; ++level) {
+      LevelScope l(&prof, level);
+      for (int r = 0; r < 8; ++r) m.charge_compute(r, 1.0);
+    }
+  }
+  EXPECT_EQ(prof.rows().size(), 4u * 32u * 8u);
+  for (PhaseId p = 1; p <= 4; ++p) {
+    EXPECT_DOUBLE_EQ(
+        prof.phase_totals(p, kNoLevel, /*any_level=*/true).compute, 32.0 * 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdt::obs

@@ -1,0 +1,120 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pdt::obs {
+namespace {
+
+TEST(Counter, AddAndInc) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.add(2.5);
+  c.inc();
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.0);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, EmptySummaryIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  for (const double v : {4.0, 1.0, 10.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds everything below 1 (including 0 and negatives);
+  // bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(0.99), 0);
+  EXPECT_EQ(Histogram::bucket_of(1.0), 1);
+  EXPECT_EQ(Histogram::bucket_of(1.99), 1);
+  EXPECT_EQ(Histogram::bucket_of(2.0), 2);
+  EXPECT_EQ(Histogram::bucket_of(1024.0), 11);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1)
+      << "overflow clamps to the last bucket";
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::quiet_NaN()), 0)
+      << "NaN is not >= 1, lands in bucket 0";
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(3), 8.0);
+}
+
+TEST(Histogram, ObservationsFillBuckets) {
+  Histogram h;
+  h.observe(0.5);   // bucket 0
+  h.observe(1.5);   // bucket 1
+  h.observe(1.7);   // bucket 1
+  h.observe(700.0); // bucket 10: [512, 1024)
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+  std::uint64_t total = 0;
+  for (const auto b : h.buckets()) total += b;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistry, SameNameSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(1.0);
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+}
+
+TEST(MetricsRegistry, HandlesSurviveLaterInsertions) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("aaa");
+  // A burst of inserts that would invalidate vector-backed storage.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("k" + std::to_string(i)).inc();
+  }
+  first.add(5.0);
+  EXPECT_DOUBLE_EQ(reg.counter("aaa").value(), 5.0);
+}
+
+TEST(MetricsRegistry, IterationIsLexicographic) {
+  MetricsRegistry reg;
+  reg.gauge("zeta").set(1);
+  reg.gauge("alpha").set(2);
+  reg.gauge("mid").set(3);
+  std::vector<std::string> names;
+  for (const auto& [name, g] : reg.gauges()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(MetricsRegistry, KindsAreIndependentNamespaces) {
+  MetricsRegistry reg;
+  reg.counter("n").add(1.0);
+  reg.gauge("n").set(2.0);
+  reg.histogram("n").observe(3.0);
+  EXPECT_DOUBLE_EQ(reg.counter("n").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("n").value(), 2.0);
+  EXPECT_EQ(reg.histogram("n").count(), 1u);
+}
+
+}  // namespace
+}  // namespace pdt::obs
