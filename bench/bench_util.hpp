@@ -183,8 +183,10 @@ inline void emit_speedup_series(BenchReport& rep, const char* workload,
 /// Run one build with full observability attached and append an
 /// {"type":"instrumented_run",...} section containing the pdt-metrics-v1
 /// report (per-phase x per-level breakdown, load-imbalance factors,
-/// registry metrics). Also dumps a Perfetto trace of the run to
-/// <harness>.<tag>.trace.json unless JSON output is disabled.
+/// registry metrics) and the pdt-comm-v1 report (collective
+/// measured-vs-predicted costs, traffic matrix, critical path). Also dumps
+/// a Perfetto trace of the run to <harness>.<tag>.trace.json unless JSON
+/// output is disabled.
 inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         core::Formulation f,
                                         const data::Dataset& ds,
@@ -205,6 +207,8 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
     w->kv("max_clock_us", res.parallel_time);
     w->key("metrics");
     obs::write_metrics(*w, o);
+    w->key("comm");
+    obs::write_comm(*w, o.comm_ledger(), &o.critical_path(), &o.profiler());
     w->end_object();
 
     const std::string trace_path = json_path(

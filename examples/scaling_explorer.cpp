@@ -3,15 +3,44 @@
 // (compute / communication / idle) — the breakdown behind Figure 6.
 //
 // Build & run:  ./build/examples/scaling_explorer [sync|part|hybrid] [N] [Pmax]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "obs/observability.hpp"
 
 using namespace pdt;
+
+// The three longest critical-path segments: where did the time this run
+// could not parallelize away actually go?
+static void print_top_segments(const obs::Observability& o) {
+  const auto path = o.critical_path().path();
+  if (path.segments.empty() || path.max_clock_us <= 0.0) return;
+  auto top = path.segments;
+  std::sort(top.begin(), top.end(),
+            [](const obs::PathSegment& a, const obs::PathSegment& b) {
+              if (a.dur_us() != b.dur_us()) return a.dur_us() > b.dur_us();
+              return a.start_us < b.start_us;
+            });
+  std::printf("     critical path (%zu segments, %llu handoffs), top 3:\n",
+              path.segments.size(),
+              static_cast<unsigned long long>(path.handoffs));
+  for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+    const obs::PathSegment& s = top[i];
+    const std::string phase(o.profiler().phase_name(s.phase));
+    std::printf("       %4.1f%%  rank %d  %s",
+                100.0 * s.dur_us() / path.max_clock_us, s.rank,
+                phase.c_str());
+    if (s.level != obs::kNoLevel) std::printf(" (level %d)", s.level);
+    std::printf("  %s  %.1f ms\n", mpsim::to_string(s.kind),
+                s.dur_us() / 1000.0);
+  }
+}
 
 int main(int argc, char** argv) {
   core::Formulation f = core::Formulation::Hybrid;
@@ -50,6 +79,8 @@ int main(int argc, char** argv) {
   for (int p = 1; p <= pmax; p *= 2) {
     core::ParOptions opt;
     opt.num_procs = p;
+    obs::Observability o;  // fresh ledger + tracer per processor count
+    if (p > 1) opt.obs = &o;
     const core::ParResult res =
         p == 1 ? serial : core::build(f, ds, opt);
     const double busy_total = res.totals.compute_time +
@@ -63,6 +94,7 @@ int main(int argc, char** argv) {
                 res.totals.idle_time / busy_total * 100.0,
                 res.partition_splits,
                 static_cast<long long>(res.records_moved));
+    if (p > 1) print_top_segments(o);
   }
   std::printf("\n(compute/comm/idle are shares of total processor-time)\n");
   return 0;

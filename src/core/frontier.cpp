@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "dtree/split_eval.hpp"
+#include "mpsim/comm_ledger.hpp"
 
 namespace pdt::core {
 
@@ -185,10 +186,12 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
   // All nodes of one frontier share a depth; attribute this expansion's
   // charges to it (restores the caller's level on exit — partitions at
   // different depths interleave in the hybrid).
-  const obs::LevelScope level_scope(
-      ctx.profiler(), work.empty()
-                          ? obs::kNoLevel
-                          : tree.node(work.front()->node_id).depth);
+  const int frontier_level = work.empty()
+                                 ? obs::kNoLevel
+                                 : tree.node(work.front()->node_id).depth;
+  const obs::LevelScope level_scope(ctx.profiler(), frontier_level);
+  const mpsim::LedgerLevelScope ledger_level(machine.comm_ledger(),
+                                             frontier_level);
   ctx.observe_frontier_nodes(static_cast<std::int64_t>(work.size()));
 
   for (std::size_t c0 = 0; c0 < work.size(); c0 += static_cast<std::size_t>(buffer_nodes)) {

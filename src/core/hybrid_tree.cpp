@@ -6,6 +6,7 @@
 
 #include "core/sync_tree.hpp"
 #include "data/rng.hpp"
+#include "mpsim/comm_ledger.hpp"
 
 namespace pdt::core {
 
@@ -183,11 +184,8 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
     ordered.insert(ordered.end(), ir.begin(), ir.end());
     // Group() sorts ranks, so build the transfer cost directly instead.
     const mpsim::CostModel& cm = ctx.machine().cost();
-    mpsim::Time horizon = 0.0;
-    for (const mpsim::Rank r : ordered) {
-      horizon = std::max(horizon, ctx.machine().clock(r));
-    }
-    for (const mpsim::Rank r : ordered) ctx.machine().wait_until(r, horizon);
+    ctx.machine().barrier_over(ordered);
+    mpsim::CommLedger* ledger = ctx.machine().comm_ledger();
     for (const mpsim::Transfer& t : union_transfers) {
       const double words =
           static_cast<double>(t.count) * ctx.record_words();
@@ -198,12 +196,9 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
       ctx.machine().charge_comm(to, wire, 0.0, words);
       ctx.machine().charge_io(from, cm.t_io * words);
       ctx.machine().charge_io(to, cm.t_io * words);
+      if (ledger != nullptr) ledger->add_traffic(from, to, words);
     }
-    mpsim::Time after = 0.0;
-    for (const mpsim::Rank r : ordered) {
-      after = std::max(after, ctx.machine().clock(r));
-    }
-    for (const mpsim::Rank r : ordered) ctx.machine().wait_until(r, after);
+    ctx.machine().barrier_over(ordered);
   }
 
   busy.frontier = std::move(keep_frontier);

@@ -24,6 +24,11 @@ Time CostModel::broadcast(double words, int p) const {
   return (t_s + t_w * words) * ceil_log2(p);
 }
 
+Time CostModel::all_to_all(double volume, int p) const {
+  if (p <= 1) return 0.0;
+  return t_s * ceil_log2(p) + t_w * volume;
+}
+
 CostModel CostModel::sp2() { return CostModel{}; }
 
 CostModel CostModel::zero_comm() {

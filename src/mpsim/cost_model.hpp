@@ -63,6 +63,11 @@ struct CostModel {
   /// Cost of a one-to-all broadcast of `words` words among `p` processors.
   [[nodiscard]] Time broadcast(double words, int p) const;
 
+  /// Cost per member of an all-to-all personalized exchange where the
+  /// member sends/receives at most `volume` words:
+  /// t_s * ceil(log2 p) + t_w * volume  [KGGK94, optimal hypercube].
+  [[nodiscard]] Time all_to_all(double volume, int p) const;
+
   /// IBM SP-2 preset (same as the defaults; spelled out for call sites
   /// that want to be explicit about what they model).
   [[nodiscard]] static CostModel sp2();

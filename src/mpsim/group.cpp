@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <numeric>
+#include <stdexcept>
+
+#include "mpsim/comm_ledger.hpp"
 
 namespace pdt::mpsim {
 
@@ -40,10 +44,7 @@ Time Group::horizon() const {
   return t;
 }
 
-void Group::barrier() const {
-  const Time t = horizon();
-  for (Rank r : ranks_) machine_->wait_until(r, t);
-}
+void Group::barrier() const { machine_->barrier_over(ranks_); }
 
 void Group::trace(EventKind kind, double words, const char* detail) const {
   if (!machine_->trace().enabled()) return;
@@ -109,6 +110,28 @@ void Group::charge_all_reduce(double words) const {
     machine_->charge_comm(r, cost, words * rounds, words * rounds,
                           static_cast<std::uint64_t>(rounds));
   }
+  if (CommLedger* ledger = machine_->comm_ledger()) {
+    CollectiveEntry e;
+    e.kind = CollectiveKind::AllReduce;
+    e.group_base = ranks_.front();
+    e.group_size = size();
+    e.words = words;
+    // Every member is charged the Eq. 2 formula directly, so measured
+    // and predicted coincide bit-exactly.
+    e.predicted_us = cost * size();
+    e.measured_us = e.predicted_us;
+    const int p = size();
+    for (int d = 0; d < rounds; ++d) {
+      for (int i = 0; i < p; ++i) {
+        const int partner = i ^ (1 << d);
+        if (partner < p) {
+          ledger->add_traffic(rank(i), rank(partner), words);
+          ++e.messages;
+        }
+      }
+    }
+    ledger->record(e);
+  }
   trace(EventKind::AllReduce, words, "all-reduce");
 }
 
@@ -117,10 +140,32 @@ void Group::charge_broadcast(double words) const {
   barrier();
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
-  const Time cost = (cm.t_s + cm.t_w * words) * rounds;
+  const Time cost = cm.broadcast(words, size());
   for (Rank r : ranks_) {
     machine_->charge_comm(r, cost, words, words,
                           static_cast<std::uint64_t>(rounds));
+  }
+  if (CommLedger* ledger = machine_->comm_ledger()) {
+    CollectiveEntry e;
+    e.kind = CollectiveKind::Broadcast;
+    e.group_base = ranks_.front();
+    e.group_size = size();
+    e.words = words;
+    e.predicted_us = cost * size();
+    e.measured_us = e.predicted_us;
+    // Binomial tree rooted at the first member: in round d the members
+    // that already hold the payload (indices < 2^d) send it 2^d ahead.
+    const int p = size();
+    for (int d = 0; d < rounds; ++d) {
+      for (int i = 0; i < (1 << d); ++i) {
+        const int target = i + (1 << d);
+        if (target < p) {
+          ledger->add_traffic(rank(i), rank(target), words);
+          ++e.messages;
+        }
+      }
+    }
+    ledger->record(e);
   }
   trace(EventKind::Broadcast, words, "broadcast");
 }
@@ -131,7 +176,11 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
   barrier();
   const CostModel& cm = machine_->cost();
   const int half = size() / 2;
+  CommLedger* ledger = machine_->comm_ledger();
   double total = 0.0;
+  Time predicted = 0.0;
+  Time max_member = 0.0;
+  Time io_total = 0.0;
   for (int i = 0; i < half; ++i) {
     // Member i pairs with member i + half. For a subcube this is exactly
     // the partner across the highest free dimension.
@@ -142,11 +191,33 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     machine_->charge_comm(rank(i + half), cost, out_b, out_a);
     // Records live in disk-resident attribute lists: the sender reads what
     // it ships, the receiver writes what arrives.
-    machine_->charge_io(rank(i), cm.t_io * (out_a + out_b));
-    machine_->charge_io(rank(i + half), cm.t_io * (out_a + out_b));
+    const Time io = cm.t_io * (out_a + out_b);
+    machine_->charge_io(rank(i), io);
+    machine_->charge_io(rank(i + half), io);
     total += out_a + out_b;
+    if (ledger != nullptr) {
+      predicted += cost + cost;
+      max_member = std::max(max_member, cost);
+      io_total += io + io;
+      ledger->add_traffic(rank(i), rank(i + half), out_a);
+      ledger->add_traffic(rank(i + half), rank(i), out_b);
+    }
   }
   barrier();
+  if (ledger != nullptr) {
+    CollectiveEntry e;
+    e.kind = CollectiveKind::PairwiseExchange;
+    e.group_base = ranks_.front();
+    e.group_size = size();
+    e.words = total;
+    e.predicted_us = predicted;
+    // Unequal pair volumes serialize at the trailing barrier: every
+    // member effectively pays for the heaviest pair.
+    e.measured_us = max_member * size();
+    e.io_us = io_total;
+    e.messages = static_cast<std::uint64_t>(size());
+    ledger->record(e);
+  }
   trace(EventKind::MovingPhase, total, "pairwise exchange");
 }
 
@@ -200,6 +271,7 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
   // Eq. 3/4 bound of 2*(N/P)*t_w when counts are within [0, 2N/P].
   std::vector<Time> member_cost(static_cast<std::size_t>(size()), 0.0);
   std::vector<double> member_words(static_cast<std::size_t>(size()), 0.0);
+  CommLedger* ledger = machine_->comm_ledger();
   double total_words = 0.0;
   for (const Transfer& t : transfers) {
     const double words = static_cast<double>(t.count) * words_per_item;
@@ -208,6 +280,9 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
     member_words[static_cast<std::size_t>(t.from)] += words;
     member_words[static_cast<std::size_t>(t.to)] += words;
     total_words += words;
+    if (ledger != nullptr) {
+      ledger->add_traffic(rank(t.from), rank(t.to), words);
+    }
   }
   for (int i = 0; i < size(); ++i) {
     if (member_cost[static_cast<std::size_t>(i)] > 0.0) {
@@ -219,20 +294,60 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
     }
   }
   barrier();
+  if (ledger != nullptr && !transfers.empty()) {
+    CollectiveEntry e;
+    e.kind = CollectiveKind::Transfers;
+    e.group_base = ranks_.front();
+    e.group_size = size();
+    e.words = total_words;
+    Time max_member = 0.0;
+    for (int i = 0; i < size(); ++i) {
+      const Time c = member_cost[static_cast<std::size_t>(i)];
+      if (c > 0.0) {
+        e.predicted_us += c;
+        e.io_us += cm.t_io * member_words[static_cast<std::size_t>(i)];
+      }
+      max_member = std::max(max_member, c);
+    }
+    // Members outside the transfer plan idle at the trailing barrier
+    // while the busiest endpoint drains its queue.
+    e.measured_us = max_member * size();
+    e.messages = static_cast<std::uint64_t>(transfers.size());
+    ledger->record(e);
+  }
   trace(EventKind::LoadBalance, total_words, "load balance");
 }
 
 void Group::all_to_all_personalized(
     const std::vector<std::vector<double>>& words_out) const {
-  assert(static_cast<int>(words_out.size()) == size());
-  if (size() <= 1) return;
+  const int p = size();
+  // Shape/value errors here would otherwise silently misindex (the old
+  // asserts vanish under NDEBUG), so validate for real before charging.
+  if (static_cast<int>(words_out.size()) != p) {
+    throw std::invalid_argument(
+        "Group::all_to_all_personalized: words_out must have one row per "
+        "group member");
+  }
+  for (const std::vector<double>& row : words_out) {
+    if (static_cast<int>(row.size()) != p) {
+      throw std::invalid_argument(
+          "Group::all_to_all_personalized: words_out must be a square p x p "
+          "matrix");
+    }
+    for (const double w : row) {
+      if (!std::isfinite(w) || w < 0.0) {
+        throw std::invalid_argument(
+            "Group::all_to_all_personalized: words_out entries must be "
+            "finite and non-negative");
+      }
+    }
+  }
+  if (p <= 1) return;
   barrier();
   const CostModel& cm = machine_->cost();
-  const int p = size();
   std::vector<double> sent(static_cast<std::size_t>(p), 0.0);
   std::vector<double> recv(static_cast<std::size_t>(p), 0.0);
   for (int i = 0; i < p; ++i) {
-    assert(static_cast<int>(words_out[static_cast<std::size_t>(i)].size()) == p);
     for (int j = 0; j < p; ++j) {
       const double w =
           words_out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
@@ -241,20 +356,52 @@ void Group::all_to_all_personalized(
     }
   }
   const int rounds = dimension();
+  CommLedger* ledger = machine_->comm_ledger();
   double total = 0.0;
+  Time predicted = 0.0;
+  double max_vol = 0.0;
+  Time io_total = 0.0;
   for (int i = 0; i < p; ++i) {
     const double vol = std::max(sent[static_cast<std::size_t>(i)],
                                 recv[static_cast<std::size_t>(i)]);
-    const Time cost = cm.t_s * rounds + cm.t_w * vol;
+    const Time cost = cm.all_to_all(vol, p);
     machine_->charge_comm(rank(i), cost, sent[static_cast<std::size_t>(i)],
                           recv[static_cast<std::size_t>(i)],
                           static_cast<std::uint64_t>(rounds));
-    machine_->charge_io(rank(i),
-                        cm.t_io * (sent[static_cast<std::size_t>(i)] +
-                                   recv[static_cast<std::size_t>(i)]));
+    const Time io = cm.t_io * (sent[static_cast<std::size_t>(i)] +
+                               recv[static_cast<std::size_t>(i)]);
+    machine_->charge_io(rank(i), io);
     total += sent[static_cast<std::size_t>(i)];
+    if (ledger != nullptr) {
+      predicted += cost;
+      max_vol = std::max(max_vol, vol);
+      io_total += io;
+    }
   }
   barrier();
+  if (ledger != nullptr) {
+    CollectiveEntry e;
+    e.kind = CollectiveKind::AllToAll;
+    e.group_base = ranks_.front();
+    e.group_size = p;
+    e.words = total;
+    e.predicted_us = predicted;
+    // The member with the heaviest send/receive volume sets the pace for
+    // everyone at the trailing barrier.
+    e.measured_us = cm.all_to_all(max_vol, p) * p;
+    e.io_us = io_total;
+    for (int i = 0; i < p; ++i) {
+      for (int j = 0; j < p; ++j) {
+        const double w =
+            words_out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        if (i != j && w > 0.0) {
+          ledger->add_traffic(rank(i), rank(j), w);
+          ++e.messages;
+        }
+      }
+    }
+    ledger->record(e);
+  }
   trace(EventKind::PointToPoint, total, "all-to-all personalized");
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mpsim/comm_ledger.hpp"
+
 namespace pdt::mpsim {
 
 const char* to_string(ChargeKind k) {
@@ -79,6 +81,30 @@ void Machine::wait_until(Rank r, Time t) {
       observer_->on_charge(r, ChargeKind::Idle, start, t - start, 0.0, 0.0);
     }
   }
+}
+
+void Machine::barrier_over(const std::vector<Rank>& ranks) {
+  if (ranks.empty()) return;
+  Time horizon = 0.0;
+  for (Rank r : ranks) horizon = std::max(horizon, clocks_[idx(r)]);
+  // The path holder must be identified before the waits equalize the
+  // clocks: it is the first member already at the horizon.
+  Rank holder = ranks.front();
+  for (Rank r : ranks) {
+    if (clocks_[idx(r)] == horizon) {
+      holder = r;
+      break;
+    }
+  }
+  for (Rank r : ranks) wait_until(r, horizon);
+  if (observer_ != nullptr && ranks.size() > 1) {
+    observer_->on_barrier(ranks, holder, horizon);
+  }
+}
+
+void Machine::set_comm_ledger(CommLedger* ledger) {
+  comm_ledger_ = ledger;
+  if (comm_ledger_ != nullptr) comm_ledger_->ensure_ranks(size());
 }
 
 RankStats Machine::total_stats() const {

@@ -22,6 +22,8 @@
 
 namespace pdt::mpsim {
 
+class CommLedger;
+
 class Machine {
  public:
   /// Create a machine of `nprocs` processors (any nprocs >= 1; hypercube
@@ -51,6 +53,10 @@ class Machine {
   /// Advance r's clock to `t` (>= current), accounting the gap as idle
   /// (barrier wait). No-op if r is already past t.
   void wait_until(Rank r, Time t);
+  /// Synchronize `ranks` at their common horizon (the maximum clock over
+  /// the set): every member waits up to it, then the observer's
+  /// on_barrier hook fires with the max-clock member as path holder.
+  void barrier_over(const std::vector<Rank>& ranks);
 
   [[nodiscard]] const RankStats& stats(Rank r) const { return stats_[idx(r)]; }
   /// Sum of all per-rank stats.
@@ -64,6 +70,12 @@ class Machine {
   /// when detached; never alters simulated time either way.
   void set_observer(ChargeObserver* obs) { observer_ = obs; }
   [[nodiscard]] ChargeObserver* observer() const { return observer_; }
+
+  /// Attach (or detach, with nullptr) a communication ledger that Group
+  /// collectives record into. Not owned; strictly passive like the
+  /// observer — never alters simulated time.
+  void set_comm_ledger(CommLedger* ledger);
+  [[nodiscard]] CommLedger* comm_ledger() const { return comm_ledger_; }
 
   /// Reset all clocks and stats to zero (keeps the trace setting and the
   /// attached observer).
@@ -80,6 +92,7 @@ class Machine {
   std::vector<RankStats> stats_;
   Trace trace_;
   ChargeObserver* observer_ = nullptr;
+  CommLedger* comm_ledger_ = nullptr;
 };
 
 }  // namespace pdt::mpsim

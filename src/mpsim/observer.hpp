@@ -9,6 +9,8 @@
 // obs.
 #pragma once
 
+#include <vector>
+
 #include "mpsim/cost_model.hpp"
 #include "mpsim/topology.hpp"
 
@@ -32,6 +34,18 @@ class ChargeObserver {
   /// `words_sent` / `words_received` are nonzero only for Comm charges.
   virtual void on_charge(Rank r, ChargeKind kind, Time start, Time dt,
                          double words_sent, double words_received) = 0;
+
+  /// The ranks in `members` synchronized at time `t` (a group barrier).
+  /// `holder` is the max-clock member — the rank everyone else waited
+  /// for, i.e. the critical-path holder at this barrier. Called *after*
+  /// the waiting members' Idle charges, once per barrier with more than
+  /// one member. Default: ignore (the phase profiler doesn't care).
+  virtual void on_barrier(const std::vector<Rank>& members, Rank holder,
+                          Time t) {
+    (void)members;
+    (void)holder;
+    (void)t;
+  }
 };
 
 }  // namespace pdt::mpsim

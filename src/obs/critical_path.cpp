@@ -1,0 +1,95 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+
+namespace pdt::obs {
+
+CriticalPathTracer::~CriticalPathTracer() { clear(); }
+
+void CriticalPathTracer::release(std::shared_ptr<Node> n) {
+  // Walk the spine iteratively while we hold the last reference; stop as
+  // soon as a node is shared (some other chain keeps the rest alive).
+  while (n != nullptr && n.use_count() == 1) {
+    std::shared_ptr<Node> prev = std::move(n->prev);
+    n = std::move(prev);
+  }
+}
+
+void CriticalPathTracer::ensure_rank(mpsim::Rank r) {
+  if (static_cast<std::size_t>(r) >= chains_.size()) {
+    chains_.resize(static_cast<std::size_t>(r) + 1);
+  }
+}
+
+void CriticalPathTracer::on_charge(mpsim::Rank r, mpsim::ChargeKind kind,
+                                   mpsim::Time start, mpsim::Time dt,
+                                   double /*words_sent*/,
+                                   double /*words_received*/) {
+  if (dt <= 0.0) return;  // zero-cost charges don't move the clock
+  ensure_rank(r);
+  const PhaseId phase = profiler_ != nullptr ? profiler_->current_phase() : 0;
+  const int level = profiler_ != nullptr ? profiler_->current_level() : kNoLevel;
+
+  std::shared_ptr<Node>& head = chains_[static_cast<std::size_t>(r)];
+  if (head != nullptr && head.use_count() == 1 && head->seg.phase == phase &&
+      head->seg.level == level && head->seg.kind == kind &&
+      head->seg.end_us == start) {
+    // Contiguous same-attribution charge on an unshared head: coalesce.
+    head->seg.end_us = start + dt;
+    return;
+  }
+  auto node = std::make_shared<Node>();
+  node->seg = PathSegment{r, phase, level, kind, start, start + dt};
+  node->prev = std::move(head);
+  head = std::move(node);
+}
+
+void CriticalPathTracer::on_barrier(const std::vector<mpsim::Rank>& members,
+                                    mpsim::Rank holder, mpsim::Time /*t*/) {
+  ++barriers_;
+  mpsim::Rank max_rank = holder;
+  for (mpsim::Rank r : members) max_rank = std::max(max_rank, r);
+  ensure_rank(max_rank);
+  const std::shared_ptr<Node>& holder_chain =
+      chains_[static_cast<std::size_t>(holder)];
+  for (mpsim::Rank r : members) {
+    std::shared_ptr<Node>& chain = chains_[static_cast<std::size_t>(r)];
+    if (chain == holder_chain) continue;
+    // The member idled up to the holder's time, so its history no longer
+    // explains the clock — the holder's does. Adopt it (sharing the
+    // spine); the member's own suffix dies here unless shared elsewhere.
+    release(std::move(chain));
+    chain = holder_chain;
+  }
+}
+
+CriticalPathTracer::Path CriticalPathTracer::path() const {
+  Path p;
+  const Node* best = nullptr;
+  for (std::size_t r = 0; r < chains_.size(); ++r) {
+    const Node* head = chains_[r].get();
+    if (head == nullptr) continue;
+    if (best == nullptr || head->seg.end_us > best->seg.end_us) {
+      best = head;
+      p.end_rank = static_cast<mpsim::Rank>(r);
+    }
+  }
+  if (best == nullptr) return p;
+  p.max_clock_us = best->seg.end_us;
+  for (const Node* n = best; n != nullptr; n = n->prev.get()) {
+    p.segments.push_back(n->seg);
+  }
+  std::reverse(p.segments.begin(), p.segments.end());
+  for (std::size_t i = 1; i < p.segments.size(); ++i) {
+    if (p.segments[i].rank != p.segments[i - 1].rank) ++p.handoffs;
+  }
+  return p;
+}
+
+void CriticalPathTracer::clear() {
+  for (std::shared_ptr<Node>& chain : chains_) release(std::move(chain));
+  chains_.clear();
+  barriers_ = 0;
+}
+
+}  // namespace pdt::obs

@@ -1,0 +1,94 @@
+// Critical-path tracer for the simulated machine.
+//
+// The run's completion time is Machine::max_clock() — but *which* chain of
+// work composes it? At every barrier the max-clock member is the "path
+// holder": everyone else idled waiting for it, so the critical path up to
+// that instant runs entirely through the holder's timeline. The tracer
+// maintains, per rank, the chain of (rank, phase, level, kind) segments
+// explaining how that rank's clock reached its current value; at a barrier
+// every member adopts the holder's chain (a handoff). At the end, the
+// chain of the max-clock rank is the critical path of the whole run, and
+// its segments telescope bit-exactly from 0 to max_clock — no gaps, no
+// overlaps (the conservation tests enforce this).
+//
+// Chains are persistent cons-lists (shared_ptr spines), so a barrier
+// handoff is O(members) pointer copies and the shared prefix is stored
+// once. Like every ChargeObserver the tracer is strictly passive:
+// attaching it never alters simulated time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpsim/observer.hpp"
+#include "obs/phase.hpp"
+
+namespace pdt::obs {
+
+/// One contiguous span of the critical path, attributed to the innermost
+/// phase/level that was open when the time was charged (via the optional
+/// PhaseProfiler; without one, phase is 0 and level is kNoLevel).
+struct PathSegment {
+  mpsim::Rank rank = 0;
+  PhaseId phase = 0;
+  int level = kNoLevel;
+  mpsim::ChargeKind kind = mpsim::ChargeKind::Compute;
+  mpsim::Time start_us = 0.0;
+  mpsim::Time end_us = 0.0;
+
+  [[nodiscard]] mpsim::Time dur_us() const { return end_us - start_us; }
+};
+
+class CriticalPathTracer final : public mpsim::ChargeObserver {
+ public:
+  /// `profiler` (optional, not owned) supplies phase/level attribution
+  /// for segments; it must be the profiler attached to the same machine
+  /// so that its current_phase()/current_level() are in sync with the
+  /// charges the tracer sees.
+  explicit CriticalPathTracer(const PhaseProfiler* profiler = nullptr)
+      : profiler_(profiler) {}
+  ~CriticalPathTracer() override;
+
+  CriticalPathTracer(const CriticalPathTracer&) = delete;
+  CriticalPathTracer& operator=(const CriticalPathTracer&) = delete;
+
+  // mpsim::ChargeObserver
+  void on_charge(mpsim::Rank r, mpsim::ChargeKind kind, mpsim::Time start,
+                 mpsim::Time dt, double words_sent,
+                 double words_received) override;
+  void on_barrier(const std::vector<mpsim::Rank>& members, mpsim::Rank holder,
+                  mpsim::Time t) override;
+
+  /// The materialized critical path, valid at any point (typically read
+  /// after the run; the Machine may already be gone).
+  struct Path {
+    mpsim::Time max_clock_us = 0.0;  ///< end of the last segment
+    mpsim::Rank end_rank = 0;        ///< rank whose chain won
+    std::uint64_t handoffs = 0;      ///< rank changes along the path
+    std::vector<PathSegment> segments;  ///< in time order, telescoping
+  };
+  [[nodiscard]] Path path() const;
+
+  /// Barriers observed (on_barrier calls).
+  [[nodiscard]] std::uint64_t barriers() const { return barriers_; }
+
+  void clear();
+
+ private:
+  struct Node {
+    PathSegment seg;
+    std::shared_ptr<Node> prev;
+  };
+
+  /// Drop a chain reference without recursing down the spine (a deep
+  /// chain would otherwise overflow the stack in ~Node).
+  static void release(std::shared_ptr<Node> n);
+  void ensure_rank(mpsim::Rank r);
+
+  const PhaseProfiler* profiler_;
+  std::vector<std::shared_ptr<Node>> chains_;  // indexed by rank
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace pdt::obs

@@ -1,8 +1,10 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 namespace pdt::obs {
 
@@ -297,6 +299,157 @@ void write_metrics_report(std::ostream& os, const Observability& o) {
   JsonWriter w(os);
   write_metrics(w, o);
   os << '\n';
+}
+
+// ---------------------------------------------------------------- comm --
+
+namespace {
+
+void write_ledger_totals_fields(JsonWriter& w,
+                                const mpsim::CommLedger::Totals& t) {
+  w.kv("calls", t.calls);
+  w.kv("words", t.words);
+  w.kv("predicted_us", t.predicted_us);
+  w.kv("measured_us", t.measured_us);
+  w.kv("delta_us", t.delta_us());
+  w.kv("io_us", t.io_us);
+  w.kv("messages", t.messages);
+}
+
+std::string comm_phase_name(const PhaseProfiler* profiler, PhaseId phase) {
+  if (profiler != nullptr &&
+      static_cast<std::size_t>(phase) < profiler->phase_names().size()) {
+    return std::string(profiler->phase_name(phase));
+  }
+  return "phase" + std::to_string(phase);
+}
+
+}  // namespace
+
+void write_comm(JsonWriter& w, const mpsim::CommLedger& ledger,
+                const CriticalPathTracer* critical,
+                const PhaseProfiler* profiler, int top_k) {
+  w.begin_object();
+  w.kv("schema", "pdt-comm-v1");
+  w.kv("num_ranks", ledger.num_ranks());
+  w.kv("num_collective_calls",
+       static_cast<std::uint64_t>(ledger.entries().size()));
+
+  // Aggregates per collective kind; kinds never called are omitted.
+  w.key("collectives").begin_array();
+  for (int k = 0; k < mpsim::kNumCollectiveKinds; ++k) {
+    const auto kind = static_cast<mpsim::CollectiveKind>(k);
+    const mpsim::CommLedger::Totals t = ledger.kind_totals(kind);
+    if (t.calls == 0) continue;
+    w.begin_object();
+    w.kv("kind", mpsim::to_string(kind));
+    write_ledger_totals_fields(w, t);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Aggregates per tree level (-1 = outside any level scope).
+  w.key("levels").begin_array();
+  for (int level = -1; level <= ledger.max_level(); ++level) {
+    const mpsim::CommLedger::Totals t = ledger.level_totals(level);
+    if (t.calls == 0) continue;
+    w.begin_object();
+    w.kv("level", level);
+    write_ledger_totals_fields(w, t);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Rank x rank traffic (row = sender). Words are 4-byte wire words, so
+  // bytes = 4 * words.
+  const int n = ledger.num_ranks();
+  w.key("matrix").begin_object();
+  w.key("bytes").begin_array();
+  for (int f = 0; f < n; ++f) {
+    w.begin_array();
+    for (int t = 0; t < n; ++t) w.value(4.0 * ledger.words(f, t));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("messages").begin_array();
+  for (int f = 0; f < n; ++f) {
+    w.begin_array();
+    for (int t = 0; t < n; ++t) w.value(ledger.messages(f, t));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+
+  if (critical != nullptr) {
+    const CriticalPathTracer::Path path = critical->path();
+    w.key("critical_path").begin_object();
+    w.kv("max_clock_us", path.max_clock_us);
+    w.kv("end_rank", path.end_rank);
+    w.kv("handoffs", path.handoffs);
+    w.kv("barriers", critical->barriers());
+    w.kv("num_segments", static_cast<std::uint64_t>(path.segments.size()));
+
+    // Time along the path by charge kind, and by phase.
+    mpsim::Time by_kind[4] = {0.0, 0.0, 0.0, 0.0};
+    std::vector<mpsim::Time> by_phase;
+    for (const PathSegment& s : path.segments) {
+      by_kind[static_cast<int>(s.kind)] += s.dur_us();
+      if (static_cast<std::size_t>(s.phase) >= by_phase.size()) {
+        by_phase.resize(static_cast<std::size_t>(s.phase) + 1, 0.0);
+      }
+      by_phase[static_cast<std::size_t>(s.phase)] += s.dur_us();
+    }
+    w.key("by_kind").begin_object();
+    w.kv("compute_us", by_kind[static_cast<int>(mpsim::ChargeKind::Compute)]);
+    w.kv("comm_us", by_kind[static_cast<int>(mpsim::ChargeKind::Comm)]);
+    w.kv("io_us", by_kind[static_cast<int>(mpsim::ChargeKind::Io)]);
+    w.kv("idle_us", by_kind[static_cast<int>(mpsim::ChargeKind::Idle)]);
+    w.end_object();
+    w.key("by_phase").begin_array();
+    for (std::size_t p = 0; p < by_phase.size(); ++p) {
+      if (by_phase[p] == 0.0) continue;
+      w.begin_object();
+      w.kv("phase", comm_phase_name(profiler, static_cast<PhaseId>(p)));
+      w.kv("us", by_phase[p]);
+      w.kv("blame_pct", path.max_clock_us > 0.0
+                            ? 100.0 * by_phase[p] / path.max_clock_us
+                            : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+
+    // Top-k segments by duration (ties broken by start time, so the
+    // ordering — and the exported report — is deterministic).
+    std::vector<const PathSegment*> by_dur;
+    by_dur.reserve(path.segments.size());
+    for (const PathSegment& s : path.segments) by_dur.push_back(&s);
+    std::sort(by_dur.begin(), by_dur.end(),
+              [](const PathSegment* a, const PathSegment* b) {
+                if (a->dur_us() != b->dur_us()) return a->dur_us() > b->dur_us();
+                return a->start_us < b->start_us;
+              });
+    if (top_k >= 0 && static_cast<std::size_t>(top_k) < by_dur.size()) {
+      by_dur.resize(static_cast<std::size_t>(top_k));
+    }
+    w.key("top_segments").begin_array();
+    for (const PathSegment* s : by_dur) {
+      w.begin_object();
+      w.kv("rank", s->rank);
+      w.kv("phase", comm_phase_name(profiler, s->phase));
+      w.kv("level", s->level);
+      w.kv("kind", mpsim::to_string(s->kind));
+      w.kv("start_us", s->start_us);
+      w.kv("dur_us", s->dur_us());
+      w.kv("blame_pct", path.max_clock_us > 0.0
+                            ? 100.0 * s->dur_us() / path.max_clock_us
+                            : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  w.end_object();
 }
 
 }  // namespace pdt::obs

@@ -11,6 +11,12 @@
 //    per-rank virtual-time breakdown, and per-level rollups with
 //    load-imbalance and comm-to-compute factors. Schema documented in
 //    DESIGN.md §Observability.
+//
+//  * write_comm — the communication report ("pdt-comm-v1"): per-collective
+//    and per-level measured-vs-predicted cost aggregates from the
+//    CommLedger, the rank x rank traffic matrix, and the critical-path
+//    breakdown (top-k segments with blame percentages) from the
+//    CriticalPathTracer.
 #pragma once
 
 #include <cstdint>
@@ -73,5 +79,13 @@ void write_metrics(JsonWriter& w, const Observability& o);
 
 /// Standalone file variant of write_metrics.
 void write_metrics_report(std::ostream& os, const Observability& o);
+
+/// Emit the "pdt-comm-v1" report as one JSON object value on `w`.
+/// `critical` adds the critical_path section; `profiler` resolves its
+/// phase names (without one, phase ids are emitted as "phase<N>").
+/// `top_k` bounds the exported top_segments list.
+void write_comm(JsonWriter& w, const mpsim::CommLedger& ledger,
+                const CriticalPathTracer* critical = nullptr,
+                const PhaseProfiler* profiler = nullptr, int top_k = 10);
 
 }  // namespace pdt::obs

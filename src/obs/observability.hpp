@@ -1,36 +1,83 @@
-// The per-run observability bundle: one PhaseProfiler plus one
-// MetricsRegistry, attachable to a simulated Machine.
+// The per-run observability bundle: one PhaseProfiler, one
+// CriticalPathTracer, one CommLedger, and one MetricsRegistry, attachable
+// to a simulated Machine in a single call.
 //
 // Ownership: the caller (a bench harness, test, or example) owns the
 // Observability and points ParOptions::obs at it; the run attaches the
-// profiler to its Machine and resolves metric handles. One Observability
+// observers to its Machine and resolves metric handles. One Observability
 // per build_* call — reusing one across runs accumulates, which is only
 // what you want when you mean it.
 #pragma once
 
+#include "mpsim/comm_ledger.hpp"
 #include "mpsim/machine.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/phase.hpp"
 #include "obs/registry.hpp"
 
 namespace pdt::obs {
 
+/// Forwards every Machine event to the profiler and the critical-path
+/// tracer (Machine holds a single observer slot). Passive like its
+/// constituents.
+class ObserverFanout final : public mpsim::ChargeObserver {
+ public:
+  ObserverFanout(PhaseProfiler* profiler, CriticalPathTracer* critical)
+      : profiler_(profiler), critical_(critical) {}
+
+  void on_charge(mpsim::Rank r, mpsim::ChargeKind kind, mpsim::Time start,
+                 mpsim::Time dt, double words_sent,
+                 double words_received) override {
+    profiler_->on_charge(r, kind, start, dt, words_sent, words_received);
+    critical_->on_charge(r, kind, start, dt, words_sent, words_received);
+  }
+
+  void on_barrier(const std::vector<mpsim::Rank>& members, mpsim::Rank holder,
+                  mpsim::Time t) override {
+    profiler_->on_barrier(members, holder, t);
+    critical_->on_barrier(members, holder, t);
+  }
+
+ private:
+  PhaseProfiler* profiler_;
+  CriticalPathTracer* critical_;
+};
+
 class Observability {
  public:
-  explicit Observability(ProfilerConfig cfg = {}) : profiler_(cfg) {}
+  explicit Observability(ProfilerConfig cfg = {})
+      : profiler_(cfg),
+        critical_(&profiler_),
+        fanout_(&profiler_, &critical_) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
   [[nodiscard]] PhaseProfiler& profiler() { return profiler_; }
   [[nodiscard]] const PhaseProfiler& profiler() const { return profiler_; }
+  [[nodiscard]] CriticalPathTracer& critical_path() { return critical_; }
+  [[nodiscard]] const CriticalPathTracer& critical_path() const {
+    return critical_;
+  }
+  [[nodiscard]] mpsim::CommLedger& comm_ledger() { return ledger_; }
+  [[nodiscard]] const mpsim::CommLedger& comm_ledger() const {
+    return ledger_;
+  }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Attach the profiler as the machine's charge observer.
-  void attach(mpsim::Machine& m) { m.set_observer(&profiler_); }
+  /// Attach the profiler + critical-path tracer as the machine's charge
+  /// observer and the ledger as its communication ledger.
+  void attach(mpsim::Machine& m) {
+    m.set_observer(&fanout_);
+    m.set_comm_ledger(&ledger_);
+  }
 
  private:
   PhaseProfiler profiler_;
+  CriticalPathTracer critical_;
+  ObserverFanout fanout_;
+  mpsim::CommLedger ledger_;
   MetricsRegistry metrics_;
 };
 

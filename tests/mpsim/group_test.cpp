@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace pdt::mpsim {
 namespace {
@@ -167,6 +169,27 @@ TEST(Group, AllToAllPersonalizedUsesMaxVolume) {
   // Cost per member: t_s * log2(2) + t_w * max(sent, recv) = 1 + 10.
   EXPECT_DOUBLE_EQ(m.clock(0), 11.0);
   EXPECT_DOUBLE_EQ(m.clock(1), 11.0);
+}
+
+TEST(Group, AllToAllPersonalizedRejectsBadShapes) {
+  Machine m(2, unit_cost());
+  Group g = Group::whole(m);
+  // Wrong number of rows.
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, 1.0}}), std::invalid_argument);
+  // Non-square row.
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, 1.0}, {0.0}}),
+               std::invalid_argument);
+  // Negative entry.
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, -1.0}, {0.0, 0.0}}),
+               std::invalid_argument);
+  // Non-finite entry.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, nan}, {0.0, 0.0}}),
+               std::invalid_argument);
+  // Validation happens before any charging: the failed calls must not
+  // have advanced the clocks.
+  EXPECT_DOUBLE_EQ(m.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 0.0);
 }
 
 TEST(Group, HalvesOfSubcube) {

@@ -1,0 +1,117 @@
+// Conservation invariants over full instrumented runs of every
+// formulation: the comm matrix conserves bytes (total sent == total
+// received), and the critical path telescopes bit-exactly from 0 to
+// max_clock with no gaps or overlaps — i.e. the tracer's explanation of
+// the runtime accounts for every last virtual microsecond.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "obs/observability.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed = 31) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+class Conservation
+    : public ::testing::TestWithParam<std::tuple<Formulation, int>> {};
+
+TEST_P(Conservation, CommMatrixConservesWords) {
+  const auto [f, procs] = GetParam();
+  const data::Dataset ds = quest_binned(2500);
+  ParOptions opt;
+  opt.num_procs = procs;
+  obs::Observability o;
+  opt.obs = &o;
+  (void)build(f, ds, opt);
+
+  const mpsim::CommLedger& ledger = o.comm_ledger();
+  ASSERT_GT(ledger.entries().size(), 0u);
+  ASSERT_EQ(ledger.num_ranks(), procs);
+
+  // Every word sent lands somewhere: row sums and column sums of the
+  // traffic matrix agree in total. (DOUBLE_EQ, not EQ: the two totals
+  // add the same cells in different orders.)
+  double sent = 0.0, received = 0.0;
+  std::uint64_t msgs_out = 0, msgs_in = 0;
+  for (int r = 0; r < procs; ++r) {
+    sent += ledger.words_sent(r);
+    received += ledger.words_received(r);
+    for (int t = 0; t < procs; ++t) {
+      msgs_out += ledger.messages(r, t);
+      msgs_in += ledger.messages(t, r);
+      EXPECT_EQ(ledger.words(r, r), 0.0) << "no self-traffic";
+    }
+  }
+  EXPECT_GT(sent, 0.0);
+  EXPECT_DOUBLE_EQ(sent, received);
+  EXPECT_EQ(msgs_out, msgs_in);
+
+  // Ledger entry totals are consistent with the per-kind aggregation.
+  double entry_words = 0.0;
+  for (const auto& e : ledger.entries()) entry_words += e.words;
+  double kind_words = 0.0;
+  for (int k = 0; k < mpsim::kNumCollectiveKinds; ++k) {
+    kind_words +=
+        ledger.kind_totals(static_cast<mpsim::CollectiveKind>(k)).words;
+  }
+  EXPECT_DOUBLE_EQ(entry_words, kind_words);
+}
+
+TEST_P(Conservation, CriticalPathTelescopesToMaxClock) {
+  const auto [f, procs] = GetParam();
+  const data::Dataset ds = quest_binned(2500);
+  ParOptions opt;
+  opt.num_procs = procs;
+  obs::Observability o;
+  opt.obs = &o;
+  const ParResult res = build(f, ds, opt);
+
+  const auto path = o.critical_path().path();
+  ASSERT_GT(path.segments.size(), 0u);
+
+  // Bit-exact, not approximately: the path starts at 0, every segment
+  // starts exactly where the previous one ended, and the last segment
+  // ends exactly at the run's max_clock. No floating-point summation is
+  // involved — contiguity is structural.
+  EXPECT_EQ(path.segments.front().start_us, 0.0);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_EQ(path.segments[i].start_us, path.segments[i - 1].end_us)
+        << "gap/overlap at segment " << i;
+    EXPECT_GT(path.segments[i].end_us, path.segments[i].start_us);
+  }
+  EXPECT_EQ(path.segments.back().end_us, path.max_clock_us);
+  EXPECT_EQ(path.max_clock_us, res.parallel_time);
+
+  // Handoff count is consistent with the segment sequence.
+  std::uint64_t rank_changes = 0;
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    rank_changes += (path.segments[i].rank != path.segments[i - 1].rank);
+  }
+  EXPECT_EQ(path.handoffs, rank_changes);
+  EXPECT_EQ(path.end_rank, path.segments.back().rank);
+  EXPECT_GT(o.critical_path().barriers(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormulations, Conservation,
+    ::testing::Combine(::testing::Values(Formulation::Sync,
+                                         Formulation::Partitioned,
+                                         Formulation::Hybrid),
+                       ::testing::Values(4, 8)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pdt::core

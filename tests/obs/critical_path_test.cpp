@@ -1,0 +1,180 @@
+// CriticalPathTracer unit tests, driving a Machine by hand so the
+// expected path is known exactly: telescoping segment chains, barrier
+// handoffs to the max-clock holder, coalescing of contiguous charges,
+// and idle attribution.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mpsim/machine.hpp"
+
+namespace pdt::obs {
+namespace {
+
+mpsim::CostModel unit_cost() {
+  mpsim::CostModel cm;
+  cm.t_s = 1.0;
+  cm.t_w = 1.0;
+  cm.t_c = 1.0;
+  cm.t_io = 1.0;
+  return cm;
+}
+
+TEST(CriticalPath, SingleRankChargesTelescopeFromZero) {
+  mpsim::Machine m(1, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 10.0);
+  m.charge_comm(0, 5.0, 1.0, 0.0, 1);
+  m.charge_io(0, 2.0);
+
+  const auto path = tracer.path();
+  EXPECT_EQ(path.max_clock_us, m.max_clock());
+  EXPECT_EQ(path.end_rank, 0);
+  EXPECT_EQ(path.handoffs, 0u);
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[0].kind, mpsim::ChargeKind::Compute);
+  EXPECT_EQ(path.segments[1].kind, mpsim::ChargeKind::Comm);
+  EXPECT_EQ(path.segments[2].kind, mpsim::ChargeKind::Io);
+  EXPECT_EQ(path.segments.front().start_us, 0.0);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_EQ(path.segments[i].start_us, path.segments[i - 1].end_us);
+  }
+  EXPECT_EQ(path.segments.back().end_us, path.max_clock_us);
+}
+
+TEST(CriticalPath, ContiguousSameKindChargesCoalesce) {
+  mpsim::Machine m(1, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 3.0);
+  m.charge_compute(0, 4.0);
+  m.charge_compute(0, 5.0);
+
+  const auto path = tracer.path();
+  ASSERT_EQ(path.segments.size(), 1u);
+  EXPECT_EQ(path.segments[0].start_us, 0.0);
+  EXPECT_EQ(path.segments[0].end_us, m.max_clock());
+}
+
+TEST(CriticalPath, BarrierHandsChainToSlowRanks) {
+  mpsim::Machine m(2, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 10.0);
+  m.charge_compute(1, 3.0);
+  m.barrier_over({0, 1});  // holder is rank 0; rank 1 idles 7us
+  m.charge_comm(1, 5.0, 0.0, 0.0, 0);
+
+  const auto path = tracer.path();
+  EXPECT_EQ(path.end_rank, 1);
+  EXPECT_EQ(path.max_clock_us, m.max_clock());
+  EXPECT_EQ(tracer.barriers(), 1u);
+  // The path runs through rank 0's compute (the holder), then hands off
+  // to rank 1's comm. Rank 1's own pre-barrier compute and its idle wait
+  // are NOT on the path.
+  ASSERT_EQ(path.segments.size(), 2u);
+  EXPECT_EQ(path.segments[0].rank, 0);
+  EXPECT_EQ(path.segments[0].kind, mpsim::ChargeKind::Compute);
+  EXPECT_EQ(path.segments[0].end_us, 10.0);
+  EXPECT_EQ(path.segments[1].rank, 1);
+  EXPECT_EQ(path.segments[1].kind, mpsim::ChargeKind::Comm);
+  EXPECT_EQ(path.segments[1].start_us, 10.0);
+  EXPECT_EQ(path.handoffs, 1u);
+}
+
+TEST(CriticalPath, TiedBarrierKeepsLowestRankAsHolder) {
+  mpsim::Machine m(2, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 4.0);
+  m.charge_compute(1, 4.0);
+  m.barrier_over({0, 1});
+  const auto path = tracer.path();
+  // Deterministic tie-break: the first max-clock member in rank order.
+  EXPECT_EQ(path.segments.back().rank, 0);
+  EXPECT_EQ(path.handoffs, 0u);
+}
+
+TEST(CriticalPath, ChainsShareThePrefixAcrossHandoffs) {
+  mpsim::Machine m(4, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  // Two rounds: a different rank is slowest each time.
+  m.charge_compute(2, 20.0);
+  m.barrier_over({0, 1, 2, 3});
+  m.charge_compute(1, 7.0);
+  m.barrier_over({0, 1, 2, 3});
+  m.charge_io(3, 1.0);
+
+  const auto path = tracer.path();
+  EXPECT_EQ(path.end_rank, 3);
+  ASSERT_EQ(path.segments.size(), 3u);
+  EXPECT_EQ(path.segments[0].rank, 2);
+  EXPECT_EQ(path.segments[1].rank, 1);
+  EXPECT_EQ(path.segments[2].rank, 3);
+  EXPECT_EQ(path.handoffs, 2u);
+  EXPECT_EQ(path.segments.back().end_us, m.max_clock());
+  EXPECT_EQ(path.segments.front().start_us, 0.0);
+  for (std::size_t i = 1; i < path.segments.size(); ++i) {
+    EXPECT_EQ(path.segments[i].start_us, path.segments[i - 1].end_us);
+  }
+}
+
+TEST(CriticalPath, ZeroDurationChargesAreDropped) {
+  mpsim::Machine m(1, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 0.0);
+  EXPECT_TRUE(tracer.path().segments.empty());
+  m.charge_compute(0, 2.0);
+  EXPECT_EQ(tracer.path().segments.size(), 1u);
+}
+
+TEST(CriticalPath, ProfilerSuppliesPhaseAndLevelAttribution) {
+  mpsim::Machine m(1, unit_cost());
+  PhaseProfiler profiler;
+  CriticalPathTracer tracer(&profiler);
+  m.set_observer(&tracer);
+  {
+    const PhaseScope scope(&profiler, "split");
+    const LevelScope level(&profiler, 2);
+    m.charge_compute(0, 5.0);
+  }
+  m.charge_compute(0, 1.0);
+
+  const auto path = tracer.path();
+  ASSERT_EQ(path.segments.size(), 2u);
+  EXPECT_EQ(profiler.phase_name(path.segments[0].phase), "split");
+  EXPECT_EQ(path.segments[0].level, 2);
+  EXPECT_EQ(path.segments[1].level, kNoLevel);
+}
+
+TEST(CriticalPath, ClearResetsState) {
+  mpsim::Machine m(2, unit_cost());
+  CriticalPathTracer tracer;
+  m.set_observer(&tracer);
+  m.charge_compute(0, 5.0);
+  m.barrier_over({0, 1});
+  tracer.clear();
+  EXPECT_TRUE(tracer.path().segments.empty());
+  EXPECT_EQ(tracer.barriers(), 0u);
+}
+
+TEST(CriticalPath, DeepChainsDestructWithoutOverflow) {
+  // ~200k segments; a recursive spine destructor would blow the stack.
+  mpsim::Machine m(1, unit_cost());
+  auto tracer = std::make_unique<CriticalPathTracer>();
+  m.set_observer(tracer.get());
+  for (int i = 0; i < 200000; ++i) {
+    m.charge_compute(0, 1.0);
+    m.charge_io(0, 1.0);  // alternate kinds so nothing coalesces
+  }
+  EXPECT_EQ(tracer->path().segments.size(), 400000u);
+  tracer.reset();  // must not crash
+}
+
+}  // namespace
+}  // namespace pdt::obs

@@ -12,6 +12,7 @@
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "mpsim/comm_ledger.hpp"
 
 namespace pdt::obs {
 namespace {
@@ -164,9 +165,23 @@ TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
   w.begin_array();
   w.value(std::nan(""));
   w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
   w.value(1.0);
   w.end_array();
-  EXPECT_EQ(os.str(), "[null,null,1]");
+  EXPECT_EQ(os.str(), "[null,null,null,1]");
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(JsonWriter, NonFiniteObjectValuesBecomeNullToo) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("bad", std::nan(""));
+  w.kv("worse", -std::numeric_limits<double>::infinity());
+  w.kv("fine", 2.0);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"bad":null,"worse":null,"fine":2})");
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
 }
 
 TEST(JsonWriter, RoundTripsDoublesExactly) {
@@ -260,6 +275,51 @@ TEST(MetricsExport, EmptyObservabilityStillExportsCleanly) {
   std::ostringstream os;
   write_metrics_report(os, o);
   EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(CommExport, IsValidJsonWithSchemaFields) {
+  InstrumentedRun run;
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_comm(w, run.o.comm_ledger(), &run.o.critical_path(),
+             &run.o.profiler());
+  const std::string doc = os.str();
+
+  EXPECT_TRUE(JsonChecker(doc).valid()) << "pdt-comm-v1 must parse as JSON";
+  EXPECT_NE(doc.find("\"pdt-comm-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"collectives\""), std::string::npos);
+  EXPECT_NE(doc.find("\"all-reduce\""), std::string::npos);
+  EXPECT_NE(doc.find("\"predicted_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"measured_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"delta_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"matrix\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bytes\""), std::string::npos);
+  EXPECT_NE(doc.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(doc.find("\"top_segments\""), std::string::npos);
+  EXPECT_NE(doc.find("\"by_phase\""), std::string::npos);
+  EXPECT_NE(doc.find("\"handoffs\""), std::string::npos);
+}
+
+TEST(CommExport, DeterministicForIdenticalRuns) {
+  InstrumentedRun a;
+  InstrumentedRun b;
+  std::ostringstream osa;
+  std::ostringstream osb;
+  JsonWriter wa(osa);
+  JsonWriter wb(osb);
+  write_comm(wa, a.o.comm_ledger(), &a.o.critical_path(), &a.o.profiler());
+  write_comm(wb, b.o.comm_ledger(), &b.o.critical_path(), &b.o.profiler());
+  EXPECT_EQ(osa.str(), osb.str());
+}
+
+TEST(CommExport, LedgerAloneExportsWithNullCriticalPath) {
+  mpsim::CommLedger ledger;
+  ledger.add_traffic(0, 1, 3.0);
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_comm(w, ledger);
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+  EXPECT_NE(os.str().find("\"pdt-comm-v1\""), std::string::npos);
 }
 
 }  // namespace

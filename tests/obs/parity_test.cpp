@@ -70,6 +70,17 @@ TEST_P(ObsParity, AttachingObservabilityNeverChangesTheRun) {
   for (const auto& t : totals) busy += t.busy();
   EXPECT_DOUBLE_EQ(busy, on.totals.busy_time())
       << "profiler must account every busy microsecond";
+
+  // The comm ledger and critical-path tracer were attached for the
+  // instrumented run (which the parity check above proved is bit-identical
+  // to the bare run) and both actually observed it.
+  EXPECT_GT(o.comm_ledger().entries().size(), 0u);
+  EXPECT_EQ(o.comm_ledger().num_ranks(), procs);
+  const auto path = o.critical_path().path();
+  ASSERT_GT(path.segments.size(), 0u);
+  EXPECT_EQ(path.max_clock_us, on.parallel_time)
+      << "critical path must end exactly at max_clock";
+  EXPECT_GT(o.critical_path().barriers(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,142 @@
+// Tests for the pdt-report renderer: each schema renders its sections,
+// the output is deterministic (render twice, compare byte-for-byte), and
+// unrecognized schemas are reported without aborting the whole run.
+#include "report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "report/json_value.hpp"
+
+namespace pdt::tools {
+namespace {
+
+ReportInput make_input(const std::string& name, std::string_view json) {
+  ReportInput in;
+  in.name = name;
+  std::string err;
+  EXPECT_TRUE(json_parse(json, &in.root, &err)) << err;
+  return in;
+}
+
+constexpr std::string_view kComm = R"({
+  "schema": "pdt-comm-v1",
+  "num_ranks": 2,
+  "num_collective_calls": 3,
+  "collectives": [
+    {"kind": "all-reduce", "calls": 2, "words": 12.0,
+     "predicted_us": 52.0, "measured_us": 52.0, "delta_us": 0.0,
+     "io_us": 0.0, "messages": 4},
+    {"kind": "pairwise-exchange", "calls": 1, "words": 14.0,
+     "predicted_us": 24.0, "measured_us": 44.0, "delta_us": 20.0,
+     "io_us": 0.0, "messages": 2}
+  ],
+  "levels": [
+    {"level": 0, "calls": 3, "words": 26.0, "predicted_us": 76.0,
+     "measured_us": 96.0, "delta_us": 20.0, "io_us": 0.0, "messages": 6}
+  ],
+  "matrix": {
+    "bytes": [[0.0, 56.0], [48.0, 0.0]],
+    "messages": [[0, 3], [3, 0]]
+  },
+  "critical_path": {
+    "max_clock_us": 100.0, "end_rank": 1, "handoffs": 1, "barriers": 3,
+    "num_segments": 2,
+    "by_kind": {"compute_us": 40.0, "comm_us": 60.0, "io_us": 0.0,
+                "idle_us": 0.0},
+    "by_phase": [{"phase": "histogram", "us": 100.0, "blame_pct": 100.0}],
+    "top_segments": [
+      {"rank": 0, "phase": "histogram", "level": 0, "kind": "comm",
+       "start_us": 40.0, "dur_us": 60.0, "blame_pct": 60.0},
+      {"rank": 1, "phase": "histogram", "level": 0, "kind": "compute",
+       "start_us": 0.0, "dur_us": 40.0, "blame_pct": 40.0}
+    ]
+  }
+})";
+
+constexpr std::string_view kBench = R"({
+  "schema": "pdt-bench-v1",
+  "harness": "fig6_speedup",
+  "scale": 0.1,
+  "cost_model": {"t_s": 40.0, "t_w": 0.11, "t_c": 0.15, "t_io": 0.05},
+  "sections": [
+    {"type": "speedup_series", "workload": "quest-f2", "formulation": "sync",
+     "points": [
+       {"procs": 1, "time_us": 100.0, "speedup": 1.0, "efficiency": 1.0},
+       {"procs": 4, "time_us": 30.0, "speedup": 3.33, "efficiency": 0.83}
+     ]},
+    {"type": "speedup_series", "workload": "quest-f2",
+     "formulation": "partitioned",
+     "points": [
+       {"procs": 4, "time_us": 40.0, "speedup": 2.5, "efficiency": 0.63}
+     ]}
+  ]
+})";
+
+TEST(Report, RendersCommSchemaSections) {
+  std::ostringstream os;
+  EXPECT_TRUE(render_report({make_input("c.json", kComm)}, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Communication report: `c.json`"), std::string::npos);
+  EXPECT_NE(out.find("Collective cost model"), std::string::npos);
+  EXPECT_NE(out.find("| all-reduce | 2 | 12 | 52.0 | 52.0 | 0.0 | 0.00 |"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("pairwise-exchange"), std::string::npos);
+  EXPECT_NE(out.find("Traffic matrix"), std::string::npos);
+  // Row sums / column sums: rank 0 sent 56, received 48.
+  EXPECT_NE(out.find("| 0 | 0 | 56 | 56 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| **recv** | 48 | 56 | 104 |"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Critical path"), std::string::npos);
+  EXPECT_NE(out.find("ending on rank 1 (1 handoffs, 3 barriers"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("comm 60.0 us (60.0%)"), std::string::npos) << out;
+}
+
+TEST(Report, RendersBenchSpeedupTablesMergingFormulations) {
+  std::ostringstream os;
+  EXPECT_TRUE(render_report({make_input("b.json", kBench)}, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Bench report: fig6_speedup"), std::string::npos);
+  EXPECT_NE(out.find("### Speedup — quest-f2"), std::string::npos);
+  EXPECT_NE(out.find("| P | sync | partitioned |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 4 | 3.33 | 2.50 |"), std::string::npos) << out;
+  // P=1 exists only in the sync series: the partitioned cell is a dash.
+  EXPECT_NE(out.find("| 1 | 1.00 | — |"), std::string::npos) << out;
+  EXPECT_NE(out.find("t_s=40.00us"), std::string::npos) << out;
+}
+
+TEST(Report, OutputIsDeterministic) {
+  std::ostringstream a, b;
+  const std::vector<ReportInput> inputs = {make_input("b.json", kBench),
+                                           make_input("c.json", kComm)};
+  EXPECT_TRUE(render_report(inputs, a));
+  EXPECT_TRUE(render_report(inputs, b));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST(Report, UnknownSchemaReturnsFalseButStillRenders) {
+  std::ostringstream os;
+  EXPECT_FALSE(render_report({make_input("x.json", R"({"schema":"nope"})"),
+                              make_input("c.json", kComm)},
+                             os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Unrecognized report: `x.json`"), std::string::npos);
+  EXPECT_NE(out.find("`nope`"), std::string::npos);
+  // The recognized input after it still rendered.
+  EXPECT_NE(out.find("# Communication report: `c.json`"), std::string::npos);
+}
+
+TEST(Report, MissingSchemaFieldIsReportedAsNone) {
+  std::ostringstream os;
+  EXPECT_FALSE(render_report({make_input("y.json", "{}")}, os));
+  EXPECT_NE(os.str().find("`(none)`"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdt::tools

@@ -1,0 +1,92 @@
+// Minimal JSON document model + parser for the offline pdt-report tool.
+//
+// The tool must ingest pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 files
+// without linking the simulator libraries, so this is a deliberately
+// small, dependency-free reader: recursive descent over the full JSON
+// grammar (RFC 8259), objects kept in insertion order (the reports are
+// written deterministically, and the rendered markdown must be too).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdt::tools {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed reads with a fallback for wrong-typed / missing values, so the
+  /// renderer can be written without defensive branching everywhere.
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0);
+  }
+  /// Array element (the shared null value when out of range / not an
+  /// array).
+  [[nodiscard]] const JsonValue& at(std::size_t i) const {
+    return is_array() && i < arr_.size() ? arr_[i] : null_value();
+  }
+  /// Object member by key (the shared null value when absent). Chains:
+  /// root.get("critical_path").get("max_clock_us").as_double().
+  [[nodiscard]] const JsonValue& get(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return &get(key) != &null_value();
+  }
+
+  [[nodiscard]] const std::vector<JsonValue>& array() const {
+    static const std::vector<JsonValue> empty;
+    return is_array() ? arr_ : empty;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& object()
+      const {
+    static const std::vector<std::pair<std::string, JsonValue>> empty;
+    return is_object() ? obj_ : empty;
+  }
+
+  [[nodiscard]] static const JsonValue& null_value();
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse `text` into `*out`. On failure returns false and, when `error`
+/// is non-null, fills it with a message including the byte offset.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue* out,
+                              std::string* error = nullptr);
+
+}  // namespace pdt::tools

@@ -1,0 +1,345 @@
+#include "report/report.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string_view>
+
+namespace pdt::tools {
+
+namespace {
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return std::string(buf);
+}
+
+std::string fmt_int(double v) { return fmt(v, 0); }
+std::string fmt_us(double v) { return fmt(v, 1); }
+
+// ------------------------------------------------------------- metrics --
+
+void render_metrics(const JsonValue& m, std::ostream& os) {
+  os << "- ranks: " << m.get("num_ranks").as_int()
+     << ", max tree level: " << m.get("max_level").as_int() << "\n\n";
+
+  // Phase totals across levels, in first-appearance order (the phases
+  // array is sorted by phase id, so this is deterministic).
+  std::vector<std::string> phase_order;
+  std::vector<std::array<double, 4>> phase_time;  // compute, comm, io, idle
+  for (const JsonValue& p : m.get("phases").array()) {
+    const std::string& name = p.get("phase").as_string();
+    std::size_t i = 0;
+    for (; i < phase_order.size(); ++i) {
+      if (phase_order[i] == name) break;
+    }
+    if (i == phase_order.size()) {
+      phase_order.push_back(name);
+      phase_time.push_back({0.0, 0.0, 0.0, 0.0});
+    }
+    phase_time[i][0] += p.get("compute_us").as_double();
+    phase_time[i][1] += p.get("comm_us").as_double();
+    phase_time[i][2] += p.get("io_us").as_double();
+    phase_time[i][3] += p.get("idle_us").as_double();
+  }
+  if (!phase_order.empty()) {
+    os << "#### Phase totals (all levels, all ranks)\n\n";
+    os << "| phase | compute_us | comm_us | io_us | idle_us |\n";
+    os << "|---|---:|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < phase_order.size(); ++i) {
+      os << "| " << phase_order[i] << " | " << fmt_us(phase_time[i][0])
+         << " | " << fmt_us(phase_time[i][1]) << " | "
+         << fmt_us(phase_time[i][2]) << " | " << fmt_us(phase_time[i][3])
+         << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& levels = m.get("levels");
+  if (levels.size() > 0) {
+    os << "#### Per-level breakdown\n\n";
+    os << "| level | compute_us | comm_us | io_us | idle_us | "
+          "load imbalance | comm/compute |\n";
+    os << "|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const JsonValue& l : levels.array()) {
+      os << "| " << l.get("level").as_int() << " | "
+         << fmt_us(l.get("compute_us").as_double()) << " | "
+         << fmt_us(l.get("comm_us").as_double()) << " | "
+         << fmt_us(l.get("io_us").as_double()) << " | "
+         << fmt_us(l.get("idle_us").as_double()) << " | "
+         << fmt(l.get("load_imbalance").as_double(), 3) << " | "
+         << fmt(l.get("comm_to_compute").as_double(), 3) << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+// ---------------------------------------------------------------- comm --
+
+void render_comm(const JsonValue& c, std::ostream& os) {
+  os << "- ranks: " << c.get("num_ranks").as_int() << ", collective calls: "
+     << c.get("num_collective_calls").as_int() << "\n\n";
+
+  const JsonValue& collectives = c.get("collectives");
+  if (collectives.size() > 0) {
+    os << "#### Collective cost model — measured vs Eq. 2-4 prediction\n\n";
+    os << "| kind | calls | words | predicted_us | measured_us | delta_us | "
+          "delta % | io_us | messages |\n";
+    os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    double tot_pred = 0.0;
+    double tot_meas = 0.0;
+    double tot_io = 0.0;
+    for (const JsonValue& k : collectives.array()) {
+      const double pred = k.get("predicted_us").as_double();
+      const double meas = k.get("measured_us").as_double();
+      const double delta = k.get("delta_us").as_double();
+      tot_pred += pred;
+      tot_meas += meas;
+      tot_io += k.get("io_us").as_double();
+      os << "| " << k.get("kind").as_string() << " | "
+         << k.get("calls").as_int() << " | "
+         << fmt_int(k.get("words").as_double()) << " | " << fmt_us(pred)
+         << " | " << fmt_us(meas) << " | " << fmt_us(delta) << " | "
+         << fmt(pred > 0.0 ? 100.0 * delta / pred : 0.0, 2) << " | "
+         << fmt_us(k.get("io_us").as_double()) << " | "
+         << k.get("messages").as_int() << " |\n";
+    }
+    os << "| **total** | | | " << fmt_us(tot_pred) << " | " << fmt_us(tot_meas)
+       << " | " << fmt_us(tot_meas - tot_pred) << " | "
+       << fmt(tot_pred > 0.0 ? 100.0 * (tot_meas - tot_pred) / tot_pred : 0.0,
+              2)
+       << " | " << fmt_us(tot_io) << " | |\n\n";
+  }
+
+  const JsonValue& levels = c.get("levels");
+  if (levels.size() > 0) {
+    os << "#### Communication by tree level\n\n";
+    os << "| level | calls | words | predicted_us | measured_us | "
+          "delta_us |\n";
+    os << "|---:|---:|---:|---:|---:|---:|\n";
+    for (const JsonValue& l : levels.array()) {
+      os << "| " << l.get("level").as_int() << " | " << l.get("calls").as_int()
+         << " | " << fmt_int(l.get("words").as_double()) << " | "
+         << fmt_us(l.get("predicted_us").as_double()) << " | "
+         << fmt_us(l.get("measured_us").as_double()) << " | "
+         << fmt_us(l.get("delta_us").as_double()) << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& bytes = c.get("matrix").get("bytes");
+  const std::size_t n = bytes.size();
+  if (n > 0) {
+    os << "#### Traffic matrix (bytes, row = sender)\n\n";
+    os << "| from\\to |";
+    for (std::size_t t = 0; t < n; ++t) os << " " << t << " |";
+    os << " sent |\n|---|";
+    for (std::size_t t = 0; t <= n; ++t) os << "---:|";
+    os << "\n";
+    std::vector<double> col_sum(n, 0.0);
+    double grand = 0.0;
+    for (std::size_t f = 0; f < n; ++f) {
+      const JsonValue& row = bytes.at(f);
+      double row_sum = 0.0;
+      os << "| " << f << " |";
+      for (std::size_t t = 0; t < n; ++t) {
+        const double b = row.at(t).as_double();
+        row_sum += b;
+        col_sum[t] += b;
+        os << " " << fmt_int(b) << " |";
+      }
+      grand += row_sum;
+      os << " " << fmt_int(row_sum) << " |\n";
+    }
+    os << "| **recv** |";
+    for (std::size_t t = 0; t < n; ++t) os << " " << fmt_int(col_sum[t]) << " |";
+    os << " " << fmt_int(grand) << " |\n\n";
+  }
+
+  const JsonValue& cp = c.get("critical_path");
+  if (!cp.is_null()) {
+    os << "#### Critical path\n\n";
+    os << "- max_clock: " << fmt_us(cp.get("max_clock_us").as_double())
+       << " us across " << cp.get("num_segments").as_int()
+       << " segments, ending on rank " << cp.get("end_rank").as_int() << " ("
+       << cp.get("handoffs").as_int() << " handoffs, "
+       << cp.get("barriers").as_int() << " barriers observed)\n";
+    const JsonValue& bk = cp.get("by_kind");
+    const double total = cp.get("max_clock_us").as_double();
+    os << "- by kind:";
+    const char* kinds[] = {"compute_us", "comm_us", "io_us", "idle_us"};
+    const char* kind_names[] = {"compute", "comm", "io", "idle"};
+    for (int i = 0; i < 4; ++i) {
+      const double v = bk.get(kinds[i]).as_double();
+      os << (i == 0 ? " " : ", ") << kind_names[i] << " " << fmt_us(v)
+         << " us (" << fmt(total > 0.0 ? 100.0 * v / total : 0.0, 1) << "%)";
+    }
+    os << "\n\n";
+
+    const JsonValue& by_phase = cp.get("by_phase");
+    if (by_phase.size() > 0) {
+      os << "| phase | us | blame % |\n|---|---:|---:|\n";
+      for (const JsonValue& p : by_phase.array()) {
+        os << "| " << p.get("phase").as_string() << " | "
+           << fmt_us(p.get("us").as_double()) << " | "
+           << fmt(p.get("blame_pct").as_double(), 1) << " |\n";
+      }
+      os << "\n";
+    }
+
+    const JsonValue& top = cp.get("top_segments");
+    if (top.size() > 0) {
+      os << "Top segments by duration:\n\n";
+      os << "| # | rank | phase | level | kind | start_us | dur_us | "
+            "blame % |\n";
+      os << "|---:|---:|---|---:|---|---:|---:|---:|\n";
+      int i = 1;
+      for (const JsonValue& s : top.array()) {
+        os << "| " << i++ << " | " << s.get("rank").as_int() << " | "
+           << s.get("phase").as_string() << " | " << s.get("level").as_int()
+           << " | " << s.get("kind").as_string() << " | "
+           << fmt_us(s.get("start_us").as_double()) << " | "
+           << fmt_us(s.get("dur_us").as_double()) << " | "
+           << fmt(s.get("blame_pct").as_double(), 1) << " |\n";
+      }
+      os << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- bench --
+
+void render_speedup_tables(const JsonValue& sections, std::ostream& os) {
+  // Merge all speedup_series sections that share a workload into one
+  // table per quantity, formulations as columns in section order.
+  struct Series {
+    std::string formulation;
+    const JsonValue* points;
+  };
+  std::vector<std::string> workloads;
+  std::vector<std::vector<Series>> by_workload;
+  for (const JsonValue& sec : sections.array()) {
+    if (sec.get("type").as_string() != "speedup_series") continue;
+    const std::string& w = sec.get("workload").as_string();
+    std::size_t i = 0;
+    for (; i < workloads.size(); ++i) {
+      if (workloads[i] == w) break;
+    }
+    if (i == workloads.size()) {
+      workloads.push_back(w);
+      by_workload.emplace_back();
+    }
+    by_workload[i].push_back(
+        Series{sec.get("formulation").as_string(), &sec.get("points")});
+  }
+
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::vector<Series>& series = by_workload[wi];
+    // Union of processor counts, in first-seen order (series emit them
+    // ascending, so the union stays sorted for well-formed files).
+    std::vector<std::int64_t> procs;
+    for (const Series& s : series) {
+      for (const JsonValue& pt : s.points->array()) {
+        const std::int64_t p = pt.get("procs").as_int();
+        bool seen = false;
+        for (const std::int64_t q : procs) seen = seen || q == p;
+        if (!seen) procs.push_back(p);
+      }
+    }
+    const struct {
+      const char* title;
+      const char* field;
+      int decimals;
+    } tables[] = {
+        {"Speedup", "speedup", 2},
+        {"Efficiency", "efficiency", 3},
+        {"Runtime (virtual us)", "time_us", 1},
+    };
+    for (const auto& tbl : tables) {
+      os << "### " << tbl.title << " — " << workloads[wi] << "\n\n";
+      os << "| P |";
+      for (const Series& s : series) os << " " << s.formulation << " |";
+      os << "\n|---:|";
+      for (std::size_t i = 0; i < series.size(); ++i) os << "---:|";
+      os << "\n";
+      for (const std::int64_t p : procs) {
+        os << "| " << p << " |";
+        for (const Series& s : series) {
+          bool found = false;
+          for (const JsonValue& pt : s.points->array()) {
+            if (pt.get("procs").as_int() == p) {
+              os << " " << fmt(pt.get(tbl.field).as_double(), tbl.decimals)
+                 << " |";
+              found = true;
+              break;
+            }
+          }
+          if (!found) os << " — |";
+        }
+        os << "\n";
+      }
+      os << "\n";
+    }
+  }
+}
+
+void render_bench(const ReportInput& in, std::ostream& os) {
+  const JsonValue& root = in.root;
+  os << "# Bench report: " << root.get("harness").as_string() << "\n\n";
+  os << "- source: `" << in.name << "`\n";
+  os << "- dataset scale: " << fmt(root.get("scale").as_double(), 3) << "\n";
+  const JsonValue& cm = root.get("cost_model");
+  if (!cm.is_null()) {
+    os << "- cost model: t_s=" << fmt(cm.get("t_s").as_double(), 2)
+       << "us, t_w=" << fmt(cm.get("t_w").as_double(), 3)
+       << "us/word, t_c=" << fmt(cm.get("t_c").as_double(), 3)
+       << "us, t_io=" << fmt(cm.get("t_io").as_double(), 3) << "us/word\n";
+  }
+  os << "\n";
+
+  const JsonValue& sections = root.get("sections");
+  render_speedup_tables(sections, os);
+
+  for (const JsonValue& sec : sections.array()) {
+    if (sec.get("type").as_string() != "instrumented_run") continue;
+    os << "## Instrumented run `" << sec.get("tag").as_string() << "` — "
+       << sec.get("formulation").as_string() << ", P="
+       << sec.get("procs").as_int() << ", n=" << sec.get("n").as_int()
+       << "\n\n";
+    os << "- simulated runtime: " << fmt_us(sec.get("max_clock_us").as_double())
+       << " us\n";
+    const JsonValue& metrics = sec.get("metrics");
+    if (!metrics.is_null()) render_metrics(metrics, os);
+    const JsonValue& comm = sec.get("comm");
+    if (!comm.is_null()) {
+      os << "### Communication (pdt-comm-v1)\n\n";
+      render_comm(comm, os);
+    }
+  }
+}
+
+}  // namespace
+
+bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os) {
+  bool ok = true;
+  for (const ReportInput& in : inputs) {
+    const std::string& schema = in.root.get("schema").as_string();
+    if (schema == "pdt-bench-v1") {
+      render_bench(in, os);
+    } else if (schema == "pdt-metrics-v1") {
+      os << "# Metrics report: `" << in.name << "`\n\n";
+      render_metrics(in.root, os);
+    } else if (schema == "pdt-comm-v1") {
+      os << "# Communication report: `" << in.name << "`\n\n";
+      render_comm(in.root, os);
+    } else {
+      os << "# Unrecognized report: `" << in.name << "`\n\n";
+      os << "- schema: `" << (schema.empty() ? "(none)" : schema)
+         << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1\n\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace pdt::tools

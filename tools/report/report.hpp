@@ -1,0 +1,31 @@
+// Deterministic markdown rendering of pdtree report files.
+//
+// render_report() accepts any mix of parsed pdt-bench-v1 envelopes (the
+// <harness>.json files the bench binaries write) and bare pdt-metrics-v1 /
+// pdt-comm-v1 objects, and renders the analysis views the paper argues
+// from: speedup/efficiency tables, per-level time breakdown with
+// load-imbalance factors, the collective cost-model error (measured vs the
+// Eq. 2-4 prediction), the rank x rank communication matrix, and the
+// critical-path breakdown. Output depends only on the input bytes — no
+// timestamps, locales, or map orderings — so running the tool twice
+// produces byte-identical markdown (CI relies on this).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "report/json_value.hpp"
+
+namespace pdt::tools {
+
+struct ReportInput {
+  std::string name;  ///< display name (typically the file path)
+  JsonValue root;
+};
+
+/// Render all inputs into one markdown document. Returns false (after
+/// still rendering what it can) if any input has an unrecognized schema.
+bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os);
+
+}  // namespace pdt::tools
