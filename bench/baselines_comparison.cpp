@@ -94,7 +94,7 @@ int main() {
   std::printf("%-28s", "scheme \\ P");
   for (const int p : procs) std::printf(" %8d", p);
   std::printf("\n");
-  for (const auto [scheme, name] :
+  for (const auto& [scheme, name] :
        {std::pair{alist::HashTableScheme::ReplicatedSprint,
                   "parallel SPRINT (repl.)"},
         std::pair{alist::HashTableScheme::DistributedScalParC,
@@ -110,10 +110,16 @@ int main() {
     std::printf("\n");
   }
 
-  std::printf("\nper-processor hash-table footprint (words) and total hash "
-              "traffic:\n%-28s %14s %14s\n", "scheme at P=16", "memory/proc",
-              "traffic(words)");
-  for (const auto [scheme, name] :
+  std::printf("\nper-processor footprint and total hash traffic at P=16:\n"
+              "%-28s %14s %14s %14s\n", "scheme", "hash KiB/proc",
+              "peak KiB/proc", "traffic(words)");
+  if (w != nullptr) {
+    w->begin_object();
+    w->kv("type", "mem_contrast");
+    w->kv("procs", 16);
+    w->key("rows").begin_array();
+  }
+  for (const auto& [scheme, name] :
        {std::pair{alist::HashTableScheme::ReplicatedSprint,
                   "parallel SPRINT (repl.)"},
         std::pair{alist::HashTableScheme::DistributedScalParC,
@@ -122,8 +128,29 @@ int main() {
     o.scheme = scheme;
     o.num_procs = 16;
     const auto res = alist::build_parallel_sprint(raw, o);
-    std::printf("%-28s %14.0f %14.0f\n", name, res.peak_hash_words_per_proc,
+    std::int64_t hash_peak = 0;
+    std::int64_t total_peak = 0;
+    for (const mpsim::MemStats& m : res.mem) {
+      hash_peak =
+          std::max(hash_peak, m.peak_for(mpsim::MemTag::HashTable));
+      total_peak = std::max(total_peak, m.peak_total);
+    }
+    std::printf("%-28s %14.0f %14.0f %14.0f\n", name,
+                static_cast<double>(hash_peak) / 1024.0,
+                static_cast<double>(total_peak) / 1024.0,
                 res.hash_comm_words);
+    if (w != nullptr) {
+      w->begin_object();
+      w->kv("scheme", name);
+      w->kv("hash_comm_words", res.hash_comm_words);
+      w->key("mem");
+      obs::write_mem(*w, res.mem);
+      w->end_object();
+    }
+  }
+  if (w != nullptr) {
+    w->end_array();
+    w->end_object();
   }
   std::printf("\n(the O(N) replicated table is the unscalability the paper "
               "criticizes; ScalParC's distributed table is O(N/P))\n");

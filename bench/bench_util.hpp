@@ -12,6 +12,7 @@
 // to disable all file output, PDT_JSON_DIR=<dir> to redirect it.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -180,13 +181,61 @@ inline void emit_speedup_series(BenchReport& rep, const char* workload,
   w->end_object();
 }
 
+/// Largest per-rank peak across a run's byte accounts.
+inline std::int64_t max_rank_peak(const std::vector<mpsim::MemStats>& mem) {
+  std::int64_t peak = 0;
+  for (const mpsim::MemStats& m : mem) peak = std::max(peak, m.peak_total);
+  return peak;
+}
+
+/// Append a {"type":"mem_scaling",...} section: one pdt-mem-v1 report per
+/// processor count, taken from the byte accounts that ride along in each
+/// SpeedupPoint's ParResult. This is the raw material for pdt-report's
+/// memory-scalability verdict (per-rank peak vs P at fixed N).
+inline void emit_mem_scaling(BenchReport& rep, const char* workload,
+                             const char* formulation,
+                             const std::vector<core::SpeedupPoint>& series) {
+  obs::JsonWriter* w = rep.writer();
+  if (w == nullptr) return;
+  w->begin_object();
+  w->kv("type", "mem_scaling");
+  w->kv("workload", workload);
+  w->kv("formulation", formulation);
+  w->key("points").begin_array();
+  for (const core::SpeedupPoint& pt : series) {
+    w->begin_object();
+    w->kv("procs", pt.procs);
+    w->key("mem");
+    obs::write_mem(*w, pt.result.mem, &pt.result.mem_predicted);
+    w->end_object();
+  }
+  w->end_array();
+  w->end_object();
+}
+
+/// Append a standalone {"type":"mem_run",...} section for a single build.
+inline void emit_mem_run(BenchReport& rep, const char* tag, int procs,
+                         const std::vector<mpsim::MemStats>& mem,
+                         const mpsim::MemPredicted* predicted) {
+  obs::JsonWriter* w = rep.writer();
+  if (w == nullptr) return;
+  w->begin_object();
+  w->kv("type", "mem_run");
+  w->kv("tag", tag);
+  w->kv("procs", procs);
+  w->key("mem");
+  obs::write_mem(*w, mem, predicted);
+  w->end_object();
+}
+
 /// Run one build with full observability attached and append an
 /// {"type":"instrumented_run",...} section containing the pdt-metrics-v1
 /// report (per-phase x per-level breakdown, load-imbalance factors,
-/// registry metrics) and the pdt-comm-v1 report (collective
-/// measured-vs-predicted costs, traffic matrix, critical path). Also dumps
-/// a Perfetto trace of the run to <harness>.<tag>.trace.json unless JSON
-/// output is disabled.
+/// registry metrics), the pdt-comm-v1 report (collective
+/// measured-vs-predicted costs, traffic matrix, critical path), and the
+/// pdt-mem-v1 report (per-rank byte accounts with the ledger's
+/// phase x level attribution). Also dumps a Perfetto trace of the run to
+/// <harness>.<tag>.trace.json unless JSON output is disabled.
 inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         core::Formulation f,
                                         const data::Dataset& ds,
@@ -209,6 +258,9 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
     obs::write_metrics(*w, o);
     w->key("comm");
     obs::write_comm(*w, o.comm_ledger(), &o.critical_path(), &o.profiler());
+    w->key("mem");
+    obs::write_mem(*w, res.mem, &res.mem_predicted, &o.mem_ledger(),
+                   &o.profiler());
     w->end_object();
 
     const std::string trace_path = json_path(

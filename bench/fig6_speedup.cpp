@@ -36,11 +36,19 @@ void run_size(bench::BenchReport& rep, double paper_n, std::uint64_t seed) {
     const auto series = core::speedup_series(f, ds, base, procs);
     std::printf("%-13s", core::to_string(f));
     for (const auto& pt : series) std::printf(" %8.2f", pt.speedup);
+    std::printf("\n%-13s", "  peak KiB/P:");
+    for (const auto& pt : series) {
+      std::printf(" %8.0f",
+                  static_cast<double>(bench::max_rank_peak(pt.result.mem)) /
+                      1024.0);
+    }
     std::printf("\n");
     tree_nodes = series.front().result.tree.num_nodes();
     bench::emit_speedup_series(rep, workload, core::to_string(f), series);
+    bench::emit_mem_scaling(rep, workload, core::to_string(f), series);
   }
-  std::printf("(tree: %d nodes)\n", tree_nodes);
+  std::printf("(tree: %d nodes; peak KiB/P = largest per-rank memory "
+              "footprint, Section 4's O(N/P) term)\n", tree_nodes);
 
   // The Section-4 model at the paper's full scale, for comparison.
   core::AnalysisInput in;

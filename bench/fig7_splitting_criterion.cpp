@@ -49,6 +49,18 @@ void run_config(bench::BenchReport& rep, double paper_n, int procs,
               "(within 2x of optimal communication is guaranteed)\n",
               best_ratio);
 
+  // Memory profile of the proposed-trigger run (ratio 1.0, index 4).
+  const core::ParResult& at_one_res = results[4];
+  std::printf("memory at ratio 1.00: max per-rank peak %.0f KiB "
+              "(predicted %.0f KiB)\n",
+              static_cast<double>(bench::max_rank_peak(at_one_res.mem)) /
+                  1024.0,
+              static_cast<double>(at_one_res.mem_predicted.total()) / 1024.0);
+  char tag[32];
+  std::snprintf(tag, sizeof tag, "ratio1.P%d", procs);
+  bench::emit_mem_run(rep, tag, procs, at_one_res.mem,
+                      &at_one_res.mem_predicted);
+
   if (obs::JsonWriter* w = rep.writer()) {
     w->begin_object();
     w->kv("type", "ratio_sweep");

@@ -34,6 +34,7 @@ int main() {
     char workload[32];
     std::snprintf(workload, sizeof workload, "%.1fM", paper_n / 1e6);
     bench::emit_speedup_series(rep, workload, "hybrid", series);
+    bench::emit_mem_scaling(rep, workload, "hybrid", series);
   }
 
   // Instrumented P=8 run on the largest workload: per-phase x per-level

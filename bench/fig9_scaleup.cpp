@@ -21,8 +21,8 @@ int main() {
     w->kv("per_proc_n", static_cast<std::int64_t>(per_proc));
     w->key("points").begin_array();
   }
-  std::printf("%6s %10s %14s %14s %10s\n", "P", "N", "runtime(ms)",
-              "vs P=1", "splits");
+  std::printf("%6s %10s %14s %14s %10s %12s\n", "P", "N", "runtime(ms)",
+              "vs P=1", "splits", "peak KiB/P");
   double base_time = 0.0;
   for (const int p : {1, 2, 4, 8, 16, 32, 64}) {
     const std::size_t n = per_proc * static_cast<std::size_t>(p);
@@ -33,9 +33,10 @@ int main() {
     const core::ParResult res =
         p == 1 ? core::build_serial(ds, opt) : core::build_hybrid(ds, opt);
     if (p == 1) base_time = res.parallel_time;
-    std::printf("%6d %10zu %14.1f %13.2fx %10d\n", p, n,
+    std::printf("%6d %10zu %14.1f %13.2fx %10d %12.0f\n", p, n,
                 res.parallel_time / 1000.0, res.parallel_time / base_time,
-                res.partition_splits);
+                res.partition_splits,
+                static_cast<double>(bench::max_rank_peak(res.mem)) / 1024.0);
     if (w != nullptr) {
       w->begin_object();
       w->kv("procs", p);
@@ -43,9 +44,13 @@ int main() {
       w->kv("time_us", res.parallel_time);
       w->kv("vs_p1", res.parallel_time / base_time);
       w->kv("splits", res.partition_splits);
+      w->key("mem");
+      obs::write_mem(*w, res.mem, &res.mem_predicted);
       w->end_object();
     }
   }
+  std::printf("(peak KiB/P near-constant == per-processor memory holds at "
+              "N/P fixed; the Section 4 scalability claim)\n");
   if (w != nullptr) {
     w->end_array();
     w->end_object();

@@ -42,6 +42,32 @@ static void print_top_segments(const obs::Observability& o) {
   }
 }
 
+// The heaviest-loaded rank's memory and its three largest (phase, level)
+// segments: which structure, during which phase, owns the footprint?
+static void print_top_memory(const obs::Observability& o,
+                             const core::ParResult& res) {
+  int peak_rank = 0;
+  for (std::size_t r = 1; r < res.mem.size(); ++r) {
+    if (res.mem[r].peak_total > res.mem[peak_rank].peak_total) {
+      peak_rank = static_cast<int>(r);
+    }
+  }
+  const std::int64_t peak = res.mem[peak_rank].peak_total;
+  if (peak <= 0) return;
+  std::printf("     peak memory %.0f KiB on rank %d, top segments:\n",
+              static_cast<double>(peak) / 1024.0, peak_rank);
+  for (const obs::MemLedger::Row& s :
+       o.mem_ledger().top_segments(peak_rank, 3)) {
+    const std::string phase(o.profiler().phase_name(s.phase));
+    std::printf("       %4.1f%%  %-16s %s",
+                100.0 * static_cast<double>(s.peak) /
+                    static_cast<double>(peak),
+                mpsim::to_string(s.tag), phase.c_str());
+    if (s.level != obs::kNoLevel) std::printf(" (level %d)", s.level);
+    std::printf("  %.1f KiB\n", static_cast<double>(s.peak) / 1024.0);
+  }
+}
+
 int main(int argc, char** argv) {
   core::Formulation f = core::Formulation::Hybrid;
   if (argc > 1) {
@@ -94,7 +120,10 @@ int main(int argc, char** argv) {
                 res.totals.idle_time / busy_total * 100.0,
                 res.partition_splits,
                 static_cast<long long>(res.records_moved));
-    if (p > 1) print_top_segments(o);
+    if (p > 1) {
+      print_top_segments(o);
+      print_top_memory(o, res);
+    }
   }
   std::printf("\n(compute/comm/idle are shares of total processor-time)\n");
   return 0;

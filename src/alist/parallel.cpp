@@ -30,6 +30,22 @@ ParallelSprintResult build_parallel_sprint(const data::Dataset& ds,
   const int c_num = schema.num_classes();
   const int num_attrs = ds.num_attributes();
 
+  // Persistent per-rank structures, held for the whole build:
+  //  * each rank's contiguous sections of every attribute list, N/P
+  //    entries per attribute;
+  //  * the record -> node mapping — the schemes' memory contrast: the
+  //    replicated SPRINT hash table is O(N) per rank, ScalParC's
+  //    distributed one O(N/P).
+  const std::int64_t alist_bytes =
+      std::llround(static_cast<double>(num_attrs) * (n / p) * kEntryWords * 4.0);
+  const std::int64_t hash_bytes = std::llround(
+      (opt.scheme == HashTableScheme::ReplicatedSprint ? n : n / p) *
+      kHashPairWords * 4.0);
+  for (int r = 0; r < p; ++r) {
+    machine.alloc_bytes(r, mpsim::MemTag::AttributeList, alist_bytes);
+    machine.alloc_bytes(r, mpsim::MemTag::HashTable, hash_bytes);
+  }
+
   // Initial parallel sort of every continuous attribute list: each rank
   // sorts N/P entries locally, then a sample-sort style exchange streams
   // every entry across the network once.
@@ -134,9 +150,16 @@ ParallelSprintResult build_parallel_sprint(const data::Dataset& ds,
     all.barrier();
   }
 
+  for (int r = 0; r < p; ++r) {
+    machine.free_bytes(r, mpsim::MemTag::AttributeList, alist_bytes);
+    machine.free_bytes(r, mpsim::MemTag::HashTable, hash_bytes);
+  }
+
   res.tree = std::move(tree);
   res.parallel_time = machine.max_clock();
   res.totals = machine.total_stats();
+  res.mem.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) res.mem.push_back(machine.mem(r));
   return res;
 }
 

@@ -48,6 +48,9 @@ struct ParallelSprintResult {
   double peak_hash_words_per_proc = 0.0;
   /// Total hash-table words communicated over the run.
   double hash_comm_words = 0.0;
+  /// Per-rank byte accounts (AttributeList sections + HashTable): the
+  /// measured form of the O(N) vs O(N/P) contrast above.
+  std::vector<mpsim::MemStats> mem;
 };
 
 [[nodiscard]] ParallelSprintResult build_parallel_sprint(

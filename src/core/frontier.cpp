@@ -93,12 +93,34 @@ ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
     words += ds.schema().attr(a).is_continuous() ? 2.0 : 1.0;
   }
   record_words_ = words;
+  record_bytes_ = std::llround(words * 4.0);
   machine.trace().enable(opt.trace);
+
+  // Section 4's per-rank memory bound for this run: ceil(N/P) resident
+  // records, one buffered chunk of histogram tables, plus the bounded
+  // staging terms (all-reduce shadow buffer; the parallel-sorting
+  // strategy's 3-words-per-row exchange staging when enabled).
+  {
+    const auto n = static_cast<std::int64_t>(ds.num_rows());
+    const auto p = static_cast<std::int64_t>(opt.num_procs);
+    const std::int64_t per_rank = (n + p - 1) / p;
+    const std::int64_t buffer_nodes =
+        std::max<std::int64_t>(1, opt.comm_buffer_nodes);
+    mem_predicted_.records_bytes = per_rank * record_bytes_;
+    mem_predicted_.histogram_bytes = layout_.table_bytes(buffer_nodes);
+    mem_predicted_.scratch_bytes =
+        buffer_nodes * static_cast<std::int64_t>(layout_.total()) * 4;
+    const int num_cont = ds.schema().num_continuous();
+    if (opt.exact_continuous && num_cont > 0) {
+      mem_predicted_.scratch_bytes += per_rank * 3 * 4 * num_cont;
+    }
+  }
 
   if (opt.obs != nullptr) {
     obs_ = opt.obs;
     obs_->attach(machine);
     profiler_ = &obs_->profiler();
+    obs_->mem_ledger().set_predicted(mem_predicted_);
     obs::MetricsRegistry& reg = obs_->metrics();
     records_relocated_ = &reg.counter("records_relocated");
     words_all_reduced_ = &reg.counter("words_all_reduced");
@@ -141,6 +163,10 @@ NodeWork ParContext::initial_root(const mpsim::Group& g) {
   const data::RowPartition part =
       data::partition_random(ds_->num_rows(), g.size(), opt_->seed);
   root.local_rows.assign(part.begin(), part.end());
+  // The initial N/P distribution enters the ranks' local stores.
+  for (int m = 0; m < g.size(); ++m) {
+    mem_records_alloc(g.rank(m), root.member_records(m));
+  }
   return root;
 }
 
@@ -169,12 +195,31 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
   const int num_attrs = layout.num_attributes();
   const int entries = layout.total();
 
-  // Nodes at the depth limit stay leaves and are not even histogrammed.
+#ifndef NDEBUG
+  // Scratch is strictly level-local: whatever histogram chunks, sort
+  // staging, and collective buffers a level charges, it must release
+  // before returning, or reported peaks would accumulate artifacts.
+  std::vector<std::int64_t> scratch_baseline(static_cast<std::size_t>(p));
+  for (int m = 0; m < p; ++m) {
+    const mpsim::MemStats& mem = machine.mem(g.rank(m));
+    scratch_baseline[static_cast<std::size_t>(m)] =
+        mem.live_for(mpsim::MemTag::Histogram) +
+        mem.live_for(mpsim::MemTag::Scratch) +
+        mem.live_for(mpsim::MemTag::CollectiveBuffer);
+  }
+#endif
+
+  // Nodes at the depth limit stay leaves and are not even histogrammed;
+  // their rows leave the distributed store here.
   std::vector<NodeWork*> work;
   work.reserve(frontier.size());
   for (NodeWork& nw : frontier) {
     if (tree.node(nw.node_id).depth < grow.max_depth) {
       work.push_back(&nw);
+    } else {
+      for (int m = 0; m < p; ++m) {
+        ctx.mem_records_free(g.rank(m), nw.member_records(m));
+      }
     }
   }
 
@@ -199,9 +244,18 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
         std::min(work.size(), c0 + static_cast<std::size_t>(buffer_nodes));
     const std::size_t chunk_nodes = c1 - c0;
     hist.assign(chunk_nodes * static_cast<std::size_t>(entries), 0);
+    const std::int64_t chunk_table_bytes =
+        layout.table_bytes(static_cast<std::int64_t>(chunk_nodes));
 
     {
       const obs::PhaseScope phase(ctx.profiler(), "histogram");
+      // Every member materializes this chunk's count tables (the
+      // communication buffer of Section 5's "after every 100 nodes");
+      // released as soon as the chunk's splits are selected.
+      for (int m = 0; m < p; ++m) {
+        machine.alloc_bytes(g.rank(m), mpsim::MemTag::Histogram,
+                            chunk_table_bytes);
+      }
       // Local histogram construction. The sum over members lands directly
       // in the shared buffer — arithmetically identical to reducing
       // per-member local histograms, while each member is charged for its
@@ -259,6 +313,15 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
               work[i]->local_rows[static_cast<std::size_t>(m)].size());
         }
       }
+      // Sort staging: 3 words (value, rid, class) per local row per
+      // continuous attribute, held only through this chunk's sort.
+      std::vector<std::int64_t> sort_bytes(static_cast<std::size_t>(p), 0);
+      for (int m = 0; m < p; ++m) {
+        sort_bytes[static_cast<std::size_t>(m)] = std::llround(
+            member_rows[static_cast<std::size_t>(m)] * 3.0 * num_cont * 4.0);
+        machine.alloc_bytes(g.rank(m), mpsim::MemTag::Scratch,
+                            sort_bytes[static_cast<std::size_t>(m)]);
+      }
       for (int m = 0; m < p; ++m) {
         const double rows_m = member_rows[static_cast<std::size_t>(m)];
         if (rows_m > 0.0) {
@@ -288,6 +351,10 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
         level_comm += g.horizon() - before;
         ctx.histogram_words += sort_words;
       }
+      for (int m = 0; m < p; ++m) {
+        machine.free_bytes(g.rank(m), mpsim::MemTag::Scratch,
+                           sort_bytes[static_cast<std::size_t>(m)]);
+      }
     }
 
     // Split selection — computed simultaneously (and identically) by every
@@ -304,7 +371,13 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
                                    *work[i])
               : dtree::choose_split(node_hist, layout,
                                     ctx.dataset().schema(), mapper, grow);
-      if (d.test.is_leaf()) continue;
+      if (d.test.is_leaf()) {
+        // The node closes: its rows leave the distributed store.
+        for (int m = 0; m < p; ++m) {
+          ctx.mem_records_free(g.rank(m), work[i]->member_records(m));
+        }
+        continue;
+      }
       const int first = tree.expand(work[i]->node_id, d);
 
       std::vector<NodeWork> children(
@@ -341,7 +414,30 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
         }
       }
     }
+
+    // Chunk done: release its count tables before the next chunk is
+    // materialized (the buffer is reused, not accumulated). Attributed to
+    // the histogram phase that charged them, so the ledger cell
+    // telescopes to zero instead of leaving a positive remainder here
+    // and a negative one under split-eval.
+    {
+      const obs::PhaseScope phase(ctx.profiler(), "histogram");
+      for (int m = 0; m < p; ++m) {
+        machine.free_bytes(g.rank(m), mpsim::MemTag::Histogram,
+                           chunk_table_bytes);
+      }
+    }
   }
+
+#ifndef NDEBUG
+  for (int m = 0; m < p; ++m) {
+    const mpsim::MemStats& mem = machine.mem(g.rank(m));
+    assert(mem.live_for(mpsim::MemTag::Histogram) +
+               mem.live_for(mpsim::MemTag::Scratch) +
+               mem.live_for(mpsim::MemTag::CollectiveBuffer) ==
+           scratch_baseline[static_cast<std::size_t>(m)]);
+  }
+#endif
 
   if (comm_cost_out != nullptr) *comm_cost_out += level_comm;
   return next;

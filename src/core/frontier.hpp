@@ -82,6 +82,32 @@ class ParContext {
   /// Words of one training record when it moves between processors: one
   /// word per categorical value, two per continuous value, one label.
   [[nodiscard]] double record_words() const { return record_words_; }
+  /// Resident bytes of one record in a rank's local store (4 bytes per
+  /// record word — the unit of the Records byte account).
+  [[nodiscard]] std::int64_t record_bytes() const { return record_bytes_; }
+
+  // Records-account bookkeeping: the distributed row store is the O(N/P)
+  // term of the Section-4 memory argument. Rows are charged when they
+  // enter a rank's local store (initial distribution, incoming shuffle)
+  // and released when they leave it (leaf closure, outgoing shuffle).
+  // Same-rank parent-to-child repartitioning is net zero.
+  void mem_records_alloc(mpsim::Rank r, std::int64_t n) {
+    if (n > 0) machine_->alloc_bytes(r, mpsim::MemTag::Records, n * record_bytes_);
+  }
+  void mem_records_free(mpsim::Rank r, std::int64_t n) {
+    if (n > 0) machine_->free_bytes(r, mpsim::MemTag::Records, n * record_bytes_);
+  }
+  void mem_records_move(mpsim::Rank from, mpsim::Rank to, std::int64_t n) {
+    if (from == to || n <= 0) return;
+    machine_->free_bytes(from, mpsim::MemTag::Records, n * record_bytes_);
+    machine_->alloc_bytes(to, mpsim::MemTag::Records, n * record_bytes_);
+  }
+
+  /// Section-4 analytic per-rank peak prediction for this run's N, P and
+  /// communication-buffer size (computed once at construction).
+  [[nodiscard]] const mpsim::MemPredicted& mem_predicted() const {
+    return mem_predicted_;
+  }
 
   /// The initial frontier: the root node with rows randomly distributed
   /// over the group's members (the paper's initial N/P distribution).
@@ -102,6 +128,8 @@ class ParContext {
   dtree::AttrLayout layout_;
   dtree::Tree tree_;
   double record_words_ = 0.0;
+  std::int64_t record_bytes_ = 0;
+  mpsim::MemPredicted mem_predicted_;
 
   obs::Observability* obs_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;

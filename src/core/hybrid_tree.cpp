@@ -71,6 +71,7 @@ void balance_half(ParContext& ctx, const mpsim::Group& g,
     assert(remaining == 0);
     ctx.records_moved += t.count;
     ctx.count_records_relocated(t.count);
+    ctx.mem_records_move(g.rank(t.from), g.rank(t.to), t.count);
   }
   g.charge_transfers(transfers, ctx.record_words());
 }
@@ -106,6 +107,10 @@ std::pair<HPartition, HPartition> split_partition(ParContext& ctx,
           words_out[static_cast<std::size_t>(m)] +=
               static_cast<double>(rows.size()) * ctx.record_words();
           ctx.records_moved += static_cast<std::int64_t>(rows.size());
+          // The row crosses to its partner across the split dimension.
+          ctx.mem_records_move(part.group.rank(m),
+                               part.group.rank(to_a ? m - h : m + h),
+                               static_cast<std::int64_t>(rows.size()));
         }
         auto& dst = out.local_rows[static_cast<std::size_t>(m % h)];
         dst.insert(dst.end(), rows.begin(), rows.end());
@@ -196,6 +201,7 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
       ctx.machine().charge_comm(to, wire, 0.0, words);
       ctx.machine().charge_io(from, cm.t_io * words);
       ctx.machine().charge_io(to, cm.t_io * words);
+      ctx.mem_records_move(from, to, t.count);
       if (ledger != nullptr) ledger->add_traffic(from, to, words);
     }
     ctx.machine().barrier_over(ordered);

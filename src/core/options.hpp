@@ -65,6 +65,13 @@ struct ParResult {
   std::int64_t records_moved = 0;
   /// Total histogram words all-reduced.
   double histogram_words = 0.0;
+  /// Per-rank virtual-memory accounts at run end (live/peak bytes per
+  /// MemTag). Always populated — byte accounting runs with or without an
+  /// observability sink, since it never touches the clocks.
+  std::vector<mpsim::MemStats> mem;
+  /// Section-4 analytic per-rank peak prediction for this run's N, P and
+  /// buffer size (zeroed when the formulation has no closed-form bound).
+  mpsim::MemPredicted mem_predicted;
   /// Event log of the run (populated when ParOptions::trace is set).
   std::vector<mpsim::TraceEvent> trace;
 };

@@ -92,6 +92,11 @@ std::vector<std::vector<NodeWork>> shuffle_to_parts(
   std::vector<std::vector<double>> words(
       static_cast<std::size_t>(p),
       std::vector<double>(static_cast<std::size_t>(p), 0.0));
+  // Records that change ranks here leave the origin's local store and
+  // enter the destination's (batched per ordered pair).
+  std::vector<std::vector<std::int64_t>> moved_counts(
+      static_cast<std::size_t>(p),
+      std::vector<std::int64_t>(static_cast<std::size_t>(p), 0));
   std::vector<std::vector<NodeWork>> out(part_members.size());
 
   for (std::size_t j = 0; j < children.size(); ++j) {
@@ -149,6 +154,8 @@ std::vector<std::vector<NodeWork>> shuffle_to_parts(
         if (from != to) {
           words[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] +=
               ctx.record_words();
+          ++moved_counts[static_cast<std::size_t>(from)]
+                        [static_cast<std::size_t>(to)];
           ++ctx.records_moved;
         }
         ++s;
@@ -158,6 +165,13 @@ std::vector<std::vector<NodeWork>> shuffle_to_parts(
     out[static_cast<std::size_t>(part_of[j])].push_back(std::move(moved));
   }
 
+  for (int from = 0; from < p; ++from) {
+    for (int to = 0; to < p; ++to) {
+      ctx.mem_records_move(g.rank(from), g.rank(to),
+                           moved_counts[static_cast<std::size_t>(from)]
+                                       [static_cast<std::size_t>(to)]);
+    }
+  }
   g.all_to_all_personalized(words);
   ctx.count_records_relocated(ctx.records_moved - moved_before);
   ctx.observe_shuffle_records(ctx.records_moved - moved_before);

@@ -10,9 +10,12 @@ ParResult collect_result(ParContext& ctx) {
   res.parallel_time = m.max_clock();
   res.totals = m.total_stats();
   res.per_rank.reserve(static_cast<std::size_t>(m.size()));
+  res.mem.reserve(static_cast<std::size_t>(m.size()));
   for (int r = 0; r < m.size(); ++r) {
     res.per_rank.push_back(m.stats(r));
+    res.mem.push_back(m.mem(r));
   }
+  res.mem_predicted = ctx.mem_predicted();
   res.levels = ctx.levels;
   res.partition_splits = ctx.partition_splits;
   res.rejoins = ctx.rejoins;

@@ -43,6 +43,14 @@ class AttrLayout {
   /// are 4-byte; one entry = 2 words).
   [[nodiscard]] int total() const { return total_; }
 
+  /// Resident bytes of the flat count buffer for `nodes` tree nodes —
+  /// the O(attrs * bins * classes) histogram term of the Section-4
+  /// memory analysis (counts are held as int64 entries).
+  [[nodiscard]] std::int64_t table_bytes(std::int64_t nodes = 1) const {
+    return nodes * static_cast<std::int64_t>(total_) *
+           static_cast<std::int64_t>(sizeof(std::int64_t));
+  }
+
   [[nodiscard]] int index(int attr, int slot, int cls) const {
     return offset(attr) + slot * num_classes_ + cls;
   }

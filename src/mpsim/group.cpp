@@ -61,6 +61,13 @@ void Group::trace(EventKind kind, double words, const char* detail) const {
 
 namespace {
 
+// Message staging held only for the duration of a collective. Words are
+// 4-byte units; rounding to integer bytes keeps charge/release pairs
+// exact even for the fractional per-round volumes of all-to-all.
+[[nodiscard]] std::int64_t staging_bytes(double words) {
+  return std::llround(words * 4.0);
+}
+
 template <typename T>
 void reduce_buffers(const std::vector<T*>& bufs, std::size_t len) {
   // Element-wise sum into bufs[0], then copy back out to every buffer.
@@ -106,9 +113,18 @@ void Group::charge_all_reduce(double words) const {
   // Recursive doubling (the paper's Eq. 2): one full-size exchange per
   // hypercube dimension.
   const Time cost = cm.all_reduce(words, size());
+  // Recursive doubling holds one shadow buffer of the payload per member
+  // while the exchange is in flight.
+  const std::int64_t staging = staging_bytes(words);
+  for (Rank r : ranks_) {
+    machine_->alloc_bytes(r, MemTag::CollectiveBuffer, staging);
+  }
   for (Rank r : ranks_) {
     machine_->charge_comm(r, cost, words * rounds, words * rounds,
                           static_cast<std::uint64_t>(rounds));
+  }
+  for (Rank r : ranks_) {
+    machine_->free_bytes(r, MemTag::CollectiveBuffer, staging);
   }
   if (CommLedger* ledger = machine_->comm_ledger()) {
     CollectiveEntry e;
@@ -141,9 +157,16 @@ void Group::charge_broadcast(double words) const {
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   const Time cost = cm.broadcast(words, size());
+  const std::int64_t staging = staging_bytes(words);
+  for (Rank r : ranks_) {
+    machine_->alloc_bytes(r, MemTag::CollectiveBuffer, staging);
+  }
   for (Rank r : ranks_) {
     machine_->charge_comm(r, cost, words, words,
                           static_cast<std::uint64_t>(rounds));
+  }
+  for (Rank r : ranks_) {
+    machine_->free_bytes(r, MemTag::CollectiveBuffer, staging);
   }
   if (CommLedger* ledger = machine_->comm_ledger()) {
     CollectiveEntry e;
@@ -187,8 +210,14 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     const double out_a = words_out[static_cast<std::size_t>(i)];
     const double out_b = words_out[static_cast<std::size_t>(i + half)];
     const Time cost = cm.t_s + cm.t_w * std::max(out_a, out_b);
+    // Both endpoints stage the outbound payload plus the inbound one.
+    const std::int64_t staging = staging_bytes(out_a + out_b);
+    machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
+    machine_->alloc_bytes(rank(i + half), MemTag::CollectiveBuffer, staging);
     machine_->charge_comm(rank(i), cost, out_a, out_b);
     machine_->charge_comm(rank(i + half), cost, out_b, out_a);
+    machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
+    machine_->free_bytes(rank(i + half), MemTag::CollectiveBuffer, staging);
     // Records live in disk-resident attribute lists: the sender reads what
     // it ships, the receiver writes what arrives.
     const Time io = cm.t_io * (out_a + out_b);
@@ -286,11 +315,15 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
   }
   for (int i = 0; i < size(); ++i) {
     if (member_cost[static_cast<std::size_t>(i)] > 0.0) {
+      const std::int64_t staging =
+          staging_bytes(member_words[static_cast<std::size_t>(i)]);
+      machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
       machine_->charge_comm(rank(i), member_cost[static_cast<std::size_t>(i)],
                             member_words[static_cast<std::size_t>(i)],
                             member_words[static_cast<std::size_t>(i)]);
       machine_->charge_io(
           rank(i), cm.t_io * member_words[static_cast<std::size_t>(i)]);
+      machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     }
   }
   barrier();
@@ -365,12 +398,17 @@ void Group::all_to_all_personalized(
     const double vol = std::max(sent[static_cast<std::size_t>(i)],
                                 recv[static_cast<std::size_t>(i)]);
     const Time cost = cm.all_to_all(vol, p);
+    const std::int64_t staging =
+        staging_bytes(sent[static_cast<std::size_t>(i)] +
+                      recv[static_cast<std::size_t>(i)]);
+    machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     machine_->charge_comm(rank(i), cost, sent[static_cast<std::size_t>(i)],
                           recv[static_cast<std::size_t>(i)],
                           static_cast<std::uint64_t>(rounds));
     const Time io = cm.t_io * (sent[static_cast<std::size_t>(i)] +
                                recv[static_cast<std::size_t>(i)]);
     machine_->charge_io(rank(i), io);
+    machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     total += sent[static_cast<std::size_t>(i)];
     if (ledger != nullptr) {
       predicted += cost;

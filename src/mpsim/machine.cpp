@@ -16,10 +16,23 @@ const char* to_string(ChargeKind k) {
   return "?";
 }
 
+const char* to_string(MemTag t) {
+  switch (t) {
+    case MemTag::Records: return "records";
+    case MemTag::Histogram: return "histogram";
+    case MemTag::AttributeList: return "attribute_list";
+    case MemTag::HashTable: return "hash_table";
+    case MemTag::Scratch: return "scratch";
+    case MemTag::CollectiveBuffer: return "collective_buffer";
+  }
+  return "?";
+}
+
 Machine::Machine(int nprocs, CostModel cost)
     : cost_(cost),
       clocks_(static_cast<std::size_t>(nprocs), 0.0),
-      stats_(static_cast<std::size_t>(nprocs)) {
+      stats_(static_cast<std::size_t>(nprocs)),
+      mem_(static_cast<std::size_t>(nprocs)) {
   assert(nprocs >= 1);
 }
 
@@ -102,6 +115,41 @@ void Machine::barrier_over(const std::vector<Rank>& ranks) {
   }
 }
 
+void Machine::alloc_bytes(Rank r, MemTag tag, std::int64_t bytes) {
+  assert(bytes >= 0);
+  if (bytes == 0) return;
+  MemStats& m = mem_[idx(r)];
+  const auto t = static_cast<std::size_t>(tag);
+  m.live[t] += bytes;
+  if (m.live[t] > m.peak[t]) m.peak[t] = m.live[t];
+  m.live_total += bytes;
+  if (m.live_total > m.peak_total) m.peak_total = m.live_total;
+  if (observer_ != nullptr) {
+    observer_->on_alloc(r, tag, bytes, m.live_total);
+  }
+}
+
+void Machine::free_bytes(Rank r, MemTag tag, std::int64_t bytes) {
+  assert(bytes >= 0);
+  if (bytes == 0) return;
+  MemStats& m = mem_[idx(r)];
+  const auto t = static_cast<std::size_t>(tag);
+  assert(m.live[t] >= bytes && "freeing more than is live for this tag");
+  m.live[t] -= bytes;
+  if (m.live[t] < 0) m.live[t] = 0;
+  m.live_total -= bytes;
+  if (m.live_total < 0) m.live_total = 0;
+  if (observer_ != nullptr) {
+    observer_->on_free(r, tag, bytes, m.live_total);
+  }
+}
+
+std::int64_t Machine::max_peak_bytes() const {
+  std::int64_t peak = 0;
+  for (const MemStats& m : mem_) peak = std::max(peak, m.peak_total);
+  return peak;
+}
+
 void Machine::set_comm_ledger(CommLedger* ledger) {
   comm_ledger_ = ledger;
   if (comm_ledger_ != nullptr) comm_ledger_->ensure_ranks(size());
@@ -116,6 +164,7 @@ RankStats Machine::total_stats() const {
 void Machine::reset() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   std::fill(stats_.begin(), stats_.end(), RankStats{});
+  std::fill(mem_.begin(), mem_.end(), MemStats{});
   trace_.clear();
 }
 

@@ -58,6 +58,28 @@ class Machine {
   /// on_barrier hook fires with the max-clock member as path holder.
   void barrier_over(const std::vector<Rank>& ranks);
 
+  /// Charge `bytes` (>= 0) of virtual memory tagged `tag` to rank r's
+  /// byte account, updating per-tag and total live/peak counters and
+  /// firing the observer's on_alloc hook. Memory events never advance
+  /// clocks: footprint accounting is orthogonal to simulated time, so
+  /// obs-on and obs-off runs stay bit-identical.
+  void alloc_bytes(Rank r, MemTag tag, std::int64_t bytes);
+  /// Release `bytes` previously charged with the same tag. Releasing
+  /// more than is live is a bug (asserted in debug builds; clamped to
+  /// zero otherwise).
+  void free_bytes(Rank r, MemTag tag, std::int64_t bytes);
+
+  [[nodiscard]] const MemStats& mem(Rank r) const { return mem_[idx(r)]; }
+  [[nodiscard]] std::int64_t live_bytes(Rank r) const {
+    return mem_[idx(r)].live_total;
+  }
+  [[nodiscard]] std::int64_t peak_bytes(Rank r) const {
+    return mem_[idx(r)].peak_total;
+  }
+  /// Maximum peak_bytes over all ranks — the machine's memory
+  /// bottleneck, the quantity the Section-4 scalability argument bounds.
+  [[nodiscard]] std::int64_t max_peak_bytes() const;
+
   [[nodiscard]] const RankStats& stats(Rank r) const { return stats_[idx(r)]; }
   /// Sum of all per-rank stats.
   [[nodiscard]] RankStats total_stats() const;
@@ -90,6 +112,7 @@ class Machine {
   CostModel cost_;
   std::vector<Time> clocks_;
   std::vector<RankStats> stats_;
+  std::vector<MemStats> mem_;
   Trace trace_;
   ChargeObserver* observer_ = nullptr;
   CommLedger* comm_ledger_ = nullptr;

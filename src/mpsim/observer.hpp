@@ -9,6 +9,7 @@
 // obs.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mpsim/cost_model.hpp"
@@ -25,6 +26,23 @@ enum class ChargeKind {
 };
 
 [[nodiscard]] const char* to_string(ChargeKind k);
+
+/// Which data structure a byte charge belongs to. These are the
+/// footprint-dominant structures from the paper's Section 4 memory
+/// argument: O(N/P) resident records, O(attrs * bins * classes)
+/// histogram tables per frontier node, and bounded per-level scratch.
+enum class MemTag {
+  Records,          ///< training records resident in a rank's local store
+  Histogram,        ///< per-node class histograms / count matrices
+  AttributeList,    ///< SPRINT/SLIQ presorted attribute-list sections
+  HashTable,        ///< record->node map (SPRINT hash table / class list)
+  Scratch,          ///< per-level scratch: sort staging, split buffers
+  CollectiveBuffer, ///< message staging inside Group collectives
+};
+
+inline constexpr int kNumMemTags = 6;
+
+[[nodiscard]] const char* to_string(MemTag t);
 
 class ChargeObserver {
  public:
@@ -45,6 +63,27 @@ class ChargeObserver {
     (void)members;
     (void)holder;
     (void)t;
+  }
+
+  /// Rank r charged `bytes` (> 0) of virtual memory tagged `tag`;
+  /// `live_after` is r's total live bytes after the charge. Memory
+  /// events never move clocks, so observers stay strictly passive.
+  /// Default: ignore (only the memory ledger cares).
+  virtual void on_alloc(Rank r, MemTag tag, std::int64_t bytes,
+                        std::int64_t live_after) {
+    (void)r;
+    (void)tag;
+    (void)bytes;
+    (void)live_after;
+  }
+
+  /// Rank r released `bytes` (> 0) of virtual memory tagged `tag`.
+  virtual void on_free(Rank r, MemTag tag, std::int64_t bytes,
+                       std::int64_t live_after) {
+    (void)r;
+    (void)tag;
+    (void)bytes;
+    (void)live_after;
   }
 };
 

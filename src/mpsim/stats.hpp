@@ -4,9 +4,11 @@
 // qualitatively (Section 5).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "mpsim/cost_model.hpp"
+#include "mpsim/observer.hpp"
 
 namespace pdt::mpsim {
 
@@ -35,6 +37,39 @@ struct RankStats {
     messages_sent += o.messages_sent;
     return *this;
   }
+};
+
+/// Virtual-memory accounting for a single simulated processor. Byte
+/// accounts are exact integers so charge/release pairs cancel with no
+/// floating-point residue: at algorithm teardown every live count must
+/// return to zero.
+struct MemStats {
+  std::int64_t live_total = 0;  ///< bytes currently charged
+  std::int64_t peak_total = 0;  ///< high-water mark of live_total
+  std::array<std::int64_t, kNumMemTags> live{};  ///< live bytes per MemTag
+  std::array<std::int64_t, kNumMemTags> peak{};  ///< peak bytes per MemTag
+
+  [[nodiscard]] std::int64_t live_for(MemTag t) const {
+    return live[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::int64_t peak_for(MemTag t) const {
+    return peak[static_cast<std::size_t>(t)];
+  }
+};
+
+/// Analytic per-rank peak-footprint prediction from the paper's Section-4
+/// memory terms: O(N/P) resident records plus O(attrs * bins * classes)
+/// histogram tables per buffered frontier node, plus any formulation-
+/// specific scratch bound. Exported alongside the measured peaks the way
+/// the comm ledger pairs Eq. 2-4 predictions with measured cost.
+struct MemPredicted {
+  std::int64_t records_bytes = 0;    ///< ceil(N/P) * bytes-per-record
+  std::int64_t histogram_bytes = 0;  ///< buffer_nodes * table entries * 8
+  std::int64_t scratch_bytes = 0;    ///< bounded per-level staging terms
+  [[nodiscard]] std::int64_t total() const {
+    return records_bytes + histogram_bytes + scratch_bytes;
+  }
+  [[nodiscard]] bool empty() const { return total() == 0; }
 };
 
 }  // namespace pdt::mpsim

@@ -452,4 +452,147 @@ void write_comm(JsonWriter& w, const mpsim::CommLedger& ledger,
   w.end_object();
 }
 
+// ----------------------------------------------------------------- mem --
+
+void write_mem(JsonWriter& w, const std::vector<mpsim::MemStats>& per_rank,
+               const mpsim::MemPredicted* predicted, const MemLedger* ledger,
+               const PhaseProfiler* profiler, int top_k) {
+  w.begin_object();
+  w.kv("schema", "pdt-mem-v1");
+  w.kv("num_ranks", static_cast<int>(per_rank.size()));
+
+  // The memory bottleneck: the rank whose high-water mark is largest
+  // (smallest such rank on ties, so the report is deterministic).
+  std::int64_t max_peak = 0;
+  std::int64_t total_peak = 0;
+  int peak_rank = 0;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    total_peak += per_rank[r].peak_total;
+    if (per_rank[r].peak_total > max_peak) {
+      max_peak = per_rank[r].peak_total;
+      peak_rank = static_cast<int>(r);
+    }
+  }
+  w.kv("max_rank_peak_bytes", max_peak);
+  w.kv("peak_rank", peak_rank);
+  w.kv("total_peak_bytes", total_peak);
+
+  if (predicted != nullptr && !predicted->empty()) {
+    w.key("predicted").begin_object();
+    w.kv("records_bytes", predicted->records_bytes);
+    w.kv("histogram_bytes", predicted->histogram_bytes);
+    w.kv("scratch_bytes", predicted->scratch_bytes);
+    w.kv("total_bytes", predicted->total());
+    // Relative error of the measured bottleneck against the analytic
+    // per-rank bound (positive = measured above prediction).
+    w.kv("max_rank_error_pct",
+         100.0 *
+             (static_cast<double>(max_peak) -
+              static_cast<double>(predicted->total())) /
+             static_cast<double>(predicted->total()));
+    w.end_object();
+  }
+
+  w.key("per_rank").begin_array();
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const mpsim::MemStats& m = per_rank[r];
+    w.begin_object();
+    w.kv("rank", static_cast<int>(r));
+    w.kv("live_bytes", m.live_total);
+    w.kv("peak_bytes", m.peak_total);
+    w.key("tags").begin_array();
+    for (int t = 0; t < mpsim::kNumMemTags; ++t) {
+      const auto tag = static_cast<mpsim::MemTag>(t);
+      if (m.peak_for(tag) == 0) continue;
+      w.begin_object();
+      w.kv("tag", mpsim::to_string(tag));
+      w.kv("live_bytes", m.live_for(tag));
+      w.kv("peak_bytes", m.peak_for(tag));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-structure summary over ranks: is this structure's footprint
+  // distributed (max-rank peak shrinks with P) or replicated (it
+  // doesn't)? The report-side scalability verdict compares these across
+  // runs at different P.
+  w.key("tags").begin_array();
+  for (int t = 0; t < mpsim::kNumMemTags; ++t) {
+    const auto tag = static_cast<mpsim::MemTag>(t);
+    std::int64_t tag_max = 0;
+    std::int64_t tag_total = 0;
+    for (const mpsim::MemStats& m : per_rank) {
+      tag_max = std::max(tag_max, m.peak_for(tag));
+      tag_total += m.peak_for(tag);
+    }
+    if (tag_total == 0) continue;
+    w.begin_object();
+    w.kv("tag", mpsim::to_string(tag));
+    w.kv("max_rank_peak_bytes", tag_max);
+    w.kv("total_peak_bytes", tag_total);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (ledger != nullptr) {
+    w.key("ledger").begin_object();
+    w.kv("events", ledger->events());
+    std::int64_t charged = 0;
+    std::int64_t released = 0;
+    for (int r = 0; r < ledger->num_ranks(); ++r) {
+      charged += ledger->charged_bytes(r);
+      released += ledger->released_bytes(r);
+    }
+    w.kv("charged_bytes", charged);
+    w.kv("released_bytes", released);
+
+    const std::vector<MemLedger::Row> rows = ledger->rows();
+    w.key("segments").begin_array();
+    for (const MemLedger::Row& row : rows) {
+      if (row.peak == 0 && row.live == 0) continue;
+      w.begin_object();
+      w.kv("tag", mpsim::to_string(row.tag));
+      w.kv("phase", comm_phase_name(profiler, row.phase));
+      w.kv("level", row.level);
+      w.kv("rank", row.rank);
+      w.kv("live_bytes", row.live);
+      w.kv("peak_bytes", row.peak);
+      w.end_object();
+    }
+    w.end_array();
+
+    // Top-k attribution cells by peak bytes (rows() order breaks ties,
+    // so the list is deterministic).
+    std::vector<MemLedger::Row> top = rows;
+    std::stable_sort(top.begin(), top.end(),
+                     [](const MemLedger::Row& a, const MemLedger::Row& b) {
+                       return a.peak > b.peak;
+                     });
+    if (top_k >= 0 && static_cast<std::size_t>(top_k) < top.size()) {
+      top.resize(static_cast<std::size_t>(top_k));
+    }
+    w.key("top_segments").begin_array();
+    for (const MemLedger::Row& row : top) {
+      if (row.peak == 0) continue;
+      w.begin_object();
+      w.kv("tag", mpsim::to_string(row.tag));
+      w.kv("phase", comm_phase_name(profiler, row.phase));
+      w.kv("level", row.level);
+      w.kv("rank", row.rank);
+      w.kv("peak_bytes", row.peak);
+      w.kv("share_pct", max_peak > 0 ? 100.0 * static_cast<double>(row.peak) /
+                                           static_cast<double>(max_peak)
+                                     : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  w.end_object();
+}
+
 }  // namespace pdt::obs

@@ -17,6 +17,11 @@
 //    CommLedger, the rank x rank traffic matrix, and the critical-path
 //    breakdown (top-k segments with blame percentages) from the
 //    CriticalPathTracer.
+//
+//  * write_mem — the memory report ("pdt-mem-v1"): per-rank live/peak
+//    byte accounts per MemTag from the Machine, the Section-4 analytic
+//    per-rank prediction, and (when a MemLedger observed the run) the
+//    (tag, phase, level, rank) attribution segments.
 #pragma once
 
 #include <cstdint>
@@ -87,5 +92,16 @@ void write_metrics_report(std::ostream& os, const Observability& o);
 void write_comm(JsonWriter& w, const mpsim::CommLedger& ledger,
                 const CriticalPathTracer* critical = nullptr,
                 const PhaseProfiler* profiler = nullptr, int top_k = 10);
+
+/// Emit the "pdt-mem-v1" report as one JSON object value on `w`.
+/// `per_rank` is the Machine's end-of-run byte accounts (ParResult::mem).
+/// `predicted` adds the Section-4 analytic terms (skipped when null or
+/// empty). `ledger` adds the per-(tag, phase, level, rank) attribution
+/// segments; `profiler` resolves its phase names. `top_k` bounds the
+/// exported top_segments list.
+void write_mem(JsonWriter& w, const std::vector<mpsim::MemStats>& per_rank,
+               const mpsim::MemPredicted* predicted = nullptr,
+               const MemLedger* ledger = nullptr,
+               const PhaseProfiler* profiler = nullptr, int top_k = 10);
 
 }  // namespace pdt::obs

@@ -12,18 +12,20 @@
 #include "mpsim/comm_ledger.hpp"
 #include "mpsim/machine.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/mem_ledger.hpp"
 #include "obs/phase.hpp"
 #include "obs/registry.hpp"
 
 namespace pdt::obs {
 
-/// Forwards every Machine event to the profiler and the critical-path
-/// tracer (Machine holds a single observer slot). Passive like its
-/// constituents.
+/// Forwards every Machine event to the profiler, the critical-path
+/// tracer, and the memory ledger (Machine holds a single observer slot).
+/// Passive like its constituents.
 class ObserverFanout final : public mpsim::ChargeObserver {
  public:
-  ObserverFanout(PhaseProfiler* profiler, CriticalPathTracer* critical)
-      : profiler_(profiler), critical_(critical) {}
+  ObserverFanout(PhaseProfiler* profiler, CriticalPathTracer* critical,
+                 MemLedger* mem)
+      : profiler_(profiler), critical_(critical), mem_(mem) {}
 
   void on_charge(mpsim::Rank r, mpsim::ChargeKind kind, mpsim::Time start,
                  mpsim::Time dt, double words_sent,
@@ -38,9 +40,22 @@ class ObserverFanout final : public mpsim::ChargeObserver {
     critical_->on_barrier(members, holder, t);
   }
 
+  void on_alloc(mpsim::Rank r, mpsim::MemTag tag, std::int64_t bytes,
+                std::int64_t live_after) override {
+    (void)live_after;
+    mem_->on_alloc(r, tag, bytes);
+  }
+
+  void on_free(mpsim::Rank r, mpsim::MemTag tag, std::int64_t bytes,
+               std::int64_t live_after) override {
+    (void)live_after;
+    mem_->on_free(r, tag, bytes);
+  }
+
  private:
   PhaseProfiler* profiler_;
   CriticalPathTracer* critical_;
+  MemLedger* mem_;
 };
 
 class Observability {
@@ -48,7 +63,8 @@ class Observability {
   explicit Observability(ProfilerConfig cfg = {})
       : profiler_(cfg),
         critical_(&profiler_),
-        fanout_(&profiler_, &critical_) {}
+        mem_(&profiler_),
+        fanout_(&profiler_, &critical_, &mem_) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
@@ -63,6 +79,8 @@ class Observability {
   [[nodiscard]] const mpsim::CommLedger& comm_ledger() const {
     return ledger_;
   }
+  [[nodiscard]] MemLedger& mem_ledger() { return mem_; }
+  [[nodiscard]] const MemLedger& mem_ledger() const { return mem_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
@@ -76,6 +94,7 @@ class Observability {
  private:
   PhaseProfiler profiler_;
   CriticalPathTracer critical_;
+  MemLedger mem_;
   ObserverFanout fanout_;
   mpsim::CommLedger ledger_;
   MetricsRegistry metrics_;

@@ -40,6 +40,21 @@ void expect_bit_identical(const ParResult& off, const ParResult& on,
     EXPECT_EQ(off.per_rank[r].idle_time, on.per_rank[r].idle_time)
         << what << ": rank " << r;
   }
+  // The byte accounts are always-on in the Machine; attaching the ledger
+  // must not change a single byte of them.
+  ASSERT_EQ(off.mem.size(), on.mem.size()) << what;
+  for (std::size_t r = 0; r < off.mem.size(); ++r) {
+    EXPECT_EQ(off.mem[r].peak_total, on.mem[r].peak_total)
+        << what << ": mem peak, rank " << r;
+    EXPECT_EQ(off.mem[r].live_total, on.mem[r].live_total)
+        << what << ": mem live, rank " << r;
+    for (int t = 0; t < mpsim::kNumMemTags; ++t) {
+      const auto tag = static_cast<mpsim::MemTag>(t);
+      EXPECT_EQ(off.mem[r].peak_for(tag), on.mem[r].peak_for(tag))
+          << what << ": rank " << r << " " << mpsim::to_string(tag);
+    }
+  }
+  EXPECT_EQ(off.mem_predicted.total(), on.mem_predicted.total()) << what;
   EXPECT_TRUE(off.tree.same_as(on.tree)) << what << ": tree";
 }
 
@@ -81,6 +96,16 @@ TEST_P(ObsParity, AttachingObservabilityNeverChangesTheRun) {
   EXPECT_EQ(path.max_clock_us, on.parallel_time)
       << "critical path must end exactly at max_clock";
   EXPECT_GT(o.critical_path().barriers(), 0u);
+
+  // The mem ledger rode along on the same (bit-identical) run and saw
+  // every byte event the machine accounts saw.
+  EXPECT_GT(o.mem_ledger().events(), 0u);
+  ASSERT_EQ(o.mem_ledger().num_ranks(), procs);
+  for (int r = 0; r < procs; ++r) {
+    EXPECT_EQ(o.mem_ledger().peak_bytes(r), on.mem[static_cast<std::size_t>(r)]
+                                                .peak_total)
+        << "rank " << r;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,143 @@
+// pdt-diff — performance-regression gate over pdt-bench-v1 reports.
+//
+//   pdt-diff [--tol T] <baseline.json> <bench.json>...
+//       Compare every baseline tuple against the bench reports; exit 1
+//       if any tuple drifts past the relative tolerance T (default 1e-9,
+//       i.e. "the virtual clock must not move") or is missing.
+//
+//   pdt-diff --extract [--procs 1,4,8] [-o baseline.json] <bench.json>...
+//       Produce a pdt-diff-baseline-v1 file from the reports'
+//       speedup_series sections (optionally keeping only the listed
+//       processor counts), for committing next to the code.
+//
+// Exit codes: 0 ok, 1 regression/missing/IO error, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diff/diff.hpp"
+#include "report/json_value.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pdt-diff [--tol T] <baseline.json> <bench.json>...\n"
+               "       pdt-diff --extract [--procs P,P,...] [-o out.json] "
+               "<bench.json>...\n");
+  return 2;
+}
+
+bool load(const std::string& path, pdt::tools::ReportInput* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "pdt-diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  out->name = path;
+  std::string error;
+  if (!pdt::tools::json_parse(buf.str(), &out->root, &error)) {
+    std::fprintf(stderr, "pdt-diff: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool extract = false;
+  double tol = 1e-9;
+  std::string out_path;
+  std::vector<std::int64_t> procs_filter;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--extract") == 0) {
+      extract = true;
+    } else if (std::strcmp(argv[i], "--tol") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      tol = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || tol < 0.0) return usage();
+    } else if (std::strcmp(argv[i], "--procs") == 0) {
+      if (i + 1 >= argc) return usage();
+      const char* s = argv[++i];
+      while (*s != '\0') {
+        char* end = nullptr;
+        const long p = std::strtol(s, &end, 10);
+        if (end == s || p <= 0) return usage();
+        procs_filter.push_back(p);
+        s = end;
+        if (*s == ',') ++s;
+      }
+    } else if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  if (extract) {
+    if (files.empty()) return usage();
+    std::vector<pdt::tools::ReportInput> inputs;
+    for (const std::string& path : files) {
+      pdt::tools::ReportInput in;
+      if (!load(path, &in)) return 1;
+      inputs.push_back(std::move(in));
+    }
+    const std::vector<pdt::tools::DiffEntry> entries =
+        pdt::tools::extract_entries(inputs, procs_filter);
+    if (entries.empty()) {
+      std::fprintf(stderr,
+                   "pdt-diff: no speedup_series points found to extract\n");
+      return 1;
+    }
+    if (out_path.empty()) {
+      pdt::tools::write_baseline(entries, std::cout);
+    } else {
+      std::ofstream os(out_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "pdt-diff: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      pdt::tools::write_baseline(entries, os);
+      std::fprintf(stderr, "pdt-diff: wrote %zu tuples to %s\n",
+                   entries.size(), out_path.c_str());
+    }
+    return 0;
+  }
+
+  if (files.size() < 2) return usage();
+  pdt::tools::ReportInput base_in;
+  if (!load(files[0], &base_in)) return 1;
+  std::vector<pdt::tools::DiffEntry> baseline;
+  std::string error;
+  if (!pdt::tools::parse_baseline(base_in.root, &baseline, &error)) {
+    std::fprintf(stderr, "pdt-diff: %s: %s\n", files[0].c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::vector<pdt::tools::ReportInput> inputs;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    pdt::tools::ReportInput in;
+    if (!load(files[i], &in)) return 1;
+    inputs.push_back(std::move(in));
+  }
+  const std::vector<pdt::tools::DiffEntry> current =
+      pdt::tools::extract_entries(inputs, {});
+  pdt::tools::DiffOptions opt;
+  opt.tol = tol;
+  return pdt::tools::run_diff(baseline, current, opt, std::cout) == 0 ? 0 : 1;
+}

@@ -207,6 +207,180 @@ void render_comm(const JsonValue& c, std::ostream& os) {
   }
 }
 
+// ----------------------------------------------------------------- mem --
+
+std::string fmt_kib(double bytes) { return fmt(bytes / 1024.0, 1); }
+
+void render_mem(const JsonValue& m, std::ostream& os) {
+  os << "- ranks: " << m.get("num_ranks").as_int() << ", max per-rank peak: "
+     << fmt_kib(m.get("max_rank_peak_bytes").as_double()) << " KiB (rank "
+     << m.get("peak_rank").as_int() << "), sum of rank peaks: "
+     << fmt_kib(m.get("total_peak_bytes").as_double()) << " KiB\n";
+
+  const JsonValue& pred = m.get("predicted");
+  if (!pred.is_null()) {
+    os << "- Section-4 prediction: "
+       << fmt_kib(pred.get("total_bytes").as_double()) << " KiB per rank ("
+       << fmt_kib(pred.get("records_bytes").as_double()) << " records + "
+       << fmt_kib(pred.get("histogram_bytes").as_double()) << " histograms + "
+       << fmt_kib(pred.get("scratch_bytes").as_double())
+       << " scratch); measured bottleneck is "
+       << fmt(pred.get("max_rank_error_pct").as_double(), 1)
+       << "% vs prediction\n";
+  }
+  os << "\n";
+
+  const JsonValue& per_rank = m.get("per_rank");
+  if (per_rank.size() > 0) {
+    os << "#### Peak bytes per rank\n\n";
+    os << "| rank | peak KiB | live KiB | largest structures |\n";
+    os << "|---:|---:|---:|---|\n";
+    for (const JsonValue& r : per_rank.array()) {
+      os << "| " << r.get("rank").as_int() << " | "
+         << fmt_kib(r.get("peak_bytes").as_double()) << " | "
+         << fmt_kib(r.get("live_bytes").as_double()) << " | ";
+      bool first = true;
+      for (const JsonValue& t : r.get("tags").array()) {
+        if (!first) os << ", ";
+        first = false;
+        os << t.get("tag").as_string() << " "
+           << fmt_kib(t.get("peak_bytes").as_double());
+      }
+      os << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& tags = m.get("tags");
+  if (tags.size() > 0) {
+    os << "#### Peak bytes per structure\n\n";
+    os << "| structure | max rank peak KiB | sum over ranks KiB |\n";
+    os << "|---|---:|---:|\n";
+    for (const JsonValue& t : tags.array()) {
+      os << "| " << t.get("tag").as_string() << " | "
+         << fmt_kib(t.get("max_rank_peak_bytes").as_double()) << " | "
+         << fmt_kib(t.get("total_peak_bytes").as_double()) << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& ledger = m.get("ledger");
+  if (!ledger.is_null()) {
+    os << "- ledger: " << ledger.get("events").as_int() << " events, "
+       << fmt_kib(ledger.get("charged_bytes").as_double())
+       << " KiB charged, " << fmt_kib(ledger.get("released_bytes").as_double())
+       << " KiB released\n\n";
+    const JsonValue& top = ledger.get("top_segments");
+    if (top.size() > 0) {
+      os << "Top (structure, phase, level) segments by peak bytes:\n\n";
+      os << "| # | structure | phase | level | rank | peak KiB | "
+            "share of bottleneck % |\n";
+      os << "|---:|---|---|---:|---:|---:|---:|\n";
+      int i = 1;
+      for (const JsonValue& s : top.array()) {
+        os << "| " << i++ << " | " << s.get("tag").as_string() << " | "
+           << s.get("phase").as_string() << " | " << s.get("level").as_int()
+           << " | " << s.get("rank").as_int() << " | "
+           << fmt_kib(s.get("peak_bytes").as_double()) << " | "
+           << fmt(s.get("share_pct").as_double(), 1) << " |\n";
+      }
+      os << "\n";
+    }
+  }
+}
+
+// The memory-scalability verdict: at fixed N, does the per-rank memory
+// bottleneck shrink as processors are added (the Section 4 O(N/P) claim)?
+// Rendered from the mem_scaling sections of a bench envelope; structures
+// whose max-rank peak fails to shrink from the smallest to the largest P
+// are flagged (an expected flag for replicated histogram/scratch space,
+// the damning one for anything holding records).
+void render_mem_scaling(const JsonValue& sections, std::ostream& os) {
+  for (const JsonValue& sec : sections.array()) {
+    if (sec.get("type").as_string() != "mem_scaling") continue;
+    const JsonValue& points = sec.get("points");
+    if (points.size() == 0) continue;
+    os << "### Memory scalability — " << sec.get("workload").as_string()
+       << ", " << sec.get("formulation").as_string() << "\n\n";
+
+    // Column per structure, in first-appearance order across points.
+    std::vector<std::string> tag_order;
+    for (const JsonValue& pt : points.array()) {
+      for (const JsonValue& t : pt.get("mem").get("tags").array()) {
+        const std::string& name = t.get("tag").as_string();
+        bool seen = false;
+        for (const std::string& s : tag_order) seen = seen || s == name;
+        if (!seen) tag_order.push_back(name);
+      }
+    }
+    os << "| P | max rank peak KiB | predicted KiB |";
+    for (const std::string& t : tag_order) os << " " << t << " KiB |";
+    os << "\n|---:|---:|---:|";
+    for (std::size_t i = 0; i < tag_order.size(); ++i) os << "---:|";
+    os << "\n";
+    for (const JsonValue& pt : points.array()) {
+      const JsonValue& mem = pt.get("mem");
+      os << "| " << pt.get("procs").as_int() << " | "
+         << fmt_kib(mem.get("max_rank_peak_bytes").as_double()) << " | ";
+      const JsonValue& pred = mem.get("predicted");
+      if (pred.is_null()) {
+        os << "— |";
+      } else {
+        os << fmt_kib(pred.get("total_bytes").as_double()) << " |";
+      }
+      for (const std::string& tn : tag_order) {
+        bool found = false;
+        for (const JsonValue& t : mem.get("tags").array()) {
+          if (t.get("tag").as_string() == tn) {
+            os << " " << fmt_kib(t.get("max_rank_peak_bytes").as_double())
+               << " |";
+            found = true;
+            break;
+          }
+        }
+        if (!found) os << " — |";
+      }
+      os << "\n";
+    }
+    os << "\n";
+
+    // Verdict: compare the first (smallest P) and last (largest P) points.
+    const JsonValue& lo = points.at(0);
+    const JsonValue& hi = points.at(points.size() - 1);
+    const double lo_peak = lo.get("mem").get("max_rank_peak_bytes").as_double();
+    const double hi_peak = hi.get("mem").get("max_rank_peak_bytes").as_double();
+    const bool scales = hi_peak < lo_peak;
+    os << "**Verdict: " << (scales ? "PASS" : "FLAG")
+       << "** — max per-rank peak " << (scales ? "shrinks" : "does not shrink")
+       << " from " << fmt_kib(lo_peak) << " KiB at P="
+       << lo.get("procs").as_int() << " to " << fmt_kib(hi_peak)
+       << " KiB at P=" << hi.get("procs").as_int();
+    if (lo_peak > 0.0 && hi_peak > 0.0) {
+      os << " (ratio x" << fmt(lo_peak / hi_peak, 2) << ")";
+    }
+    os << ".\n";
+    for (const std::string& tn : tag_order) {
+      auto tag_peak = [&](const JsonValue& pt) {
+        for (const JsonValue& t : pt.get("mem").get("tags").array()) {
+          if (t.get("tag").as_string() == tn) {
+            return t.get("max_rank_peak_bytes").as_double();
+          }
+        }
+        return 0.0;
+      };
+      const double lo_t = tag_peak(lo);
+      const double hi_t = tag_peak(hi);
+      if (hi_t >= lo_t && hi_t > 0.0) {
+        os << "- flagged: `" << tn << "` per-rank peak does not shrink with P ("
+           << fmt_kib(lo_t) << " KiB at P=" << lo.get("procs").as_int()
+           << " -> " << fmt_kib(hi_t) << " KiB at P="
+           << hi.get("procs").as_int() << ")\n";
+      }
+    }
+    os << "\n";
+  }
+}
+
 // ---------------------------------------------------------------- bench --
 
 void render_speedup_tables(const JsonValue& sections, std::ostream& os) {
@@ -299,9 +473,27 @@ void render_bench(const ReportInput& in, std::ostream& os) {
 
   const JsonValue& sections = root.get("sections");
   render_speedup_tables(sections, os);
+  render_mem_scaling(sections, os);
 
   for (const JsonValue& sec : sections.array()) {
-    if (sec.get("type").as_string() != "instrumented_run") continue;
+    const std::string& type = sec.get("type").as_string();
+    if (type == "mem_run") {
+      os << "## Memory run `" << sec.get("tag").as_string() << "` — P="
+         << sec.get("procs").as_int() << "\n\n";
+      render_mem(sec.get("mem"), os);
+      continue;
+    }
+    if (type == "mem_contrast") {
+      os << "## Memory contrast at P=" << sec.get("procs").as_int() << "\n\n";
+      for (const JsonValue& row : sec.get("rows").array()) {
+        os << "### " << row.get("scheme").as_string() << " ("
+           << fmt_int(row.get("hash_comm_words").as_double())
+           << " hash words communicated)\n\n";
+        render_mem(row.get("mem"), os);
+      }
+      continue;
+    }
+    if (type != "instrumented_run") continue;
     os << "## Instrumented run `" << sec.get("tag").as_string() << "` — "
        << sec.get("formulation").as_string() << ", P="
        << sec.get("procs").as_int() << ", n=" << sec.get("n").as_int()
@@ -314,6 +506,11 @@ void render_bench(const ReportInput& in, std::ostream& os) {
     if (!comm.is_null()) {
       os << "### Communication (pdt-comm-v1)\n\n";
       render_comm(comm, os);
+    }
+    const JsonValue& mem = sec.get("mem");
+    if (!mem.is_null()) {
+      os << "### Memory (pdt-mem-v1)\n\n";
+      render_mem(mem, os);
     }
   }
 }
@@ -332,10 +529,14 @@ bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os) {
     } else if (schema == "pdt-comm-v1") {
       os << "# Communication report: `" << in.name << "`\n\n";
       render_comm(in.root, os);
+    } else if (schema == "pdt-mem-v1") {
+      os << "# Memory report: `" << in.name << "`\n\n";
+      render_mem(in.root, os);
     } else {
       os << "# Unrecognized report: `" << in.name << "`\n\n";
       os << "- schema: `" << (schema.empty() ? "(none)" : schema)
-         << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1\n\n";
+         << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / "
+            "pdt-mem-v1\n\n";
       ok = false;
     }
   }

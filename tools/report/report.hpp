@@ -2,11 +2,13 @@
 //
 // render_report() accepts any mix of parsed pdt-bench-v1 envelopes (the
 // <harness>.json files the bench binaries write) and bare pdt-metrics-v1 /
-// pdt-comm-v1 objects, and renders the analysis views the paper argues
-// from: speedup/efficiency tables, per-level time breakdown with
-// load-imbalance factors, the collective cost-model error (measured vs the
-// Eq. 2-4 prediction), the rank x rank communication matrix, and the
-// critical-path breakdown. Output depends only on the input bytes — no
+// pdt-comm-v1 / pdt-mem-v1 objects, and renders the analysis views the
+// paper argues from: speedup/efficiency tables, per-level time breakdown
+// with load-imbalance factors, the collective cost-model error (measured
+// vs the Eq. 2-4 prediction), the rank x rank communication matrix, the
+// critical-path breakdown, and the per-rank memory tables with the
+// Section-4 memory-scalability verdict. Output depends only on the input
+// bytes — no
 // timestamps, locales, or map orderings — so running the tool twice
 // produces byte-identical markdown (CI relies on this).
 #pragma once
