@@ -1,0 +1,114 @@
+// Fault-tolerance overhead of the three formulations (DESIGN.md §7).
+//
+// Each formulation builds the Figure-6 workload at P=8 under four
+// scenarios: fault-free baseline, checkpointing with no faults (the pure
+// checkpoint tax), a fail-stop death recovered mid-build, and a transient
+// 4x straggler. Every faulty run's tree is checked bit-identical to the
+// baseline's — recovery must never change the classifier.
+//
+// Emits fault_tolerance.json with a {"type":"fault_tolerance",
+// "schema":"pdt-ft-v1"} section per formulation (one row per scenario).
+#include "bench_util.hpp"
+#include "mpsim/fault.hpp"
+
+using namespace pdt;
+
+namespace {
+
+struct Scenario {
+  const char* tag;
+  bool armed = false;
+  mpsim::FaultPlan plan;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> s;
+  s.push_back({"baseline", false, {}});
+  s.push_back({"ckpt-only", true, {}});
+  Scenario fail{"failstop-r2@L1", true, {}};
+  fail.plan.fail_stop(2, 1);
+  s.push_back(std::move(fail));
+  Scenario slow{"straggler-r1x4", true, {}};
+  slow.plan.straggler(1, 0, 3, 4.0);
+  s.push_back(std::move(slow));
+  return s;
+}
+
+void run_formulation(bench::BenchReport& rep, core::Formulation f,
+                     const data::Dataset& ds, int procs) {
+  std::printf("\n--- %s, P=%d ---\n", core::to_string(f), procs);
+  std::printf("%-16s %12s %9s %5s %5s %10s %10s %10s %8s %5s\n", "scenario",
+              "time_ms", "ovhd%", "ckpts", "fails", "ckpt_KiB", "detect_ms",
+              "recov_ms", "redist", "tree=");
+
+  obs::JsonWriter* w = rep.writer();
+  if (w != nullptr) {
+    w->begin_object();
+    w->kv("type", "fault_tolerance");
+    w->kv("schema", "pdt-ft-v1");
+    w->kv("formulation", core::to_string(f));
+    w->kv("procs", procs);
+    w->kv("n", static_cast<std::int64_t>(ds.num_rows()));
+    w->key("rows").begin_array();
+  }
+
+  core::ParResult baseline;
+  for (const Scenario& s : scenarios()) {
+    core::ParOptions opt;
+    opt.num_procs = procs;
+    if (s.armed) opt.fault = &s.plan;
+    const core::ParResult res = core::build(f, ds, opt);
+    const bool first = !s.armed && baseline.tree.num_nodes() == 0;
+    if (first) baseline = res;
+    const double overhead_pct =
+        baseline.parallel_time > 0.0
+            ? 100.0 * (res.parallel_time / baseline.parallel_time - 1.0)
+            : 0.0;
+    const bool identical = res.tree.same_as(baseline.tree);
+    const core::RecoveryStats& rc = res.recovery;
+    std::printf("%-16s %12.1f %9.2f %5d %5d %10.0f %10.1f %10.1f %8lld %5s\n",
+                s.tag, res.parallel_time / 1000.0, overhead_pct,
+                rc.checkpoints, rc.failures,
+                static_cast<double>(rc.checkpoint_bytes) / 1024.0,
+                rc.detect_us / 1000.0, rc.recovery_us / 1000.0,
+                static_cast<long long>(rc.records_redistributed),
+                identical ? "yes" : "NO");
+    if (w != nullptr) {
+      w->begin_object();
+      w->kv("scenario", s.tag);
+      w->kv("plan", s.armed ? s.plan.describe() : "none");
+      w->kv("time_us", res.parallel_time);
+      w->kv("overhead_pct", overhead_pct);
+      w->kv("checkpoints", rc.checkpoints);
+      w->kv("failures", rc.failures);
+      w->kv("checkpoint_bytes", rc.checkpoint_bytes);
+      w->kv("checkpoint_io_us", rc.checkpoint_io_us);
+      w->kv("detect_us", rc.detect_us);
+      w->kv("recovery_us", rc.recovery_us);
+      w->kv("records_redistributed", rc.records_redistributed);
+      w->kv("tree_identical", identical);
+      w->end_object();
+    }
+  }
+  if (w != nullptr) {
+    w->end_array();
+    w->end_object();
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fault tolerance",
+                "checkpoint/recovery overhead of the three formulations");
+  bench::BenchReport rep("fault_tolerance");
+  const data::Dataset ds = bench::fig6_workload(bench::scaled(0.2e6), 1);
+  for (const core::Formulation f :
+       {core::Formulation::Sync, core::Formulation::Partitioned,
+        core::Formulation::Hybrid}) {
+    run_formulation(rep, f, ds, 8);
+  }
+  std::printf("\n(tree= column: faulty run's tree is bit-identical to the "
+              "fault-free baseline)\n");
+  return 0;
+}

@@ -3,15 +3,23 @@
 // (compute / communication / idle) — the breakdown behind Figure 6.
 //
 // Build & run:  ./build/examples/scaling_explorer [sync|part|hybrid] [N] [Pmax]
+//
+// Fault injection (DESIGN.md §7) — any of these arms checkpoint/recovery:
+//   --fail=R@L              rank R fail-stops when its group enters level L
+//   --straggler=R@L0:L1:F   rank R's charges cost Fx over levels [L0, L1]
+//   --delay=A-BxF           link A<->B costs Fx
+//   PDT_FAULT_SEED=<seed>   seeded random single-failure scenario per P
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "mpsim/fault.hpp"
 #include "obs/observability.hpp"
 
 using namespace pdt;
@@ -69,13 +77,44 @@ static void print_top_memory(const obs::Observability& o,
 }
 
 int main(int argc, char** argv) {
+  // Split fault flags from positional arguments.
+  mpsim::FaultPlan flag_plan;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    double factor = 0.0;
+    if (std::sscanf(argv[i], "--fail=%d@%d", &a, &b) == 2) {
+      flag_plan.fail_stop(a, b);
+    } else if (std::sscanf(argv[i], "--straggler=%d@%d:%d:%lf", &a, &b, &c,
+                           &factor) == 4) {
+      flag_plan.straggler(a, b, c, factor);
+    } else if (std::sscanf(argv[i], "--delay=%d-%dx%lf", &a, &b, &factor) ==
+               3) {
+      flag_plan.delay_link(a, b, factor);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [sync|part|hybrid] [N] [Pmax] [--fail=R@L] "
+                   "[--straggler=R@L0:L1:F] [--delay=A-BxF]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const char* seed_env = std::getenv("PDT_FAULT_SEED");
+  const bool have_seed = seed_env != nullptr && *seed_env != '\0';
+  const std::uint64_t fault_seed =
+      have_seed ? std::strtoull(seed_env, nullptr, 10) : 0;
+
   core::Formulation f = core::Formulation::Hybrid;
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "sync") == 0) {
+  if (!pos.empty()) {
+    if (std::strcmp(pos[0], "sync") == 0) {
       f = core::Formulation::Sync;
-    } else if (std::strcmp(argv[1], "part") == 0) {
+    } else if (std::strcmp(pos[0], "part") == 0) {
       f = core::Formulation::Partitioned;
-    } else if (std::strcmp(argv[1], "hybrid") == 0) {
+    } else if (std::strcmp(pos[0], "hybrid") == 0) {
       f = core::Formulation::Hybrid;
     } else {
       std::fprintf(stderr, "usage: %s [sync|part|hybrid] [N] [Pmax]\n",
@@ -84,8 +123,8 @@ int main(int argc, char** argv) {
     }
   }
   const std::size_t n =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 40000;
-  const int pmax = argc > 3 ? std::atoi(argv[3]) : 32;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1])) : 40000;
+  const int pmax = pos.size() > 2 ? std::atoi(pos[2]) : 32;
 
   std::printf("formulation: %s | N = %zu | simulated IBM SP-2 cost model\n",
               core::to_string(f), n);
@@ -107,6 +146,21 @@ int main(int argc, char** argv) {
     opt.num_procs = p;
     obs::Observability o;  // fresh ledger + tracer per processor count
     if (p > 1) opt.obs = &o;
+    // Seeded random scenario is drawn per processor count (the victim
+    // rank must exist); explicit flags ride along unchanged.
+    mpsim::FaultPlan plan =
+        have_seed ? mpsim::FaultPlan::random(fault_seed, p, 6)
+                  : mpsim::FaultPlan();
+    for (const mpsim::FailStop& fs : flag_plan.fail_stops()) {
+      plan.fail_stop(fs.rank, fs.level);
+    }
+    for (const mpsim::Straggler& s : flag_plan.stragglers()) {
+      plan.straggler(s.rank, s.from_level, s.to_level, s.factor);
+    }
+    for (const mpsim::LinkDelay& d : flag_plan.link_delays()) {
+      plan.delay_link(d.a, d.b, d.factor);
+    }
+    if (p > 1 && !plan.empty()) opt.fault = &plan;
     const core::ParResult res =
         p == 1 ? serial : core::build(f, ds, opt);
     const double busy_total = res.totals.compute_time +
@@ -121,6 +175,19 @@ int main(int argc, char** argv) {
                 res.partition_splits,
                 static_cast<long long>(res.records_moved));
     if (p > 1) {
+      if (opt.fault != nullptr) {
+        std::printf("     fault plan: %s\n", opt.fault->describe().c_str());
+        const core::RecoveryStats& rc = res.recovery;
+        std::printf("     recovery: %d checkpoints (%.0f KiB, %.1f ms io), "
+                    "%d failures, detect %.1f ms, recover %.1f ms, "
+                    "%lld records redistributed, tree %s serial\n",
+                    rc.checkpoints,
+                    static_cast<double>(rc.checkpoint_bytes) / 1024.0,
+                    rc.checkpoint_io_us / 1000.0, rc.failures,
+                    rc.detect_us / 1000.0, rc.recovery_us / 1000.0,
+                    static_cast<long long>(rc.records_redistributed),
+                    res.tree.same_as(serial.tree) ? "matches" : "DIFFERS from");
+      }
       print_top_segments(o);
       print_top_memory(o, res);
     }

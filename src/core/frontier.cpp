@@ -6,6 +6,7 @@
 
 #include "dtree/split_eval.hpp"
 #include "mpsim/comm_ledger.hpp"
+#include "mpsim/fault.hpp"
 
 namespace pdt::core {
 
@@ -95,6 +96,7 @@ ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
   record_words_ = words;
   record_bytes_ = std::llround(words * 4.0);
   machine.trace().enable(opt.trace);
+  if (opt.fault != nullptr) machine.arm_faults(*opt.fault);
 
   // Section 4's per-rank memory bound for this run: ceil(N/P) resident
   // records, one buffered chunk of histogram tables, plus the bounded
@@ -237,6 +239,11 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
   const obs::LevelScope level_scope(ctx.profiler(), frontier_level);
   const mpsim::LedgerLevelScope ledger_level(machine.comm_ledger(),
                                              frontier_level);
+  // Tag the members with the level they are expanding, so collective
+  // stamps (deadlock reports) and fault events carry tree-depth context.
+  for (int m = 0; m < p; ++m) {
+    machine.set_rank_level(g.rank(m), frontier_level);
+  }
   ctx.observe_frontier_nodes(static_cast<std::int64_t>(work.size()));
 
   for (std::size_t c0 = 0; c0 < work.size(); c0 += static_cast<std::size_t>(buffer_nodes)) {
@@ -293,11 +300,20 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
         static_cast<double>(chunk_nodes) * ctx.hist_words();
     {
       const obs::PhaseScope phase(ctx.profiler(), "all-reduce");
-      g.charge_all_reduce(words);
+      if (machine.fault() != nullptr) {
+        // The hybrid's split criterion must see the straggler-inflated
+        // cost, so measure the horizon advance instead of the analytic
+        // Eq. 2 value (the two agree whenever no straggler is active).
+        const mpsim::Time before = g.horizon();
+        g.charge_all_reduce(words);
+        level_comm += g.horizon() - before;
+      } else {
+        g.charge_all_reduce(words);
+        level_comm += cm.all_reduce(words, p);
+      }
     }
     ctx.count_words_all_reduced(words);
     ctx.histogram_words += words;
-    level_comm += cm.all_reduce(words, p);
 
     // Section 3.4's parallel sorting for exact continuous thresholds: the
     // chunk's values are sorted cooperatively (local sort + sample-sort

@@ -113,6 +113,17 @@ class ParContext {
   /// over the group's members (the paper's initial N/P distribution).
   [[nodiscard]] NodeWork initial_root(const mpsim::Group& g);
 
+  /// Whether this run has a fault plan armed on the machine (recovery
+  /// wrappers fall through to the plain path when it does not, keeping
+  /// fault-free clocks bit-identical).
+  [[nodiscard]] bool fault_active() const {
+    return machine_->fault() != nullptr;
+  }
+
+  /// Fault-tolerance accounting (checkpoints written, failures absorbed),
+  /// appended to by core/recovery.cpp and copied into ParResult.
+  RecoveryStats recovery;
+
   /// Result accounting, appended to by the formulations.
   std::int64_t records_moved = 0;
   double histogram_words = 0.0;

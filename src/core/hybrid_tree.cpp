@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/recovery.hpp"
 #include "core/sync_tree.hpp"
 #include "data/rng.hpp"
 #include "mpsim/comm_ledger.hpp"
@@ -194,9 +195,10 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
     for (const mpsim::Transfer& t : union_transfers) {
       const double words =
           static_cast<double>(t.count) * ctx.record_words();
-      const mpsim::Time wire = cm.t_s + cm.t_w * words;
       const mpsim::Rank from = ordered[static_cast<std::size_t>(t.from)];
       const mpsim::Rank to = ordered[static_cast<std::size_t>(t.to)];
+      const mpsim::Time wire =
+          (cm.t_s + cm.t_w * words) * ctx.machine().link_factor(from, to);
       ctx.machine().charge_comm(from, wire, words, 0.0);
       ctx.machine().charge_comm(to, wire, 0.0, words);
       ctx.machine().charge_io(from, cm.t_io * words);
@@ -259,8 +261,8 @@ ParResult build_hybrid(const data::Dataset& ds, const ParOptions& opt) {
     HPartition part = std::move(active[pick]);
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
 
-    part.frontier = expand_level(ctx, part.group, part.frontier,
-                                 &part.acc_comm);
+    part.frontier = expand_level_ft(ctx, part.group, part.frontier,
+                                    &part.acc_comm);
     if (part.frontier.empty()) {
       idle.push_back(std::move(part.group));
       continue;

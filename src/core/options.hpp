@@ -13,6 +13,10 @@ namespace pdt::obs {
 class Observability;
 }
 
+namespace pdt::mpsim {
+class FaultPlan;
+}
+
 namespace pdt::core {
 
 struct ParOptions {
@@ -50,6 +54,27 @@ struct ParOptions {
   /// bit-identical max_clock either way. Use one Observability per build_*
   /// call: a reused sink keeps accumulating across runs.
   obs::Observability* obs = nullptr;
+  /// Fault plan to arm on the machine (borrowed from the caller; nullptr
+  /// — the default — runs fault-free with zero checkpoint cost and a
+  /// bit-identical clock to builds before fault support existed). With a
+  /// plan armed, every level expansion checkpoints its frontier first and
+  /// failures recover via core/recovery.hpp.
+  const mpsim::FaultPlan* fault = nullptr;
+};
+
+/// Fault-tolerance accounting for one build: checkpoint volume/cost and
+/// the detection + recovery overhead of every absorbed failure. All
+/// virtual-time figures, deterministic for a fixed plan.
+struct RecoveryStats {
+  int checkpoints = 0;           ///< level checkpoints written
+  int failures = 0;              ///< fail-stops detected and recovered
+  std::int64_t checkpoint_bytes = 0;  ///< record bytes written to stable store
+  mpsim::Time checkpoint_io_us = 0.0; ///< summed per-member checkpoint I/O
+  mpsim::Time detect_us = 0.0;        ///< timeout time charged to survivors
+  mpsim::Time recovery_us = 0.0;      ///< restore + redistribute wall time
+  std::int64_t records_redistributed = 0;  ///< dead ranks' shards re-spread
+
+  [[nodiscard]] bool any() const { return checkpoints > 0 || failures > 0; }
 };
 
 struct ParResult {
@@ -74,6 +99,8 @@ struct ParResult {
   mpsim::MemPredicted mem_predicted;
   /// Event log of the run (populated when ParOptions::trace is set).
   std::vector<mpsim::TraceEvent> trace;
+  /// Fault-tolerance accounting (all zeros when no plan was armed).
+  RecoveryStats recovery;
 };
 
 }  // namespace pdt::core

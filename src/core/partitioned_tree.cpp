@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/recovery.hpp"
 #include "core/sync_tree.hpp"
 
 namespace pdt::core {
@@ -199,13 +200,13 @@ ParResult build_partitioned(const data::Dataset& ds, const ParOptions& opt) {
     if (part.group.size() == 1) {
       // A lone processor develops its subtrees with the serial algorithm.
       while (!part.frontier.empty()) {
-        part.frontier = expand_level(ctx, part.group, part.frontier);
+        part.frontier = expand_level_ft(ctx, part.group, part.frontier);
       }
       continue;
     }
 
     std::vector<NodeWork> children =
-        expand_level(ctx, part.group, part.frontier);
+        expand_level_ft(ctx, part.group, part.frontier);
     if (children.empty()) continue;
 
     const int p = part.group.size();

@@ -1,0 +1,278 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace pdt::core {
+
+namespace {
+
+/// Survivor ranks of a checkpoint group, ascending. Falls back to the
+/// lowest alive rank machine-wide when the whole group died (a size-1
+/// partition's only member fail-stopped: some other processor must adopt
+/// its subtrees, exactly as records would be re-read from stable storage
+/// by any node).
+std::vector<mpsim::Rank> pick_survivors(const mpsim::FaultInjector& inj,
+                                        const std::vector<mpsim::Rank>& ranks,
+                                        const mpsim::RankFailure& rf) {
+  std::vector<mpsim::Rank> survivors;
+  for (const mpsim::Rank r : ranks) {
+    if (inj.alive(r)) survivors.push_back(r);
+  }
+  if (survivors.empty()) {
+    const std::vector<mpsim::Rank> alive = inj.alive_ranks();
+    if (alive.empty()) {
+      throw std::runtime_error(
+          "recover_from_failure: rank " + std::to_string(rf.rank) +
+          " fail-stopped at level " + std::to_string(rf.level) +
+          " and no processor is left alive to adopt its work");
+    }
+    survivors.push_back(alive.front());
+  }
+  return survivors;
+}
+
+}  // namespace
+
+LevelCheckpoint take_checkpoint(ParContext& ctx, const mpsim::Group& g,
+                                const std::vector<NodeWork>& f, int level) {
+  const obs::PhaseScope phase(ctx.profiler(), "checkpoint");
+  mpsim::Machine& machine = ctx.machine();
+  const mpsim::CostModel& cm = machine.cost();
+
+  // Synchronize first so the snapshot is a consistent cut of the
+  // partition (no member is mid-level when its state is captured).
+  machine.barrier_over(g.ranks(), "checkpoint");
+
+  LevelCheckpoint ck;
+  ck.level = level;
+  ck.tree = ctx.tree();
+  ck.frontier = f;
+  ck.ranks = g.ranks();
+
+  mpsim::Time io_total = 0.0;
+  std::int64_t records = 0;
+  for (int m = 0; m < g.size(); ++m) {
+    const mpsim::Rank r = g.rank(m);
+    const std::int64_t n = frontier_member_records(f, m);
+    records += n;
+    const std::int64_t staging = n * ctx.record_bytes();
+    // The member serializes its shard through a staging buffer and pays
+    // t_io per word written to stable storage.
+    machine.alloc_bytes(r, mpsim::MemTag::Scratch, staging);
+    const mpsim::Time t =
+        cm.t_io * static_cast<double>(n) * ctx.record_words();
+    machine.charge_io(r, t);
+    machine.free_bytes(r, mpsim::MemTag::Scratch, staging);
+    io_total += t;
+    ck.bytes += staging;
+  }
+  // Snapshot the byte accounts after the staging round-trips, so restoring
+  // to the snapshot never resurrects checkpoint scratch.
+  ck.mem.reserve(static_cast<std::size_t>(g.size()));
+  for (int m = 0; m < g.size(); ++m) {
+    ck.mem.push_back(machine.mem(g.rank(m)));
+  }
+
+  ctx.recovery.checkpoints += 1;
+  ctx.recovery.checkpoint_bytes += ck.bytes;
+  ctx.recovery.checkpoint_io_us += io_total;
+  if (machine.trace().enabled()) {
+    machine.trace().record(
+        {.time = g.horizon(),
+         .kind = mpsim::EventKind::Checkpoint,
+         .rank = g.rank(0),
+         .group_base = g.rank(0),
+         .group_size = g.size(),
+         .words = static_cast<double>(ck.bytes) / 4.0,
+         .detail = "level " + std::to_string(level) + " checkpoint: " +
+                   std::to_string(records) + " records, " +
+                   std::to_string(ck.bytes) + " bytes"});
+  }
+  return ck;
+}
+
+void recover_from_failure(ParContext& ctx, mpsim::Group& g,
+                          std::vector<NodeWork>& frontier,
+                          const LevelCheckpoint& ckpt,
+                          const mpsim::RankFailure& rf) {
+  const obs::PhaseScope phase(ctx.profiler(), "recovery");
+  mpsim::Machine& machine = ctx.machine();
+  const mpsim::CostModel& cm = machine.cost();
+  mpsim::FaultInjector* inj = machine.fault();
+  assert(inj != nullptr);
+
+  const std::vector<mpsim::Rank> survivors =
+      pick_survivors(*inj, ckpt.ranks, rf);
+  const int q = static_cast<int>(survivors.size());
+
+  // Detection: when the failure surfaced as a charge on the dead rank
+  // itself (rather than at a collective, which already made the survivors
+  // wait out the timeout), the heartbeat window is charged here.
+  if (!rf.detected) {
+    mpsim::Time horizon = 0.0;
+    for (const mpsim::Rank r : survivors) {
+      horizon = std::max(horizon, machine.clock(r));
+    }
+    for (const mpsim::Rank r : survivors) {
+      machine.wait_until(r, horizon + cm.t_timeout);
+    }
+    if (machine.trace().enabled()) {
+      machine.trace().record(
+          {.time = horizon + cm.t_timeout,
+           .kind = mpsim::EventKind::RankFail,
+           .rank = rf.rank,
+           .group_base = ckpt.ranks.front(),
+           .group_size = static_cast<int>(ckpt.ranks.size()),
+           .words = 0.0,
+           .detail = "rank " + std::to_string(rf.rank) +
+                     " fail-stop detected at level " +
+                     std::to_string(rf.level)});
+    }
+  }
+  ctx.recovery.detect_us += cm.t_timeout;
+  inj->mark_recovered(rf.rank);
+
+  mpsim::Time rec_start = 0.0;
+  for (const mpsim::Rank r : survivors) {
+    rec_start = std::max(rec_start, machine.clock(r));
+  }
+
+  // Roll every old member's byte account back to the snapshot (the failed
+  // attempt may have died mid-collective, leaving staging live and record
+  // frees half-applied). The dead rank's memory is simply gone.
+  for (std::size_t m = 0; m < ckpt.ranks.size(); ++m) {
+    const mpsim::Rank r = ckpt.ranks[m];
+    const bool dead = !inj->alive(r);
+    for (int t = 0; t < mpsim::kNumMemTags; ++t) {
+      const auto tag = static_cast<mpsim::MemTag>(t);
+      const std::int64_t target = dead ? 0 : ckpt.mem[m].live_for(tag);
+      const std::int64_t cur = machine.mem(r).live_for(tag);
+      if (cur > target) {
+        machine.free_bytes(r, tag, cur - target);
+      } else if (cur < target) {
+        machine.alloc_bytes(r, tag, target - cur);
+      }
+    }
+  }
+
+  // Roll the replicated tree back to the cut. Nothing else ran between the
+  // checkpoint and the failure (the simulation advances one partition at a
+  // time), so a whole-tree copy cannot lose another partition's expansions.
+  ctx.tree() = ckpt.tree;
+
+  // Rebuild the frontier indexed to the survivor group: survivors keep
+  // their own checkpointed shards, and each dead member's rows are cut
+  // into contiguous near-equal chunks over the survivors (the N/(P-1)
+  // redistribution), who re-read them from the checkpoint at t_io cost.
+  std::vector<std::int64_t> received(static_cast<std::size_t>(q), 0);
+  std::int64_t redistributed = 0;
+  frontier.clear();
+  frontier.reserve(ckpt.frontier.size());
+  for (const NodeWork& nw : ckpt.frontier) {
+    NodeWork out;
+    out.node_id = nw.node_id;
+    out.local_rows.resize(static_cast<std::size_t>(q));
+    std::vector<data::RowId> dead_rows;
+    for (std::size_t m = 0; m < ckpt.ranks.size(); ++m) {
+      const auto it = std::find(survivors.begin(), survivors.end(),
+                                ckpt.ranks[m]);
+      if (it != survivors.end()) {
+        out.local_rows[static_cast<std::size_t>(it - survivors.begin())] =
+            nw.local_rows[m];
+      } else {
+        dead_rows.insert(dead_rows.end(), nw.local_rows[m].begin(),
+                         nw.local_rows[m].end());
+      }
+    }
+    const auto dn = static_cast<std::int64_t>(dead_rows.size());
+    redistributed += dn;
+    std::size_t pos = 0;
+    for (int s = 0; s < q; ++s) {
+      const std::int64_t take = dn / q + (s < dn % q ? 1 : 0);
+      auto& dst = out.local_rows[static_cast<std::size_t>(s)];
+      dst.insert(dst.end(), dead_rows.begin() + static_cast<std::ptrdiff_t>(pos),
+                 dead_rows.begin() + static_cast<std::ptrdiff_t>(pos + take));
+      received[static_cast<std::size_t>(s)] += take;
+      pos += static_cast<std::size_t>(take);
+    }
+    frontier.push_back(std::move(out));
+  }
+  for (int s = 0; s < q; ++s) {
+    const std::int64_t n = received[static_cast<std::size_t>(s)];
+    if (n == 0) continue;
+    machine.charge_io(survivors[static_cast<std::size_t>(s)],
+                      cm.t_io * static_cast<double>(n) * ctx.record_words());
+    ctx.mem_records_alloc(survivors[static_cast<std::size_t>(s)], n);
+  }
+
+  // Shrink to the survivor group, then even out per-member totals (the
+  // contiguous chunks above balance the dead shard but not the survivors'
+  // own uneven loads) with the usual Eq. 4 machinery.
+  g = mpsim::Group(machine, survivors);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(q), 0);
+  for (int s = 0; s < q; ++s) {
+    counts[static_cast<std::size_t>(s)] = frontier_member_records(frontier, s);
+  }
+  const std::vector<mpsim::Transfer> transfers =
+      mpsim::Group::plan_balance(counts);
+  for (const mpsim::Transfer& t : transfers) {
+    std::int64_t remaining = t.count;
+    for (NodeWork& nw : frontier) {
+      if (remaining == 0) break;
+      auto& src = nw.local_rows[static_cast<std::size_t>(t.from)];
+      auto& dst = nw.local_rows[static_cast<std::size_t>(t.to)];
+      const std::int64_t take = std::min<std::int64_t>(
+          remaining, static_cast<std::int64_t>(src.size()));
+      dst.insert(dst.end(), src.end() - take, src.end());
+      src.resize(src.size() - static_cast<std::size_t>(take));
+      remaining -= take;
+    }
+    assert(remaining == 0);
+    ctx.records_moved += t.count;
+    ctx.count_records_relocated(t.count);
+    ctx.mem_records_move(g.rank(t.from), g.rank(t.to), t.count);
+  }
+  g.charge_transfers(transfers, ctx.record_words());
+
+  const mpsim::Time rec_end = g.horizon();
+  ctx.recovery.failures += 1;
+  ctx.recovery.recovery_us += rec_end - rec_start;
+  ctx.recovery.records_redistributed += redistributed;
+  if (machine.trace().enabled()) {
+    machine.trace().record(
+        {.time = rec_end,
+         .kind = mpsim::EventKind::Recovery,
+         .rank = survivors.front(),
+         .group_base = survivors.front(),
+         .group_size = q,
+         .words = static_cast<double>(redistributed) * ctx.record_words(),
+         .detail = "recovered from rank " + std::to_string(rf.rank) +
+                   " at level " + std::to_string(rf.level) + ": " +
+                   std::to_string(redistributed) + " records onto " +
+                   std::to_string(q) + " survivors"});
+  }
+}
+
+std::vector<NodeWork> expand_level_ft(ParContext& ctx, mpsim::Group& g,
+                                      std::vector<NodeWork>& frontier,
+                                      mpsim::Time* comm_cost_out) {
+  mpsim::FaultInjector* inj = ctx.machine().fault();
+  if (inj == nullptr || frontier.empty()) {
+    return expand_level(ctx, g, frontier, comm_cost_out);
+  }
+  const int level = ctx.tree().node(frontier.front().node_id).depth;
+  for (;;) {
+    const LevelCheckpoint ckpt = take_checkpoint(ctx, g, frontier, level);
+    inj->enter_level(level, g.ranks());
+    try {
+      return expand_level(ctx, g, frontier, comm_cost_out);
+    } catch (const mpsim::RankFailure& rf) {
+      recover_from_failure(ctx, g, frontier, ckpt, rf);
+    }
+  }
+}
+
+}  // namespace pdt::core

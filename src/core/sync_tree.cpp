@@ -1,5 +1,7 @@
 #include "core/sync_tree.hpp"
 
+#include "core/recovery.hpp"
+
 namespace pdt::core {
 
 ParResult collect_result(ParContext& ctx) {
@@ -21,6 +23,7 @@ ParResult collect_result(ParContext& ctx) {
   res.rejoins = ctx.rejoins;
   res.records_moved = ctx.records_moved;
   res.histogram_words = ctx.histogram_words;
+  res.recovery = ctx.recovery;
   res.trace = m.trace().events();
   return res;
 }
@@ -34,7 +37,7 @@ ParResult build_sync(const data::Dataset& ds, const ParOptions& opt) {
   frontier.push_back(ctx.initial_root(all));
   while (!frontier.empty()) {
     ++ctx.levels;
-    frontier = expand_level(ctx, all, frontier);
+    frontier = expand_level_ft(ctx, all, frontier);
   }
   all.barrier();
   return collect_result(ctx);

@@ -47,6 +47,12 @@ struct CostModel {
   /// paper's partitioned-formulation speedups corroborate moves running
   /// near memory speed, not raw-disk speed.)
   double t_io = 0.05;
+  /// Fault-detection timeout (us): how long the survivors of a collective
+  /// wait for a dead member before declaring it failed (100 x t_s — the
+  /// order of an MPI implementation's default heartbeat/retransmit
+  /// window, scaled to the SP-2's latency). Charged as idle time to every
+  /// surviving member exactly once per detected failure.
+  double t_timeout = 4000.0;
 
   /// Full per-word cost of relocating record data (wire + read + write).
   [[nodiscard]] double record_move_word_cost() const {

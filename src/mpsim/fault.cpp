@@ -1,0 +1,153 @@
+#include "mpsim/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdt::mpsim {
+
+namespace {
+
+/// Local splitmix64 so mpsim stays independent of the data library's Rng.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RankFailure::RankFailure(Rank rank_in, int level_in, bool detected_in)
+    : std::runtime_error("rank " + std::to_string(rank_in) +
+                         " fail-stopped at level " +
+                         std::to_string(level_in)),
+      rank(rank_in),
+      level(level_in),
+      detected(detected_in) {}
+
+FaultPlan& FaultPlan::fail_stop(Rank rank, int level) {
+  fail_stops_.push_back(FailStop{rank, level});
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggler(Rank rank, int from_level, int to_level,
+                                double factor) {
+  stragglers_.push_back(Straggler{rank, from_level, to_level, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_link(Rank a, Rank b, double factor) {
+  link_delays_.push_back(LinkDelay{a, b, factor});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nprocs, int max_level) {
+  assert(nprocs >= 1 && max_level >= 1);
+  std::uint64_t s = seed;
+  FaultPlan plan;
+  const Rank victim =
+      static_cast<Rank>(splitmix64(s) % static_cast<std::uint64_t>(nprocs));
+  const int fail_level =
+      static_cast<int>(splitmix64(s) % static_cast<std::uint64_t>(max_level));
+  plan.fail_stop(victim, fail_level);
+  const Rank slow =
+      static_cast<Rank>(splitmix64(s) % static_cast<std::uint64_t>(nprocs));
+  const int from =
+      static_cast<int>(splitmix64(s) % static_cast<std::uint64_t>(max_level));
+  const double factor = 2.0 + static_cast<double>(splitmix64(s) % 7);
+  plan.straggler(slow, from, from + 2, factor);
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "no faults";
+  std::string out;
+  for (const FailStop& f : fail_stops_) {
+    out += "fail-stop rank " + std::to_string(f.rank) + " @ level " +
+           std::to_string(f.level) + "; ";
+  }
+  for (const Straggler& s : stragglers_) {
+    out += "straggler rank " + std::to_string(s.rank) + " x" +
+           std::to_string(s.factor).substr(0, 4) + " @ levels [" +
+           std::to_string(s.from_level) + "," + std::to_string(s.to_level) +
+           "]; ";
+  }
+  for (const LinkDelay& l : link_delays_) {
+    out += "link " + std::to_string(l.a) + "<->" + std::to_string(l.b) +
+           " x" + std::to_string(l.factor).substr(0, 4) + "; ";
+  }
+  out.resize(out.size() - 2);
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int nprocs)
+    : plan_(std::move(plan)),
+      alive_(static_cast<std::size_t>(nprocs), 1),
+      recovered_(static_cast<std::size_t>(nprocs), 0),
+      level_(static_cast<std::size_t>(nprocs), -1),
+      fired_(plan_.fail_stops().size(), 0) {
+  assert(nprocs >= 1);
+}
+
+void FaultInjector::enter_level(int level, const std::vector<Rank>& ranks) {
+  for (const Rank r : ranks) {
+    level_[static_cast<std::size_t>(r)] = level;
+  }
+  const auto& stops = plan_.fail_stops();
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    if (fired_[i] != 0 || stops[i].level != level) continue;
+    for (const Rank r : ranks) {
+      if (r == stops[i].rank && alive(r)) {
+        alive_[static_cast<std::size_t>(r)] = 0;
+        fired_[i] = 1;
+        ++deaths_fired_;
+        break;
+      }
+    }
+  }
+}
+
+double FaultInjector::time_factor(Rank r) const {
+  const int lvl = level_[static_cast<std::size_t>(r)];
+  double factor = 1.0;
+  for (const Straggler& s : plan_.stragglers()) {
+    if (s.rank == r && lvl >= s.from_level && lvl <= s.to_level) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::link_factor(Rank a, Rank b) const {
+  double factor = 1.0;
+  for (const LinkDelay& l : plan_.link_delays()) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      factor *= l.factor;
+    }
+  }
+  return factor;
+}
+
+int FaultInjector::num_alive() const {
+  return static_cast<int>(
+      std::count(alive_.begin(), alive_.end(), static_cast<char>(1)));
+}
+
+std::vector<Rank> FaultInjector::alive_ranks() const {
+  std::vector<Rank> out;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i] != 0) out.push_back(static_cast<Rank>(i));
+  }
+  return out;
+}
+
+void FaultInjector::reset() {
+  std::fill(alive_.begin(), alive_.end(), static_cast<char>(1));
+  std::fill(recovered_.begin(), recovered_.end(), static_cast<char>(0));
+  std::fill(level_.begin(), level_.end(), -1);
+  std::fill(fired_.begin(), fired_.end(), static_cast<char>(0));
+  deaths_fired_ = 0;
+}
+
+}  // namespace pdt::mpsim

@@ -44,6 +44,20 @@ Time Group::horizon() const {
   return t;
 }
 
+std::string Group::describe() const {
+  return "group [" + std::to_string(ranks_.front()) + ".." +
+         std::to_string(ranks_.back()) + "] of " + std::to_string(size());
+}
+
+void Group::check_words(double words, const char* where) const {
+  if (!std::isfinite(words) || words < 0.0) {
+    throw std::invalid_argument(std::string("Group::") + where + ": " +
+                                describe() +
+                                ": word count must be finite and "
+                                "non-negative");
+  }
+}
+
 void Group::barrier() const { machine_->barrier_over(ranks_); }
 
 void Group::trace(EventKind kind, double words, const char* detail) const {
@@ -85,9 +99,22 @@ void reduce_buffers(const std::vector<T*>& bufs, std::size_t len) {
 
 }  // namespace
 
+namespace {
+
+void check_buffer_count(std::size_t bufs, int group_size,
+                        const std::string& group) {
+  if (static_cast<int>(bufs) != group_size) {
+    throw std::invalid_argument(
+        "Group::all_reduce_sum: " + group + ": expected one buffer per "
+        "member, got " + std::to_string(bufs));
+  }
+}
+
+}  // namespace
+
 void Group::all_reduce_sum(const std::vector<std::int64_t*>& bufs,
                            std::size_t len, double words) const {
-  assert(static_cast<int>(bufs.size()) == size());
+  check_buffer_count(bufs.size(), size(), describe());
   reduce_buffers(bufs, len);
   if (words < 0.0) {
     words = static_cast<double>(len) * sizeof(std::int64_t) / 4.0;
@@ -97,7 +124,7 @@ void Group::all_reduce_sum(const std::vector<std::int64_t*>& bufs,
 
 void Group::all_reduce_sum(const std::vector<double*>& bufs, std::size_t len,
                            double words) const {
-  assert(static_cast<int>(bufs.size()) == size());
+  check_buffer_count(bufs.size(), size(), describe());
   reduce_buffers(bufs, len);
   if (words < 0.0) {
     words = static_cast<double>(len) * sizeof(double) / 4.0;
@@ -106,8 +133,9 @@ void Group::all_reduce_sum(const std::vector<double*>& bufs, std::size_t len,
 }
 
 void Group::charge_all_reduce(double words) const {
+  check_words(words, "charge_all_reduce");
   if (size() <= 1) return;
-  barrier();
+  sync("all-reduce");
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   // Recursive doubling (the paper's Eq. 2): one full-size exchange per
@@ -152,8 +180,9 @@ void Group::charge_all_reduce(double words) const {
 }
 
 void Group::charge_broadcast(double words) const {
+  check_words(words, "charge_broadcast");
   if (size() <= 1) return;
-  barrier();
+  sync("broadcast");
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   const Time cost = cm.broadcast(words, size());
@@ -194,9 +223,18 @@ void Group::charge_broadcast(double words) const {
 }
 
 void Group::pairwise_exchange(const std::vector<double>& words_out) const {
-  assert(static_cast<int>(words_out.size()) == size());
-  assert(size() % 2 == 0);
-  barrier();
+  if (static_cast<int>(words_out.size()) != size()) {
+    throw std::invalid_argument(
+        "Group::pairwise_exchange: " + describe() +
+        ": words_out must have one entry per member, got " +
+        std::to_string(words_out.size()));
+  }
+  if (size() % 2 != 0) {
+    throw std::invalid_argument("Group::pairwise_exchange: " + describe() +
+                                ": requires an even-sized group");
+  }
+  for (const double w : words_out) check_words(w, "pairwise_exchange");
+  sync("pairwise-exchange");
   const CostModel& cm = machine_->cost();
   const int half = size() / 2;
   CommLedger* ledger = machine_->comm_ledger();
@@ -209,7 +247,8 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     // the partner across the highest free dimension.
     const double out_a = words_out[static_cast<std::size_t>(i)];
     const double out_b = words_out[static_cast<std::size_t>(i + half)];
-    const Time cost = cm.t_s + cm.t_w * std::max(out_a, out_b);
+    const Time cost = (cm.t_s + cm.t_w * std::max(out_a, out_b)) *
+                      machine_->link_factor(rank(i), rank(i + half));
     // Both endpoints stage the outbound payload plus the inbound one.
     const std::int64_t staging = staging_bytes(out_a + out_b);
     machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
@@ -232,7 +271,7 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
       ledger->add_traffic(rank(i + half), rank(i), out_b);
     }
   }
-  barrier();
+  sync("pairwise-exchange");
   if (ledger != nullptr) {
     CollectiveEntry e;
     e.kind = CollectiveKind::PairwiseExchange;
@@ -292,7 +331,18 @@ std::vector<Transfer> Group::plan_balance(
 
 void Group::charge_transfers(const std::vector<Transfer>& transfers,
                              double words_per_item) const {
-  barrier();
+  check_words(words_per_item, "charge_transfers");
+  for (const Transfer& t : transfers) {
+    if (t.from < 0 || t.from >= size() || t.to < 0 || t.to >= size() ||
+        t.count < 0) {
+      throw std::invalid_argument(
+          "Group::charge_transfers: " + describe() +
+          ": transfer " + std::to_string(t.from) + "->" +
+          std::to_string(t.to) + " x" + std::to_string(t.count) +
+          " is outside the group or negative");
+    }
+  }
+  sync("load-balance");
   const CostModel& cm = machine_->cost();
   // Each member pays t_w for every word it sends or receives, plus one
   // start-up per transfer it participates in. Transfers between disjoint
@@ -304,8 +354,10 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
   double total_words = 0.0;
   for (const Transfer& t : transfers) {
     const double words = static_cast<double>(t.count) * words_per_item;
-    member_cost[static_cast<std::size_t>(t.from)] += cm.t_s + cm.t_w * words;
-    member_cost[static_cast<std::size_t>(t.to)] += cm.t_s + cm.t_w * words;
+    const Time wire = (cm.t_s + cm.t_w * words) *
+                      machine_->link_factor(rank(t.from), rank(t.to));
+    member_cost[static_cast<std::size_t>(t.from)] += wire;
+    member_cost[static_cast<std::size_t>(t.to)] += wire;
     member_words[static_cast<std::size_t>(t.from)] += words;
     member_words[static_cast<std::size_t>(t.to)] += words;
     total_words += words;
@@ -326,7 +378,7 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
       machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     }
   }
-  barrier();
+  sync("load-balance");
   if (ledger != nullptr && !transfers.empty()) {
     CollectiveEntry e;
     e.kind = CollectiveKind::Transfers;
@@ -376,7 +428,7 @@ void Group::all_to_all_personalized(
     }
   }
   if (p <= 1) return;
-  barrier();
+  sync("all-to-all");
   const CostModel& cm = machine_->cost();
   std::vector<double> sent(static_cast<std::size_t>(p), 0.0);
   std::vector<double> recv(static_cast<std::size_t>(p), 0.0);
@@ -416,7 +468,7 @@ void Group::all_to_all_personalized(
       io_total += io;
     }
   }
-  barrier();
+  sync("all-to-all");
   if (ledger != nullptr) {
     CollectiveEntry e;
     e.kind = CollectiveKind::AllToAll;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mpsim/machine.hpp"
@@ -105,6 +106,14 @@ class Group {
 
  private:
   void trace(EventKind kind, double words, const char* detail) const;
+  /// Barrier that names the collective for deadlock/fault diagnostics.
+  void sync(const char* what) const { machine_->barrier_over(ranks_, what); }
+  /// "group [lo..hi] of p" — rank context for precondition errors.
+  [[nodiscard]] std::string describe() const;
+  /// Throw std::invalid_argument when `words` is not a finite
+  /// non-negative word count (uniform precondition check, mirroring
+  /// all_to_all_personalized's matrix validation).
+  void check_words(double words, const char* where) const;
 
   Machine* machine_;
   std::vector<Rank> ranks_;

@@ -32,7 +32,12 @@ Machine::Machine(int nprocs, CostModel cost)
     : cost_(cost),
       clocks_(static_cast<std::size_t>(nprocs), 0.0),
       stats_(static_cast<std::size_t>(nprocs)),
-      mem_(static_cast<std::size_t>(nprocs)) {
+      mem_(static_cast<std::size_t>(nprocs)),
+      cur_level_(static_cast<std::size_t>(nprocs), -1),
+      stamps_(static_cast<std::size_t>(nprocs)),
+      stamp_count_(static_cast<std::size_t>(nprocs), 0),
+      unreachable_(static_cast<std::size_t>(nprocs), 0),
+      unreachable_note_(static_cast<std::size_t>(nprocs)) {
   assert(nprocs >= 1);
 }
 
@@ -50,6 +55,12 @@ void Machine::charge_compute(Rank r, double units) {
 
 void Machine::charge_compute_time(Rank r, Time t) {
   assert(t >= 0.0);
+  if (injector_ != nullptr) {
+    if (!injector_->alive(r)) {
+      throw RankFailure(r, injector_->level(r), /*detected=*/false);
+    }
+    t *= injector_->time_factor(r);
+  }
   const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   stats_[idx(r)].compute_time += t;
@@ -61,6 +72,12 @@ void Machine::charge_compute_time(Rank r, Time t) {
 void Machine::charge_comm(Rank r, Time t, double words_sent,
                           double words_received, std::uint64_t messages) {
   assert(t >= 0.0);
+  if (injector_ != nullptr) {
+    if (!injector_->alive(r)) {
+      throw RankFailure(r, injector_->level(r), /*detected=*/false);
+    }
+    t *= injector_->time_factor(r);
+  }
   const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   auto& s = stats_[idx(r)];
@@ -76,6 +93,12 @@ void Machine::charge_comm(Rank r, Time t, double words_sent,
 
 void Machine::charge_io(Rank r, Time t) {
   assert(t >= 0.0);
+  if (injector_ != nullptr) {
+    if (!injector_->alive(r)) {
+      throw RankFailure(r, injector_->level(r), /*detected=*/false);
+    }
+    t *= injector_->time_factor(r);
+  }
   const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
   stats_[idx(r)].io_time += t;
@@ -96,24 +119,126 @@ void Machine::wait_until(Rank r, Time t) {
   }
 }
 
-void Machine::barrier_over(const std::vector<Rank>& ranks) {
+void Machine::barrier_over(const std::vector<Rank>& ranks, const char* what) {
   if (ranks.empty()) return;
+  if (unreachable_count_ > 0) {
+    for (Rank r : ranks) {
+      if (unreachable_[idx(r)] != 0) throw_deadlock(ranks, what);
+    }
+  }
+  // With faults armed, a member that fail-stopped and whose death has not
+  // been absorbed yet is detected here: the survivors synchronize, wait
+  // out the detection timeout (charged as idle — the cost-model stand-in
+  // for a heartbeat expiring), and the failure is raised for the recovery
+  // layer. Members whose death was already recovered are excluded — a
+  // stale group that still lists them simply proceeds without them.
+  const std::vector<Rank>* members = &ranks;
+  std::vector<Rank> alive_members;
+  if (injector_ != nullptr) {
+    Rank dead = -1;
+    bool any_excluded = false;
+    for (Rank r : ranks) {
+      if (injector_->alive(r)) continue;
+      any_excluded = true;
+      if (!injector_->recovered(r) && dead < 0) dead = r;
+    }
+    if (any_excluded) {
+      for (Rank r : ranks) {
+        if (injector_->alive(r)) alive_members.push_back(r);
+      }
+      if (dead >= 0) {
+        Time horizon = 0.0;
+        for (Rank r : alive_members) {
+          horizon = std::max(horizon, clocks_[idx(r)]);
+        }
+        for (Rank r : alive_members) {
+          wait_until(r, horizon + cost_.t_timeout);
+        }
+        if (trace_.enabled()) {
+          trace_.record({.time = horizon + cost_.t_timeout,
+                         .kind = EventKind::RankFail,
+                         .rank = dead,
+                         .group_base = ranks.front(),
+                         .group_size = static_cast<int>(ranks.size()),
+                         .words = 0.0,
+                         .detail = std::string("rank ") +
+                                   std::to_string(dead) +
+                                   " timed out in " + what});
+        }
+        throw RankFailure(dead, injector_->level(dead), /*detected=*/true);
+      }
+      if (alive_members.empty()) return;
+      members = &alive_members;
+    }
+  }
   Time horizon = 0.0;
-  for (Rank r : ranks) horizon = std::max(horizon, clocks_[idx(r)]);
+  for (Rank r : *members) horizon = std::max(horizon, clocks_[idx(r)]);
   // The path holder must be identified before the waits equalize the
   // clocks: it is the first member already at the horizon.
-  Rank holder = ranks.front();
-  for (Rank r : ranks) {
+  Rank holder = members->front();
+  for (Rank r : *members) {
     if (clocks_[idx(r)] == horizon) {
       holder = r;
       break;
     }
   }
-  for (Rank r : ranks) wait_until(r, horizon);
-  if (observer_ != nullptr && ranks.size() > 1) {
-    observer_->on_barrier(ranks, holder, horizon);
+  for (Rank r : *members) wait_until(r, horizon);
+  for (Rank r : *members) push_stamp(r, what);
+  if (observer_ != nullptr && members->size() > 1) {
+    observer_->on_barrier(*members, holder, horizon);
   }
 }
+
+void Machine::push_stamp(Rank r, const char* what) {
+  const std::size_t i = idx(r);
+  auto& ring = stamps_[i];
+  ring[static_cast<std::size_t>(stamp_count_[i] % kStampDepth)] =
+      CollectiveStamp{what, clocks_[i], cur_level_[i]};
+  ++stamp_count_[i];
+}
+
+void Machine::throw_deadlock(const std::vector<Rank>& ranks,
+                             const char* what) const {
+  std::string msg = "deadlock: collective \"";
+  msg += what;
+  msg += "\" over ranks {";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) msg += ",";
+    msg += std::to_string(ranks[i]);
+  }
+  msg += "} includes unreachable member(s); per-rank collective stamps:";
+  for (Rank r : ranks) {
+    const std::size_t i = idx(r);
+    msg += "\n  rank " + std::to_string(r);
+    if (unreachable_[i] != 0) {
+      msg += " [UNREACHABLE: " + unreachable_note_[i] + "]";
+    }
+    msg += " clock=" + std::to_string(clocks_[i]) + "us:";
+    const int n = std::min(stamp_count_[i], kStampDepth);
+    if (n == 0) msg += " (no collectives entered)";
+    for (int k = n; k > 0; --k) {
+      const auto& s = stamps_[i][static_cast<std::size_t>(
+          (stamp_count_[i] - k) % kStampDepth)];
+      msg += " ";
+      msg += s.what;
+      msg += "@level " + std::to_string(s.level) + " t=" +
+             std::to_string(s.time);
+    }
+  }
+  throw DeadlockError(msg);
+}
+
+void Machine::mark_unreachable(Rank r, std::string note) {
+  if (unreachable_[idx(r)] == 0) ++unreachable_count_;
+  unreachable_[idx(r)] = 1;
+  unreachable_note_[idx(r)] = std::move(note);
+}
+
+void Machine::arm_faults(const FaultPlan& plan) {
+  injector_ = std::make_unique<FaultInjector>(plan, size());
+}
+
+void Machine::disarm_faults() { injector_.reset(); }
 
 void Machine::alloc_bytes(Rank r, MemTag tag, std::int64_t bytes) {
   assert(bytes >= 0);
@@ -165,6 +290,11 @@ void Machine::reset() {
   std::fill(clocks_.begin(), clocks_.end(), 0.0);
   std::fill(stats_.begin(), stats_.end(), RankStats{});
   std::fill(mem_.begin(), mem_.end(), MemStats{});
+  std::fill(cur_level_.begin(), cur_level_.end(), -1);
+  std::fill(stamp_count_.begin(), stamp_count_.end(), 0);
+  std::fill(unreachable_.begin(), unreachable_.end(), static_cast<char>(0));
+  unreachable_count_ = 0;
+  if (injector_ != nullptr) injector_->reset();
   trace_.clear();
 }
 

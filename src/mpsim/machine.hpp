@@ -11,10 +11,14 @@
 // imbalance) is genuine; only wall-clock time is virtual.
 #pragma once
 
+#include <array>
 #include <cassert>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "mpsim/cost_model.hpp"
+#include "mpsim/fault.hpp"
 #include "mpsim/observer.hpp"
 #include "mpsim/stats.hpp"
 #include "mpsim/topology.hpp"
@@ -56,7 +60,14 @@ class Machine {
   /// Synchronize `ranks` at their common horizon (the maximum clock over
   /// the set): every member waits up to it, then the observer's
   /// on_barrier hook fires with the max-clock member as path holder.
-  void barrier_over(const std::vector<Rank>& ranks);
+  /// `what` names the collective for the per-rank stamp stacks a deadlock
+  /// post-mortem reports. With faults armed, a dead un-recovered member
+  /// makes the survivors wait out cost().t_timeout (charged as idle) and
+  /// then raises RankFailure instead of hanging; dead members whose death
+  /// was already recovered are silently excluded. A member previously
+  /// marked unreachable raises DeadlockError immediately.
+  void barrier_over(const std::vector<Rank>& ranks,
+                    const char* what = "barrier");
 
   /// Charge `bytes` (>= 0) of virtual memory tagged `tag` to rank r's
   /// byte account, updating per-tag and total live/peak counters and
@@ -99,11 +110,47 @@ class Machine {
   void set_comm_ledger(CommLedger* ledger);
   [[nodiscard]] CommLedger* comm_ledger() const { return comm_ledger_; }
 
+  /// Arm a fault plan: an injector is created and every subsequent charge
+  /// / collective consults it (a straggler's charges are scaled, a dead
+  /// rank's charges raise RankFailure). One predictable branch per charge
+  /// when disarmed, so fault-free runs stay bit-identical.
+  void arm_faults(const FaultPlan& plan);
+  void disarm_faults();
+  /// The armed injector, or nullptr on the fault-free path.
+  [[nodiscard]] FaultInjector* fault() const { return injector_.get(); }
+
+  /// Link cost multiplier between a and b (1.0 unless a plan delays it).
+  [[nodiscard]] double link_factor(Rank a, Rank b) const {
+    return injector_ != nullptr ? injector_->link_factor(a, b) : 1.0;
+  }
+
+  /// Record that rank r is working on tree level `level` (stamp metadata
+  /// for deadlock reports and straggler windows; never touches clocks).
+  void set_rank_level(Rank r, int level) { cur_level_[idx(r)] = level; }
+  [[nodiscard]] int rank_level(Rank r) const { return cur_level_[idx(r)]; }
+
+  /// Declare that rank r will never reach another collective (it exited
+  /// the algorithm, or a mismatched collective left it behind). The next
+  /// barrier_over that includes r fails fast with DeadlockError instead
+  /// of modelling an infinite hang.
+  void mark_unreachable(Rank r, std::string note);
+
   /// Reset all clocks and stats to zero (keeps the trace setting and the
-  /// attached observer).
+  /// attached observer; an armed fault plan is re-armed from scratch).
   void reset();
 
  private:
+  /// Last few collectives each rank entered (what / level / time).
+  struct CollectiveStamp {
+    const char* what = nullptr;
+    Time time = 0.0;
+    int level = -1;
+  };
+  static constexpr int kStampDepth = 4;
+
+  void push_stamp(Rank r, const char* what);
+  [[noreturn]] void throw_deadlock(const std::vector<Rank>& ranks,
+                                   const char* what) const;
   [[nodiscard]] std::size_t idx(Rank r) const {
     assert(r >= 0 && r < size());
     return static_cast<std::size_t>(r);
@@ -116,6 +163,13 @@ class Machine {
   Trace trace_;
   ChargeObserver* observer_ = nullptr;
   CommLedger* comm_ledger_ = nullptr;
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<int> cur_level_;
+  std::vector<std::array<CollectiveStamp, kStampDepth>> stamps_;
+  std::vector<int> stamp_count_;
+  std::vector<char> unreachable_;
+  std::vector<std::string> unreachable_note_;
+  int unreachable_count_ = 0;
 };
 
 }  // namespace pdt::mpsim

@@ -15,6 +15,9 @@ const char* to_string(EventKind k) {
     case EventKind::PartitionSplit: return "partition-split";
     case EventKind::Rejoin: return "rejoin";
     case EventKind::Barrier: return "barrier";
+    case EventKind::Checkpoint: return "checkpoint";
+    case EventKind::RankFail: return "rank-fail";
+    case EventKind::Recovery: return "recovery";
     case EventKind::Note: return "note";
   }
   return "?";

@@ -20,6 +20,9 @@ enum class EventKind {
   PartitionSplit, ///< a processor partition divided in two
   Rejoin,         ///< an idle partition joined a busy one
   Barrier,
+  Checkpoint,     ///< a per-level frontier checkpoint was written
+  RankFail,       ///< a fail-stopped rank was detected by its group
+  Recovery,       ///< the group shrank and restored from a checkpoint
   Note,           ///< free-form annotation from the algorithm
 };
 

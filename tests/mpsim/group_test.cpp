@@ -248,5 +248,99 @@ TEST_P(AllReducePropertyTest, ConservesTotalsAtAnyGroupSize) {
 INSTANTIATE_TEST_SUITE_P(GroupSizes, AllReducePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
 
+// Collective preconditions: every malformed call must throw
+// std::invalid_argument naming the collective and the group's rank range,
+// and charge nothing — a half-charged collective would corrupt the run.
+
+TEST(GroupValidation, RejectsNonFiniteOrNegativeWordCounts) {
+  Machine m(4, unit_cost());
+  const Group g = Group::whole(m);
+  for (const double bad :
+       {-1.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(g.charge_all_reduce(bad), std::invalid_argument);
+    EXPECT_THROW(g.charge_broadcast(bad), std::invalid_argument);
+    EXPECT_THROW(g.charge_transfers({}, bad), std::invalid_argument);
+  }
+  try {
+    g.charge_all_reduce(-1.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("charge_all_reduce"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("group [0..3] of 4"), std::string::npos) << msg;
+  }
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0) << "failed calls must charge nothing";
+}
+
+TEST(GroupValidation, AllReduceRequiresOneBufferPerMember) {
+  Machine m(4, unit_cost());
+  const Group g = Group::whole(m);
+  std::vector<std::int64_t> buf(3, 0);
+  const std::vector<std::int64_t*> short_list{buf.data(), buf.data()};
+  EXPECT_THROW(g.all_reduce_sum(short_list, 3), std::invalid_argument);
+  try {
+    g.all_reduce_sum(short_list, 3);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("one buffer per member"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+}
+
+TEST(GroupValidation, PairwiseExchangeRejectsOddGroupAndShapeMismatch) {
+  Machine m(4, unit_cost());
+  const Group odd(m, std::vector<Rank>{0, 1, 2});
+  EXPECT_THROW(odd.pairwise_exchange({1.0, 1.0, 1.0}), std::invalid_argument);
+  try {
+    odd.pairwise_exchange({1.0, 1.0, 1.0});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("even-sized group"),
+              std::string::npos)
+        << e.what();
+  }
+  const Group even = Group::whole(m);
+  EXPECT_THROW(even.pairwise_exchange({1.0, 1.0}), std::invalid_argument)
+      << "one entry per member";
+  EXPECT_THROW(even.pairwise_exchange({1.0, -1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+}
+
+TEST(GroupValidation, ChargeTransfersRejectsOutOfRangeEndpoints) {
+  Machine m(4, unit_cost());
+  const Group g = Group::whole(m);
+  EXPECT_THROW(g.charge_transfers({Transfer{0, 4, 1}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(g.charge_transfers({Transfer{-1, 2, 1}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(g.charge_transfers({Transfer{0, 1, -5}}, 1.0),
+               std::invalid_argument);
+  try {
+    g.charge_transfers({Transfer{0, 4, 1}}, 1.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("charge_transfers"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0->4"), std::string::npos) << msg;
+  }
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+}
+
+TEST(GroupValidation, AllToAllRejectsNonSquareMatrix) {
+  Machine m(2, unit_cost());
+  const Group g = Group::whole(m);
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(g.all_to_all_personalized({{0.0}, {0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(g.all_to_all_personalized({{0.0, -1.0}, {0.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(m.max_clock(), 0.0);
+}
+
 }  // namespace
 }  // namespace pdt::mpsim

@@ -90,6 +90,74 @@ TEST(JsonValue, RejectsOverDeepNesting) {
   EXPECT_NE(err.find("deep"), std::string::npos) << err;
 }
 
+// Malformed-corpus coverage for the hardened reader: the files pdt-report
+// and pdt-diff ingest come from interrupted bench runs and hand edits, so
+// truncation, IEEE-special literals, overflowing numbers, and duplicate
+// keys must all fail loudly with a byte offset — never parse to garbage.
+
+TEST(JsonValue, RejectsTruncatedDocument) {
+  // A bench run killed mid-write: the envelope opens but never closes.
+  const std::string doc =
+      R"({"schema":"pdt-bench-v1","sections":[{"type":"fault_tolerance",)";
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse(doc, &v, &err));
+  EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+  // Truncation mid-string and mid-number fail too.
+  EXPECT_FALSE(json_parse(R"({"label":"unterm)", &v, &err));
+  EXPECT_NE(err.find("unterminated string"), std::string::npos) << err;
+  EXPECT_FALSE(json_parse(R"({"x": 12.)", &v, &err));
+}
+
+TEST(JsonValue, RejectsNaNAndInfinityLiterals) {
+  JsonValue v;
+  std::string err;
+  for (const char* doc : {"[NaN]", "[Infinity]", "[-Infinity]",
+                          R"({"overhead_pct": NaN})"}) {
+    EXPECT_FALSE(json_parse(doc, &v, &err)) << doc;
+    EXPECT_NE(err.find("NaN/Infinity literals are not valid JSON"),
+              std::string::npos)
+        << doc << ": " << err;
+    EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+  }
+  // The offset points at the literal, not past it ("[NaN]" -> byte 1;
+  // "[-Infinity]" rewinds over the consumed minus sign).
+  EXPECT_FALSE(json_parse("[NaN]", &v, &err));
+  EXPECT_NE(err.find("at byte 1"), std::string::npos) << err;
+  EXPECT_FALSE(json_parse("[-Infinity]", &v, &err));
+  EXPECT_NE(err.find("at byte 1"), std::string::npos) << err;
+}
+
+TEST(JsonValue, RejectsOverflowingNumbers) {
+  // strtod saturates 1e999 to +inf; accepting it would smuggle in the
+  // very infinity the literal check rejects.
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("[1e999]", &v, &err));
+  EXPECT_NE(err.find("number out of range"), std::string::npos) << err;
+  EXPECT_NE(err.find("at byte 1"), std::string::npos) << err;
+  EXPECT_FALSE(json_parse("[-1e999]", &v, &err));
+  EXPECT_NE(err.find("number out of range"), std::string::npos) << err;
+  // Subnormal underflow is fine — it rounds, it does not explode.
+  EXPECT_DOUBLE_EQ(parse_ok("[1e-999]").at(0).as_double(-1.0), 0.0);
+}
+
+TEST(JsonValue, RejectsDuplicateObjectKeys) {
+  // get() returns the first match, so a duplicate would silently shadow
+  // later data; our writers never emit one, so it marks corruption.
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse(R"({"a":1,"a":2})", &v, &err));
+  EXPECT_NE(err.find("duplicate object key \"a\""), std::string::npos) << err;
+  EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+  // Nested objects are checked per scope: the same key in two different
+  // objects is fine.
+  EXPECT_TRUE(json_parse(R"({"a":{"x":1},"b":{"x":2}})", &v, &err)) << err;
+  // ...but a duplicate deep inside still fails.
+  EXPECT_FALSE(json_parse(R"({"a":{"x":1,"x":2}})", &v, &err));
+  EXPECT_NE(err.find("duplicate object key \"x\""), std::string::npos) << err;
+}
+
 TEST(JsonValue, ParsesNonFiniteAsNullPerWriterContract) {
   // The simulator's JsonWriter emits null for NaN/Inf; a reader round-trip
   // sees a null, and the fallback accessor turns it into the default.

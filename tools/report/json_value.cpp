@@ -1,5 +1,6 @@
 #include "report/json_value.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 namespace pdt::tools {
@@ -87,6 +88,12 @@ class JsonParser {
         return parse_array(out, depth);
       case '{':
         return parse_object(out, depth);
+      // Some emitters write bare IEEE specials; RFC 8259 forbids them, and
+      // accepting them would poison every aggregate downstream. Name them
+      // in the error instead of a generic "expected a value".
+      case 'N':
+      case 'I':
+        return fail("NaN/Infinity literals are not valid JSON");
       default:
         return parse_number(out);
     }
@@ -95,6 +102,10 @@ class JsonParser {
   bool parse_number(JsonValue* out) {
     const std::size_t start = pos_;
     if (!eof() && peek() == '-') ++pos_;
+    if (!eof() && (peek() == 'N' || peek() == 'I')) {
+      pos_ = start;
+      return fail("NaN/Infinity literals are not valid JSON");
+    }
     while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
                       peek() == 'e' || peek() == 'E' || peek() == '+' ||
                       peek() == '-')) {
@@ -107,6 +118,12 @@ class JsonParser {
     if (end != num.c_str() + num.size()) {
       pos_ = start;
       return fail("malformed number");
+    }
+    // strtod saturates overflows to +-HUGE_VAL; letting an infinity in
+    // here would defeat the literal rejection above.
+    if (!std::isfinite(d)) {
+      pos_ = start;
+      return fail("number out of range");
     }
     out->type_ = JsonValue::Type::Number;
     out->num_ = d;
@@ -206,6 +223,7 @@ class JsonParser {
   bool parse_array(JsonValue* out, int depth) {
     ++pos_;  // '['
     out->type_ = JsonValue::Type::Array;
+    out->arr_.clear();  // the caller may reuse a JsonValue across parses
     skip_ws();
     if (!eof() && peek() == ']') {
       ++pos_;
@@ -230,6 +248,7 @@ class JsonParser {
   bool parse_object(JsonValue* out, int depth) {
     ++pos_;  // '{'
     out->type_ = JsonValue::Type::Object;
+    out->obj_.clear();  // the caller may reuse a JsonValue across parses
     skip_ws();
     if (!eof() && peek() == '}') {
       ++pos_;
@@ -240,6 +259,14 @@ class JsonParser {
       if (eof() || peek() != '"') return fail("expected object key");
       std::string key;
       if (!parse_string(&key)) return false;
+      // get() returns the first match, so a duplicate would silently
+      // shadow later data; our writers never emit one, so it marks a
+      // corrupt or hand-edited file.
+      for (const auto& [k, v] : out->obj_) {
+        if (k == key) {
+          return fail("duplicate object key \"" + key + "\"");
+        }
+      }
       skip_ws();
       if (eof() || text_[pos_] != ':') return fail("expected ':' after key");
       ++pos_;

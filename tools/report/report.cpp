@@ -493,6 +493,37 @@ void render_bench(const ReportInput& in, std::ostream& os) {
       }
       continue;
     }
+    if (type == "fault_tolerance") {
+      os << "## Fault tolerance (pdt-ft-v1) — "
+         << sec.get("formulation").as_string() << ", P="
+         << sec.get("procs").as_int() << ", n=" << sec.get("n").as_int()
+         << "\n\n";
+      os << "| scenario | time_us | overhead % | ckpts | fails | ckpt KiB | "
+            "ckpt io_us | detect_us | recovery_us | redistributed | "
+            "tree identical |\n";
+      os << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n";
+      bool all_identical = true;
+      for (const JsonValue& row : sec.get("rows").array()) {
+        const bool identical = row.get("tree_identical").as_bool();
+        all_identical = all_identical && identical;
+        os << "| " << row.get("scenario").as_string() << " | "
+           << fmt_us(row.get("time_us").as_double()) << " | "
+           << fmt(row.get("overhead_pct").as_double(), 2) << " | "
+           << row.get("checkpoints").as_int() << " | "
+           << row.get("failures").as_int() << " | "
+           << fmt_kib(row.get("checkpoint_bytes").as_double()) << " | "
+           << fmt_us(row.get("checkpoint_io_us").as_double()) << " | "
+           << fmt_us(row.get("detect_us").as_double()) << " | "
+           << fmt_us(row.get("recovery_us").as_double()) << " | "
+           << row.get("records_redistributed").as_int() << " | "
+           << (identical ? "yes" : "**NO**") << " |\n";
+      }
+      os << "\n**Verdict: " << (all_identical ? "PASS" : "FLAG")
+         << "** — every scenario's tree "
+         << (all_identical ? "matches" : "must match")
+         << " the fault-free baseline.\n\n";
+      continue;
+    }
     if (type != "instrumented_run") continue;
     os << "## Instrumented run `" << sec.get("tag").as_string() << "` — "
        << sec.get("formulation").as_string() << ", P="
