@@ -235,12 +235,18 @@ inline void emit_mem_run(BenchReport& rep, const char* tag, int procs,
 /// measured-vs-predicted costs, traffic matrix, critical path), and the
 /// pdt-mem-v1 report (per-rank byte accounts with the ledger's
 /// phase x level attribution). Also dumps a Perfetto trace of the run to
-/// <harness>.<tag>.trace.json unless JSON output is disabled.
+/// <harness>.<tag>.trace.json and the complete execution log to
+/// <harness>.<tag>.events.json (pdt-events-v1, the input of pdt-replay)
+/// unless JSON output is disabled. `iso_c` is embedded in the event
+/// log's meta so offline isoefficiency charts can draw the analytic
+/// curve (pass core::isoefficiency_constant; 0 = not applicable).
 inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         core::Formulation f,
                                         const data::Dataset& ds,
-                                        core::ParOptions opt) {
+                                        core::ParOptions opt,
+                                        double iso_c = 0.0) {
   obs::Observability o(obs::ProfilerConfig{.timeline = true});
+  o.enable_event_log();
   opt.obs = &o;
   opt.trace = true;  // collective events feed the trace's flow arrows
   const core::ParResult res = core::build(f, ds, opt);
@@ -270,6 +276,21 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
       obs::write_perfetto_trace(ts, o.profiler(), res.trace);
       std::printf("[json] wrote %s (load at https://ui.perfetto.dev)\n",
                   trace_path.c_str());
+    }
+
+    const std::string events_path = json_path(
+        std::string(rep.harness()) + "." + tag + ".events.json");
+    std::ofstream es(events_path);
+    if (es && o.event_log() != nullptr) {
+      obs::EventLogMeta meta;
+      meta.formulation = core::to_string(f);
+      meta.workload = tag;
+      meta.n = static_cast<std::int64_t>(ds.num_rows());
+      meta.procs = opt.num_procs;
+      meta.iso_c = iso_c;
+      obs::write_events_report(es, *o.event_log(), meta);
+      std::printf("[json] wrote %s (replay with pdt-replay)\n",
+                  events_path.c_str());
     }
   }
   return res;

@@ -16,10 +16,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
 #include "mpsim/fault.hpp"
+#include "obs/blame.hpp"
+#include "obs/export.hpp"
 #include "obs/observability.hpp"
 
 using namespace pdt;
@@ -47,6 +51,30 @@ static void print_top_segments(const obs::Observability& o) {
     if (s.level != obs::kNoLevel) std::printf(" (level %d)", s.level);
     std::printf("  %s  %.1f ms\n", mpsim::to_string(s.kind),
                 s.dur_us() / 1000.0);
+  }
+}
+
+// The three heaviest idle-blame edges: who was everyone waiting on, and
+// during which of the holder's phases? (See DESIGN.md §8.)
+static void print_top_blame(const obs::Observability& o) {
+  if (o.event_log() == nullptr) return;
+  const std::vector<obs::BlameEdge> edges = obs::blame_edges(*o.event_log());
+  if (edges.empty()) return;
+  std::printf("     wait-for blame, top 3:\n");
+  for (std::size_t i = 0; i < edges.size() && i < 3; ++i) {
+    const obs::BlameEdge& e = edges[i];
+    std::string held;
+    if (e.holder_phase == obs::kRankFailurePhase) {
+      held = "(rank failure)";
+    } else {
+      held = std::string(
+          o.event_log()->phase_names()[static_cast<std::size_t>(
+              e.holder_phase)]);
+    }
+    std::printf("       %4.1f%%  rank %d (level %d) waits on rank %d  %s  "
+                "%.1f ms\n",
+                e.idle_pct, e.idler, e.idler_level, e.holder, held.c_str(),
+                e.idle_us / 1000.0);
   }
 }
 
@@ -145,6 +173,7 @@ int main(int argc, char** argv) {
     core::ParOptions opt;
     opt.num_procs = p;
     obs::Observability o;  // fresh ledger + tracer per processor count
+    o.enable_event_log();  // feeds the wait-for blame analysis below
     if (p > 1) opt.obs = &o;
     // Seeded random scenario is drawn per processor count (the victim
     // rank must exist); explicit flags ride along unchanged.
@@ -189,7 +218,28 @@ int main(int argc, char** argv) {
                     res.tree.same_as(serial.tree) ? "matches" : "DIFFERS from");
       }
       print_top_segments(o);
+      print_top_blame(o);
       print_top_memory(o, res);
+      // PDT_EVENTS_OUT=<prefix> dumps each run's pdt-events-v1 log to
+      // <prefix>.P<p>.events.json for offline pdt-replay what-ifs.
+      const char* events_out = std::getenv("PDT_EVENTS_OUT");
+      if (events_out != nullptr && *events_out != '\0' &&
+          o.event_log() != nullptr) {
+        const std::string path =
+            std::string(events_out) + ".P" + std::to_string(p) +
+            ".events.json";
+        std::ofstream es(path);
+        if (es) {
+          obs::EventLogMeta meta;
+          meta.formulation = core::to_string(f);
+          meta.workload = "scaling_explorer";
+          meta.n = static_cast<std::int64_t>(ds.num_rows());
+          meta.procs = p;
+          obs::write_events_report(es, *o.event_log(), meta);
+          std::printf("     [json] wrote %s (replay with pdt-replay)\n",
+                      path.c_str());
+        }
+      }
     }
   }
   std::printf("\n(compute/comm/idle are shares of total processor-time)\n");

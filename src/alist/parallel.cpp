@@ -124,7 +124,8 @@ ParallelSprintResult build_parallel_sprint(const data::Dataset& ds,
           const mpsim::Time cost =
               cm.t_s * mpsim::ceil_log2(p) + cm.t_w * pairs_words;
           machine.charge_comm(r, cost, pairs_words / p, pairs_words,
-                              static_cast<std::uint64_t>(mpsim::ceil_log2(p)));
+                              static_cast<std::uint64_t>(mpsim::ceil_log2(p)),
+                              cm.t_s * mpsim::ceil_log2(p));
           machine.charge_io(r, cm.t_io * pairs_words);
         }
         all.barrier();

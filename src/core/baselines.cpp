@@ -193,9 +193,9 @@ ParResult build_host_worker(const data::Dataset& ds, const ParOptions& opt) {
       ctx.histogram_words += words;
       for (int w = 0; w < workers; ++w) {
         const mpsim::Time send = cm.t_s + cm.t_w * words;
-        machine.charge_comm(w + 1, send, words, 0.0);
-        machine.wait_until(host, machine.clock(w + 1));
-        machine.charge_comm(host, send, 0.0, words);
+        machine.charge_comm(w + 1, send, words, 0.0, 1, cm.t_s);
+        machine.wait_for(host, w + 1);
+        machine.charge_comm(host, send, 0.0, words, 1, cm.t_s);
       }
       // Host alone evaluates the splits.
       machine.charge_compute(host, static_cast<double>(chunk.size()) * entries);
@@ -213,8 +213,8 @@ ParResult build_host_worker(const data::Dataset& ds, const ParOptions& opt) {
       const double dec_words = static_cast<double>(chunk.size()) * 8.0;
       for (int w = 0; w < workers; ++w) {
         const mpsim::Time send = cm.t_s + cm.t_w * dec_words;
-        machine.charge_comm(host, send, dec_words, 0.0);
-        machine.wait_until(w + 1, machine.clock(host));
+        machine.charge_comm(host, send, dec_words, 0.0, 1, cm.t_s);
+        machine.wait_for(w + 1, host);
         machine.charge_comm(w + 1, 0.0, 0.0, dec_words);
       }
 

@@ -94,16 +94,20 @@ double predicted_hybrid_time(const AnalysisInput& in, double record_words) {
   return t;
 }
 
-double isoefficiency_records(const AnalysisInput& in, int p,
-                             double efficiency) {
+double isoefficiency_constant(const AnalysisInput& in) {
   // Parallel time ~ c_comm * log P + c_comp * N / P; serial ~ c_comp * N.
-  // E = serial / (P * parallel)  =>  N = E/(1-E) * (c_comm/c_comp) P log P.
   const double hist_words = in.C * in.A_d * in.M;
   const double c_comm = (in.cost.t_s + in.cost.t_w * hist_words) *
                         static_cast<double>(in.L1);
   const double c_comp = in.A_d * in.cost.t_c * static_cast<double>(in.L1);
+  return c_comm / c_comp;
+}
+
+double isoefficiency_records(const AnalysisInput& in, int p,
+                             double efficiency) {
+  // E = serial / (P * parallel)  =>  N = E/(1-E) * (c_comm/c_comp) P log P.
   if (p <= 1) return 0.0;
-  return efficiency / (1.0 - efficiency) * (c_comm / c_comp) * p *
+  return efficiency / (1.0 - efficiency) * isoefficiency_constant(in) * p *
          mpsim::ceil_log2(p);
 }
 

@@ -63,6 +63,11 @@ struct AnalysisInput {
 [[nodiscard]] double predicted_hybrid_time(const AnalysisInput& in,
                                            double record_words);
 
+/// The calibrated constant c = c_comm / c_comp of the isoefficiency
+/// relation below. Embedded as `iso_c` in event-log metadata so offline
+/// replays can chart the analytic curve without the full AnalysisInput.
+[[nodiscard]] double isoefficiency_constant(const AnalysisInput& in);
+
 /// Isoefficiency (Section 4.3): the N required to hold efficiency E at P
 /// processors, N = E/(1-E) * c * P log2 P, with c calibrated from `in`.
 [[nodiscard]] double isoefficiency_records(const AnalysisInput& in, int p,

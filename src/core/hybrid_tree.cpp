@@ -197,10 +197,10 @@ HPartition rejoin_split(ParContext& ctx, HPartition& busy, mpsim::Group idle,
           static_cast<double>(t.count) * ctx.record_words();
       const mpsim::Rank from = ordered[static_cast<std::size_t>(t.from)];
       const mpsim::Rank to = ordered[static_cast<std::size_t>(t.to)];
-      const mpsim::Time wire =
-          (cm.t_s + cm.t_w * words) * ctx.machine().link_factor(from, to);
-      ctx.machine().charge_comm(from, wire, words, 0.0);
-      ctx.machine().charge_comm(to, wire, 0.0, words);
+      const double lf = ctx.machine().link_factor(from, to);
+      const mpsim::Time wire = (cm.t_s + cm.t_w * words) * lf;
+      ctx.machine().charge_comm(from, wire, words, 0.0, 1, cm.t_s * lf);
+      ctx.machine().charge_comm(to, wire, 0.0, words, 1, cm.t_s * lf);
       ctx.machine().charge_io(from, cm.t_io * words);
       ctx.machine().charge_io(to, cm.t_io * words);
       ctx.mem_records_move(from, to, t.count);

@@ -112,16 +112,10 @@ void recover_from_failure(ParContext& ctx, mpsim::Group& g,
   // itself (rather than at a collective, which already made the survivors
   // wait out the timeout), the heartbeat window is charged here.
   if (!rf.detected) {
-    mpsim::Time horizon = 0.0;
-    for (const mpsim::Rank r : survivors) {
-      horizon = std::max(horizon, machine.clock(r));
-    }
-    for (const mpsim::Rank r : survivors) {
-      machine.wait_until(r, horizon + cm.t_timeout);
-    }
+    const mpsim::Time deadline = machine.charge_timeout(survivors, rf.rank);
     if (machine.trace().enabled()) {
       machine.trace().record(
-          {.time = horizon + cm.t_timeout,
+          {.time = deadline,
            .kind = mpsim::EventKind::RankFail,
            .rank = rf.rank,
            .group_base = ckpt.ranks.front(),

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "mpsim/comm_ledger.hpp"
+#include "mpsim/event_log.hpp"
 
 namespace pdt::mpsim {
 
@@ -59,6 +60,12 @@ void Group::check_words(double words, const char* where) const {
 }
 
 void Group::barrier() const { machine_->barrier_over(ranks_); }
+
+void Group::annotate(CollectiveKind kind, double words) const {
+  if (EventRecorder* rec = machine_->event_recorder()) {
+    rec->record_collective(to_string(kind), ranks_, words, dimension());
+  }
+}
 
 void Group::trace(EventKind kind, double words, const char* detail) const {
   if (!machine_->trace().enabled()) return;
@@ -135,12 +142,14 @@ void Group::all_reduce_sum(const std::vector<double*>& bufs, std::size_t len,
 void Group::charge_all_reduce(double words) const {
   check_words(words, "charge_all_reduce");
   if (size() <= 1) return;
+  annotate(CollectiveKind::AllReduce, words);
   sync("all-reduce");
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   // Recursive doubling (the paper's Eq. 2): one full-size exchange per
   // hypercube dimension.
   const Time cost = cm.all_reduce(words, size());
+  const Time latency = cm.t_s * rounds;
   // Recursive doubling holds one shadow buffer of the payload per member
   // while the exchange is in flight.
   const std::int64_t staging = staging_bytes(words);
@@ -149,7 +158,7 @@ void Group::charge_all_reduce(double words) const {
   }
   for (Rank r : ranks_) {
     machine_->charge_comm(r, cost, words * rounds, words * rounds,
-                          static_cast<std::uint64_t>(rounds));
+                          static_cast<std::uint64_t>(rounds), latency);
   }
   for (Rank r : ranks_) {
     machine_->free_bytes(r, MemTag::CollectiveBuffer, staging);
@@ -182,17 +191,19 @@ void Group::charge_all_reduce(double words) const {
 void Group::charge_broadcast(double words) const {
   check_words(words, "charge_broadcast");
   if (size() <= 1) return;
+  annotate(CollectiveKind::Broadcast, words);
   sync("broadcast");
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   const Time cost = cm.broadcast(words, size());
+  const Time latency = cm.t_s * rounds;
   const std::int64_t staging = staging_bytes(words);
   for (Rank r : ranks_) {
     machine_->alloc_bytes(r, MemTag::CollectiveBuffer, staging);
   }
   for (Rank r : ranks_) {
     machine_->charge_comm(r, cost, words, words,
-                          static_cast<std::uint64_t>(rounds));
+                          static_cast<std::uint64_t>(rounds), latency);
   }
   for (Rank r : ranks_) {
     machine_->free_bytes(r, MemTag::CollectiveBuffer, staging);
@@ -234,6 +245,8 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
                                 ": requires an even-sized group");
   }
   for (const double w : words_out) check_words(w, "pairwise_exchange");
+  annotate(CollectiveKind::PairwiseExchange,
+           std::accumulate(words_out.begin(), words_out.end(), 0.0));
   sync("pairwise-exchange");
   const CostModel& cm = machine_->cost();
   const int half = size() / 2;
@@ -247,14 +260,15 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     // the partner across the highest free dimension.
     const double out_a = words_out[static_cast<std::size_t>(i)];
     const double out_b = words_out[static_cast<std::size_t>(i + half)];
-    const Time cost = (cm.t_s + cm.t_w * std::max(out_a, out_b)) *
-                      machine_->link_factor(rank(i), rank(i + half));
+    const double lf = machine_->link_factor(rank(i), rank(i + half));
+    const Time cost = (cm.t_s + cm.t_w * std::max(out_a, out_b)) * lf;
+    const Time latency = cm.t_s * lf;
     // Both endpoints stage the outbound payload plus the inbound one.
     const std::int64_t staging = staging_bytes(out_a + out_b);
     machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     machine_->alloc_bytes(rank(i + half), MemTag::CollectiveBuffer, staging);
-    machine_->charge_comm(rank(i), cost, out_a, out_b);
-    machine_->charge_comm(rank(i + half), cost, out_b, out_a);
+    machine_->charge_comm(rank(i), cost, out_a, out_b, 1, latency);
+    machine_->charge_comm(rank(i + half), cost, out_b, out_a, 1, latency);
     machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     machine_->free_bytes(rank(i + half), MemTag::CollectiveBuffer, staging);
     // Records live in disk-resident attribute lists: the sender reads what
@@ -342,6 +356,11 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
           " is outside the group or negative");
     }
   }
+  double plan_words = 0.0;
+  for (const Transfer& t : transfers) {
+    plan_words += static_cast<double>(t.count) * words_per_item;
+  }
+  annotate(CollectiveKind::Transfers, plan_words);
   sync("load-balance");
   const CostModel& cm = machine_->cost();
   // Each member pays t_w for every word it sends or receives, plus one
@@ -349,15 +368,18 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
   // pairs overlap; we charge per-member serialized cost, which matches the
   // Eq. 3/4 bound of 2*(N/P)*t_w when counts are within [0, 2N/P].
   std::vector<Time> member_cost(static_cast<std::size_t>(size()), 0.0);
+  std::vector<Time> member_latency(static_cast<std::size_t>(size()), 0.0);
   std::vector<double> member_words(static_cast<std::size_t>(size()), 0.0);
   CommLedger* ledger = machine_->comm_ledger();
   double total_words = 0.0;
   for (const Transfer& t : transfers) {
     const double words = static_cast<double>(t.count) * words_per_item;
-    const Time wire = (cm.t_s + cm.t_w * words) *
-                      machine_->link_factor(rank(t.from), rank(t.to));
+    const double lf = machine_->link_factor(rank(t.from), rank(t.to));
+    const Time wire = (cm.t_s + cm.t_w * words) * lf;
     member_cost[static_cast<std::size_t>(t.from)] += wire;
     member_cost[static_cast<std::size_t>(t.to)] += wire;
+    member_latency[static_cast<std::size_t>(t.from)] += cm.t_s * lf;
+    member_latency[static_cast<std::size_t>(t.to)] += cm.t_s * lf;
     member_words[static_cast<std::size_t>(t.from)] += words;
     member_words[static_cast<std::size_t>(t.to)] += words;
     total_words += words;
@@ -372,7 +394,8 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
       machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
       machine_->charge_comm(rank(i), member_cost[static_cast<std::size_t>(i)],
                             member_words[static_cast<std::size_t>(i)],
-                            member_words[static_cast<std::size_t>(i)]);
+                            member_words[static_cast<std::size_t>(i)], 1,
+                            member_latency[static_cast<std::size_t>(i)]);
       machine_->charge_io(
           rank(i), cm.t_io * member_words[static_cast<std::size_t>(i)]);
       machine_->free_bytes(rank(i), MemTag::CollectiveBuffer, staging);
@@ -428,8 +451,6 @@ void Group::all_to_all_personalized(
     }
   }
   if (p <= 1) return;
-  sync("all-to-all");
-  const CostModel& cm = machine_->cost();
   std::vector<double> sent(static_cast<std::size_t>(p), 0.0);
   std::vector<double> recv(static_cast<std::size_t>(p), 0.0);
   for (int i = 0; i < p; ++i) {
@@ -440,6 +461,10 @@ void Group::all_to_all_personalized(
       recv[static_cast<std::size_t>(j)] += w;
     }
   }
+  annotate(CollectiveKind::AllToAll,
+           std::accumulate(sent.begin(), sent.end(), 0.0));
+  sync("all-to-all");
+  const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   CommLedger* ledger = machine_->comm_ledger();
   double total = 0.0;
@@ -450,13 +475,14 @@ void Group::all_to_all_personalized(
     const double vol = std::max(sent[static_cast<std::size_t>(i)],
                                 recv[static_cast<std::size_t>(i)]);
     const Time cost = cm.all_to_all(vol, p);
+    const Time latency = cm.t_s * rounds;
     const std::int64_t staging =
         staging_bytes(sent[static_cast<std::size_t>(i)] +
                       recv[static_cast<std::size_t>(i)]);
     machine_->alloc_bytes(rank(i), MemTag::CollectiveBuffer, staging);
     machine_->charge_comm(rank(i), cost, sent[static_cast<std::size_t>(i)],
                           recv[static_cast<std::size_t>(i)],
-                          static_cast<std::uint64_t>(rounds));
+                          static_cast<std::uint64_t>(rounds), latency);
     const Time io = cm.t_io * (sent[static_cast<std::size_t>(i)] +
                                recv[static_cast<std::size_t>(i)]);
     machine_->charge_io(rank(i), io);

@@ -21,6 +21,8 @@
 
 namespace pdt::mpsim {
 
+enum class CollectiveKind;
+
 /// A planned item transfer between two group members (indices into the
 /// group's rank list, not raw ranks).
 struct Transfer {
@@ -106,6 +108,10 @@ class Group {
 
  private:
   void trace(EventKind kind, double words, const char* detail) const;
+  /// Note the upcoming collective in the machine's event recorder (kind,
+  /// member set, total payload, hypercube rounds) so replay analyzers can
+  /// label the barrier that follows. No-op without a recorder.
+  void annotate(CollectiveKind kind, double words) const;
   /// Barrier that names the collective for deadlock/fault diagnostics.
   void sync(const char* what) const { machine_->barrier_over(ranks_, what); }
   /// "group [lo..hi] of p" — rank context for precondition errors.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mpsim/comm_ledger.hpp"
+#include "mpsim/event_log.hpp"
 
 namespace pdt::mpsim {
 
@@ -67,16 +68,23 @@ void Machine::charge_compute_time(Rank r, Time t) {
   if (observer_ != nullptr) {
     observer_->on_charge(r, ChargeKind::Compute, start, t, 0.0, 0.0);
   }
+  if (recorder_ != nullptr) {
+    recorder_->record_charge(r, ChargeKind::Compute, t, 0.0, 0.0, 0.0, 0,
+                             cur_level_[idx(r)]);
+  }
 }
 
 void Machine::charge_comm(Rank r, Time t, double words_sent,
-                          double words_received, std::uint64_t messages) {
+                          double words_received, std::uint64_t messages,
+                          Time latency) {
   assert(t >= 0.0);
   if (injector_ != nullptr) {
     if (!injector_->alive(r)) {
       throw RankFailure(r, injector_->level(r), /*detected=*/false);
     }
-    t *= injector_->time_factor(r);
+    const double factor = injector_->time_factor(r);
+    t *= factor;
+    latency *= factor;  // the decomposition scales with the whole charge
   }
   const Time start = clocks_[idx(r)];
   clocks_[idx(r)] += t;
@@ -88,6 +96,10 @@ void Machine::charge_comm(Rank r, Time t, double words_sent,
   if (observer_ != nullptr) {
     observer_->on_charge(r, ChargeKind::Comm, start, t, words_sent,
                          words_received);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record_charge(r, ChargeKind::Comm, t, latency, words_sent,
+                             words_received, messages, cur_level_[idx(r)]);
   }
 }
 
@@ -105,9 +117,13 @@ void Machine::charge_io(Rank r, Time t) {
   if (observer_ != nullptr) {
     observer_->on_charge(r, ChargeKind::Io, start, t, 0.0, 0.0);
   }
+  if (recorder_ != nullptr) {
+    recorder_->record_charge(r, ChargeKind::Io, t, 0.0, 0.0, 0.0, 0,
+                             cur_level_[idx(r)]);
+  }
 }
 
-void Machine::wait_until(Rank r, Time t) {
+void Machine::advance_to(Rank r, Time t) {
   const std::size_t i = idx(r);
   if (clocks_[i] < t) {
     const Time start = clocks_[i];
@@ -117,6 +133,27 @@ void Machine::wait_until(Rank r, Time t) {
       observer_->on_charge(r, ChargeKind::Idle, start, t - start, 0.0, 0.0);
     }
   }
+}
+
+void Machine::wait_until(Rank r, Time t) {
+  if (recorder_ != nullptr) recorder_->record_wait(r, t);
+  advance_to(r, t);
+}
+
+void Machine::wait_for(Rank r, Rank src) {
+  if (recorder_ != nullptr) recorder_->record_wait_for(r, src);
+  advance_to(r, clocks_[idx(src)]);
+}
+
+Time Machine::charge_timeout(const std::vector<Rank>& survivors, Rank dead) {
+  Time horizon = 0.0;
+  for (const Rank r : survivors) {
+    horizon = std::max(horizon, clocks_[idx(r)]);
+  }
+  const Time deadline = horizon + cost_.t_timeout;
+  for (const Rank r : survivors) advance_to(r, deadline);
+  if (recorder_ != nullptr) recorder_->record_timeout(dead, survivors);
+  return deadline;
 }
 
 void Machine::barrier_over(const std::vector<Rank>& ranks, const char* what) {
@@ -147,15 +184,9 @@ void Machine::barrier_over(const std::vector<Rank>& ranks, const char* what) {
         if (injector_->alive(r)) alive_members.push_back(r);
       }
       if (dead >= 0) {
-        Time horizon = 0.0;
-        for (Rank r : alive_members) {
-          horizon = std::max(horizon, clocks_[idx(r)]);
-        }
-        for (Rank r : alive_members) {
-          wait_until(r, horizon + cost_.t_timeout);
-        }
+        const Time deadline = charge_timeout(alive_members, dead);
         if (trace_.enabled()) {
-          trace_.record({.time = horizon + cost_.t_timeout,
+          trace_.record({.time = deadline,
                          .kind = EventKind::RankFail,
                          .rank = dead,
                          .group_base = ranks.front(),
@@ -182,10 +213,13 @@ void Machine::barrier_over(const std::vector<Rank>& ranks, const char* what) {
       break;
     }
   }
-  for (Rank r : *members) wait_until(r, horizon);
+  for (Rank r : *members) advance_to(r, horizon);
   for (Rank r : *members) push_stamp(r, what);
   if (observer_ != nullptr && members->size() > 1) {
     observer_->on_barrier(*members, holder, horizon);
+  }
+  if (recorder_ != nullptr && members->size() > 1) {
+    recorder_->record_barrier(what, *members);
   }
 }
 
@@ -280,6 +314,11 @@ void Machine::set_comm_ledger(CommLedger* ledger) {
   if (comm_ledger_ != nullptr) comm_ledger_->ensure_ranks(size());
 }
 
+void Machine::set_event_recorder(EventRecorder* rec) {
+  recorder_ = rec;
+  if (recorder_ != nullptr) recorder_->bind(size(), cost_);
+}
+
 RankStats Machine::total_stats() const {
   RankStats total;
   for (const auto& s : stats_) total += s;
@@ -295,6 +334,7 @@ void Machine::reset() {
   std::fill(unreachable_.begin(), unreachable_.end(), static_cast<char>(0));
   unreachable_count_ = 0;
   if (injector_ != nullptr) injector_->reset();
+  if (recorder_ != nullptr) recorder_->bind(size(), cost_);
   trace_.clear();
 }
 

@@ -27,6 +27,7 @@
 namespace pdt::mpsim {
 
 class CommLedger;
+class EventRecorder;
 
 class Machine {
  public:
@@ -50,13 +51,26 @@ class Machine {
   /// n log n term of a local sort).
   void charge_compute_time(Rank r, Time t);
   /// Charge communication time to r's clock and record traffic volume.
+  /// `latency` is the t_s-proportional (start-up) part of `t`, recorded
+  /// so an event-log replay can rescale the latency and bandwidth terms
+  /// independently; it never affects the charge itself.
   void charge_comm(Rank r, Time t, double words_sent, double words_received,
-                   std::uint64_t messages = 1);
+                   std::uint64_t messages = 1, Time latency = 0.0);
   /// Charge disk-I/O time (record relocation) to r's clock.
   void charge_io(Rank r, Time t);
   /// Advance r's clock to `t` (>= current), accounting the gap as idle
   /// (barrier wait). No-op if r is already past t.
   void wait_until(Rank r, Time t);
+  /// Advance r's clock to src's current clock (idle). Prefer this over
+  /// wait_until(r, clock(src)): the event log records the *dependency*
+  /// instead of the absolute time, so a what-if replay re-derives the
+  /// wait from src's replayed clock.
+  void wait_for(Rank r, Rank src);
+  /// Fault-detection timeout: advance every survivor to the survivors'
+  /// common horizon plus cost().t_timeout (charged as idle — the
+  /// heartbeat window expiring on dead rank `dead`). Returns the
+  /// deadline the survivors advanced to.
+  Time charge_timeout(const std::vector<Rank>& survivors, Rank dead);
   /// Synchronize `ranks` at their common horizon (the maximum clock over
   /// the set): every member waits up to it, then the observer's
   /// on_barrier hook fires with the max-clock member as path holder.
@@ -110,6 +124,13 @@ class Machine {
   void set_comm_ledger(CommLedger* ledger);
   [[nodiscard]] CommLedger* comm_ledger() const { return comm_ledger_; }
 
+  /// Attach (or detach, with nullptr) an event recorder capturing the
+  /// causal execution log (see event_log.hpp). Not owned; strictly
+  /// passive. Attaching (re)binds the recorder to this machine's size
+  /// and cost model, clearing any previously recorded events.
+  void set_event_recorder(EventRecorder* rec);
+  [[nodiscard]] EventRecorder* event_recorder() const { return recorder_; }
+
   /// Arm a fault plan: an injector is created and every subsequent charge
   /// / collective consults it (a straggler's charges are scaled, a dead
   /// rank's charges raise RankFailure). One predictable branch per charge
@@ -148,6 +169,12 @@ class Machine {
   };
   static constexpr int kStampDepth = 4;
 
+  /// wait_until without the event-log hook: barrier_over and
+  /// charge_timeout advance clocks through this, because the recorded
+  /// Barrier/Timeout event lets the replay *recompute* those idles from
+  /// the member clocks (recording them too would double-advance).
+  void advance_to(Rank r, Time t);
+
   void push_stamp(Rank r, const char* what);
   [[noreturn]] void throw_deadlock(const std::vector<Rank>& ranks,
                                    const char* what) const;
@@ -163,6 +190,7 @@ class Machine {
   Trace trace_;
   ChargeObserver* observer_ = nullptr;
   CommLedger* comm_ledger_ = nullptr;
+  EventRecorder* recorder_ = nullptr;
   std::unique_ptr<FaultInjector> injector_;
   std::vector<int> cur_level_;
   std::vector<std::array<CollectiveStamp, kStampDepth>> stamps_;

@@ -1,0 +1,44 @@
+// Wait-for blame analysis over an event-sourced execution log.
+//
+// Walks an EventRecorder's log in happens-before order, tracking each
+// rank's clock plus the phase/level of its most recent charge. At every
+// synchronization point (barrier, timeout, wait-for) the analyzer knows
+// who arrived last — the *holder* — and charges every earlier arrival's
+// idle gap to an edge keyed by (idler, idler's level, holder, holder's
+// phase). The aggregated edges answer the question the per-phase idle
+// totals cannot: "rank 3 idles 41% at level 2 *waiting on rank 0's
+// histogram phase*".
+//
+// The same walk runs offline inside tools/pdt-replay (against replayed
+// clocks, so what-if cost models shift the blame); this in-process
+// variant serves scaling_explorer and the tests, and doubles as the
+// reference for the blame-edge definition in DESIGN.md §8.
+#pragma once
+
+#include <vector>
+
+#include "mpsim/event_log.hpp"
+
+namespace pdt::obs {
+
+/// One aggregated idle-blame edge. `holder_phase` is an interned phase
+/// id (index into EventRecorder::phase_names()); kRankFailurePhase marks
+/// idle caused by waiting out a dead rank's detection timeout.
+struct BlameEdge {
+  mpsim::Rank idler = -1;
+  int idler_level = -1;     ///< tree level of the idler's last charge
+  mpsim::Rank holder = -1;  ///< the rank (or dead rank) waited on
+  int holder_phase = 0;     ///< phase of the holder's last charge
+  mpsim::Time idle_us = 0.0;
+  double idle_pct = 0.0;  ///< idle_us / idler's final clock * 100
+};
+
+/// Sentinel holder_phase for timeout-induced idleness (there is no
+/// holder charge to attribute — the "holder" never arrived).
+inline constexpr int kRankFailurePhase = -1;
+
+/// Aggregate all blame edges of the recorded run, ordered by idle_us
+/// descending (ties by idler, then holder — deterministic).
+std::vector<BlameEdge> blame_edges(const mpsim::EventRecorder& rec);
+
+}  // namespace pdt::obs

@@ -452,6 +452,114 @@ void write_comm(JsonWriter& w, const mpsim::CommLedger& ledger,
   w.end_object();
 }
 
+// -------------------------------------------------------------- events --
+
+namespace {
+
+/// Compact per-event tag arrays keep million-event logs tractable. Tags:
+///   ["cp", rank, dt, phase, level]                     compute charge
+///   ["io", rank, dt, phase, level]                     io charge
+///   ["cm", rank, dt, lat, ws, wr, msgs, phase, level]  comm charge
+///   ["b",  what, [members]]                            barrier
+///   ["to", dead, [survivors]]                          timeout
+///   ["w",  rank, until]                                wait (absolute)
+///   ["wf", rank, src]                                  wait-for (causal)
+///   ["g",  kind, words, dim, [members]]                collective
+void write_event(JsonWriter& w, const mpsim::ExecEvent& e) {
+  using Type = mpsim::ExecEvent::Type;
+  w.begin_array();
+  switch (e.type) {
+    case Type::Charge:
+      if (e.kind == mpsim::ChargeKind::Comm) {
+        w.value("cm").value(e.rank).value(e.dt_us).value(e.latency_us);
+        w.value(e.words_sent).value(e.words_received).value(e.messages);
+        w.value(e.phase).value(e.level);
+      } else {
+        w.value(e.kind == mpsim::ChargeKind::Io ? "io" : "cp");
+        w.value(e.rank).value(e.dt_us).value(e.phase).value(e.level);
+      }
+      break;
+    case Type::Barrier:
+      w.value("b").value(e.what);
+      w.begin_array();
+      for (const mpsim::Rank r : e.members) w.value(r);
+      w.end_array();
+      break;
+    case Type::Timeout:
+      w.value("to").value(e.rank);
+      w.begin_array();
+      for (const mpsim::Rank r : e.members) w.value(r);
+      w.end_array();
+      break;
+    case Type::Wait:
+      w.value("w").value(e.rank).value(e.until_us);
+      break;
+    case Type::WaitFor:
+      w.value("wf").value(e.rank).value(e.peer);
+      break;
+    case Type::Collective:
+      w.value("g").value(e.what).value(e.words).value(e.dim);
+      w.begin_array();
+      for (const mpsim::Rank r : e.members) w.value(r);
+      w.end_array();
+      break;
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
+                  const EventLogMeta& meta) {
+  w.begin_object();
+  w.kv("schema", "pdt-events-v1");
+  w.kv("nprocs", rec.nprocs());
+
+  const mpsim::CostModel& cm = rec.cost();
+  w.key("cost_model").begin_object();
+  w.kv("t_s", cm.t_s);
+  w.kv("t_w", cm.t_w);
+  w.kv("t_c", cm.t_c);
+  w.kv("t_io", cm.t_io);
+  w.kv("t_timeout", cm.t_timeout);
+  w.end_object();
+
+  w.key("meta").begin_object();
+  w.kv("formulation", meta.formulation);
+  w.kv("workload", meta.workload);
+  w.kv("n", meta.n);
+  w.kv("procs", meta.procs != 0 ? meta.procs : rec.nprocs());
+  w.kv("iso_c", meta.iso_c);
+  w.end_object();
+
+  w.key("phases").begin_array();
+  for (const std::string& name : rec.phase_names()) w.value(name);
+  w.end_array();
+
+  w.key("events").begin_array();
+  for (const mpsim::ExecEvent& e : rec.events()) write_event(w, e);
+  w.end_array();
+
+  // The recorded ground truth the replay identity gate checks against:
+  // shadow clocks equal the machine's clocks bit-exactly (%.17g survives
+  // the JSON round trip losslessly).
+  w.key("final").begin_object();
+  w.kv("max_clock_us", rec.max_clock());
+  w.key("clocks").begin_array();
+  for (const mpsim::Time c : rec.clocks()) w.value(c);
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+}
+
+void write_events_report(std::ostream& os, const mpsim::EventRecorder& rec,
+                         const EventLogMeta& meta) {
+  JsonWriter w(os);
+  write_events(w, rec, meta);
+  os << '\n';
+}
+
 // ----------------------------------------------------------------- mem --
 
 void write_mem(JsonWriter& w, const std::vector<mpsim::MemStats>& per_rank,

@@ -22,6 +22,13 @@
 //    byte accounts per MemTag from the Machine, the Section-4 analytic
 //    per-rank prediction, and (when a MemLedger observed the run) the
 //    (tag, phase, level, rank) attribution segments.
+//
+//  * write_events — the execution log ("pdt-events-v1"): the complete
+//    event-sourced history from an EventRecorder — every charge with its
+//    latency decomposition and phase/level stamp, every barrier/timeout
+//    with its member set, every collective annotation — plus the final
+//    per-rank clocks. `tools/pdt-replay` consumes this to re-execute the
+//    run under arbitrary cost models. Schema in DESIGN.md §8.
 #pragma once
 
 #include <cstdint>
@@ -103,5 +110,25 @@ void write_mem(JsonWriter& w, const std::vector<mpsim::MemStats>& per_rank,
                const mpsim::MemPredicted* predicted = nullptr,
                const MemLedger* ledger = nullptr,
                const PhaseProfiler* profiler = nullptr, int top_k = 10);
+
+/// Run description carried in the event log's `meta` object so offline
+/// replays can label surfaces and chart measured isoefficiency against
+/// the analytic model without re-deriving workload parameters.
+struct EventLogMeta {
+  std::string formulation;  ///< "sync" / "part" / "hybrid" / ...
+  std::string workload;     ///< e.g. "fig6"
+  std::int64_t n = 0;       ///< training records
+  int procs = 0;            ///< ranks in the recorded run
+  double iso_c = 0.0;       ///< core::isoefficiency_constant (0 = absent)
+};
+
+/// Emit the "pdt-events-v1" execution log as one JSON object value on
+/// `w` (composable into larger documents).
+void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
+                  const EventLogMeta& meta = {});
+
+/// Standalone file variant of write_events.
+void write_events_report(std::ostream& os, const mpsim::EventRecorder& rec,
+                         const EventLogMeta& meta = {});
 
 }  // namespace pdt::obs

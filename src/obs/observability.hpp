@@ -9,7 +9,10 @@
 // what you want when you mean it.
 #pragma once
 
+#include <memory>
+
 #include "mpsim/comm_ledger.hpp"
+#include "mpsim/event_log.hpp"
 #include "mpsim/machine.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/mem_ledger.hpp"
@@ -84,11 +87,29 @@ class Observability {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Turn on event-sourced execution logging: creates the owned
+  /// EventRecorder (idempotent) and wires the profiler's phase scopes
+  /// into it; the next attach() hands it to the machine. Call before the
+  /// run you want captured; serialize with obs::write_events afterwards.
+  mpsim::EventRecorder& enable_event_log() {
+    if (recorder_ == nullptr) {
+      recorder_ = std::make_unique<mpsim::EventRecorder>();
+      profiler_.set_event_sink(recorder_.get());
+    }
+    return *recorder_;
+  }
+  /// The owned recorder, or nullptr when event logging is off.
+  [[nodiscard]] const mpsim::EventRecorder* event_log() const {
+    return recorder_.get();
+  }
+
   /// Attach the profiler + critical-path tracer as the machine's charge
-  /// observer and the ledger as its communication ledger.
+  /// observer and the ledger as its communication ledger (plus the event
+  /// recorder when enable_event_log() was called).
   void attach(mpsim::Machine& m) {
     m.set_observer(&fanout_);
     m.set_comm_ledger(&ledger_);
+    if (recorder_ != nullptr) m.set_event_recorder(recorder_.get());
   }
 
  private:
@@ -98,6 +119,7 @@ class Observability {
   ObserverFanout fanout_;
   mpsim::CommLedger ledger_;
   MetricsRegistry metrics_;
+  std::unique_ptr<mpsim::EventRecorder> recorder_;
 };
 
 }  // namespace pdt::obs

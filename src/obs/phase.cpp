@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mpsim/event_log.hpp"
+
 namespace pdt::obs {
 
 namespace {
@@ -32,11 +34,13 @@ PhaseId PhaseProfiler::intern(std::string_view name) {
 
 void PhaseProfiler::open(std::string_view name) {
   stack_.push_back(intern(name));
+  if (sink_ != nullptr) sink_->open_phase(name);
 }
 
 void PhaseProfiler::close() {
   assert(!stack_.empty());
   stack_.pop_back();
+  if (sink_ != nullptr) sink_->close_phase();
 }
 
 int PhaseProfiler::set_level(int level) {

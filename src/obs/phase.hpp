@@ -20,6 +20,10 @@
 
 #include "mpsim/observer.hpp"
 
+namespace pdt::mpsim {
+class EventRecorder;
+}  // namespace pdt::mpsim
+
 namespace pdt::obs {
 
 /// Index into PhaseProfiler::phase_names(). 0 is always the implicit
@@ -88,6 +92,10 @@ class PhaseProfiler final : public mpsim::ChargeObserver {
   /// previous level so LevelScope can restore it.
   int set_level(int level);
 
+  /// Forward every open/close to an event recorder, so the execution log
+  /// carries the same phase attribution as the profiler. Not owned.
+  void set_event_sink(mpsim::EventRecorder* sink) { sink_ = sink; }
+
   [[nodiscard]] int current_level() const { return level_; }
   /// Innermost open phase (0 = unattributed).
   [[nodiscard]] PhaseId current_phase() const {
@@ -144,6 +152,7 @@ class PhaseProfiler final : public mpsim::ChargeObserver {
   [[nodiscard]] PhaseId intern(std::string_view name);
 
   ProfilerConfig cfg_;
+  mpsim::EventRecorder* sink_ = nullptr;
   std::vector<std::string> names_;
   std::vector<PhaseId> stack_;
   int level_ = kNoLevel;

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "diff/diff.hpp"
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 
 namespace pdt::tools {
 namespace {

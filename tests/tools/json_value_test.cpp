@@ -1,7 +1,7 @@
 // Tests for the pdt-report JSON reader: full-grammar parsing, insertion
 // order preservation, escape handling, and error reporting with byte
 // offsets.
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 
 #include <gtest/gtest.h>
 

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <string>
 
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 
 namespace pdt::tools {
 namespace {

@@ -1,0 +1,47 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pdt::tools {
+
+int usage(const CliSpec& spec) {
+  std::fputs(spec.usage, stderr);
+  return kExitUsage;
+}
+
+bool standard_flag(const CliSpec& spec, std::string_view arg,
+                   int* exit_code) {
+  if (arg == "-h" || arg == "--help") {
+    std::fputs(spec.usage, stdout);
+    *exit_code = kExitOk;
+    return true;
+  }
+  if (arg == "--version") {
+    std::printf("%s %s\n", spec.tool, kToolsVersion);
+    *exit_code = kExitOk;
+    return true;
+  }
+  return false;
+}
+
+bool load_json_file(const CliSpec& spec, const std::string& path,
+                    JsonValue* root) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "%s: cannot open %s\n", spec.tool, path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string error;
+  if (!json_parse(buf.str(), root, &error)) {
+    std::fprintf(stderr, "%s: %s: %s\n", spec.tool, path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pdt::tools

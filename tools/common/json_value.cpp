@@ -1,6 +1,7 @@
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace pdt::tools {
@@ -295,4 +296,33 @@ bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
   return p.parse(out);
 }
 
+std::string json_double_exact(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return std::string(buf);
+}
+
+std::string json_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace pdt::tools
+

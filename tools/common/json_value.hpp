@@ -89,4 +89,12 @@ class JsonValue {
 [[nodiscard]] bool json_parse(std::string_view text, JsonValue* out,
                               std::string* error = nullptr);
 
+/// Shortest decimal representation that strtod()s back to the identical
+/// double, so values written by the tools round-trip losslessly through
+/// this parser (non-finite values become "null" to stay valid JSON).
+[[nodiscard]] std::string json_double_exact(double v);
+
+/// Minimal JSON string escaping (quote, backslash, control characters).
+[[nodiscard]] std::string json_escaped(std::string_view s);
+
 }  // namespace pdt::tools

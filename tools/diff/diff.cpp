@@ -15,37 +15,6 @@ std::string fmt(double v, int decimals) {
   return std::string(buf);
 }
 
-/// Shortest representation that parses back to the identical double, so a
-/// baseline round-trips exactly and the default tolerance can stay at
-/// "virtually zero".
-std::string fmt_exact(double v) {
-  char buf[64];
-  for (const int prec : {15, 16, 17}) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return std::string(buf);
-}
-
-/// JSON string escaping for the few fields we write (harness names and
-/// formulations contain no exotic characters, but stay correct anyway).
-std::string escaped(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 bool same_tuple(const DiffEntry& a, const DiffEntry& b) {
   return a.harness == b.harness && a.workload == b.workload &&
          a.formulation == b.formulation && a.procs == b.procs;
@@ -125,12 +94,12 @@ void write_baseline(const std::vector<DiffEntry>& entries, std::ostream& os) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const DiffEntry& e = entries[i];
     os << (i == 0 ? "" : ",") << "\n    {\"harness\": \""
-       << escaped(e.harness) << "\", \"workload\": \"" << escaped(e.workload)
-       << "\", \"formulation\": \"" << escaped(e.formulation)
+       << json_escaped(e.harness) << "\", \"workload\": \"" << json_escaped(e.workload)
+       << "\", \"formulation\": \"" << json_escaped(e.formulation)
        << "\", \"procs\": " << e.procs
-       << ", \"time_us\": " << fmt_exact(e.time_us)
-       << ", \"speedup\": " << fmt_exact(e.speedup)
-       << ", \"efficiency\": " << fmt_exact(e.efficiency) << "}";
+       << ", \"time_us\": " << json_double_exact(e.time_us)
+       << ", \"speedup\": " << json_double_exact(e.speedup)
+       << ", \"efficiency\": " << json_double_exact(e.efficiency) << "}";
   }
   os << "\n  ]\n}\n";
 }

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 #include "report/report.hpp"
 
 namespace pdt::tools {

@@ -10,134 +10,127 @@
 //       speedup_series sections (optionally keeping only the listed
 //       processor counts), for committing next to the code.
 //
-// Exit codes: 0 ok, 1 regression/missing/IO error, 2 usage error.
+// Exit codes follow the suite convention in common/cli.hpp.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "diff/diff.hpp"
-#include "report/json_value.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: pdt-diff [--tol T] <baseline.json> <bench.json>...\n"
-               "       pdt-diff --extract [--procs P,P,...] [-o out.json] "
-               "<bench.json>...\n");
-  return 2;
-}
-
-bool load(const std::string& path, pdt::tools::ReportInput* out) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    std::fprintf(stderr, "pdt-diff: cannot open %s\n", path.c_str());
-    return false;
-  }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  out->name = path;
-  std::string error;
-  if (!pdt::tools::json_parse(buf.str(), &out->root, &error)) {
-    std::fprintf(stderr, "pdt-diff: %s: %s\n", path.c_str(), error.c_str());
-    return false;
-  }
-  return true;
-}
+constexpr pdt::tools::CliSpec kSpec = {
+    "pdt-diff",
+    "usage: pdt-diff [--tol T] <baseline.json> <bench.json>...\n"
+    "       pdt-diff --extract [--procs P,P,...] [-o out.json] "
+    "<bench.json>...\n"
+    "\n"
+    "Gate the bench reports' headline tuples against a committed\n"
+    "baseline (exit 1 on drift past T), or extract a fresh baseline.\n"
+    "\n"
+    "  --tol T       relative tolerance (default 1e-9)\n"
+    "  --procs P,..  keep only these processor counts when extracting\n"
+    "  -o out.json   write the extracted baseline to out.json\n"
+    "  -h, --help    show this help\n"
+    "  --version     print the tool-suite version\n",
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace pdt::tools;
   bool extract = false;
   double tol = 1e-9;
   std::string out_path;
   std::vector<std::int64_t> procs_filter;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--extract") == 0) {
+    const std::string_view arg = argv[i];
+    int code = kExitOk;
+    if (standard_flag(kSpec, arg, &code)) return code;
+    if (arg == "--extract") {
       extract = true;
-    } else if (std::strcmp(argv[i], "--tol") == 0) {
-      if (i + 1 >= argc) return usage();
+    } else if (arg == "--tol") {
+      if (i + 1 >= argc) return usage(kSpec);
       char* end = nullptr;
       tol = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || tol < 0.0) return usage();
-    } else if (std::strcmp(argv[i], "--procs") == 0) {
-      if (i + 1 >= argc) return usage();
+      if (end == argv[i] || *end != '\0' || tol < 0.0) return usage(kSpec);
+    } else if (arg == "--procs") {
+      if (i + 1 >= argc) return usage(kSpec);
       const char* s = argv[++i];
       while (*s != '\0') {
         char* end = nullptr;
         const long p = std::strtol(s, &end, 10);
-        if (end == s || p <= 0) return usage();
+        if (end == s || p <= 0) return usage(kSpec);
         procs_filter.push_back(p);
         s = end;
         if (*s == ',') ++s;
       }
-    } else if (std::strcmp(argv[i], "-o") == 0) {
-      if (i + 1 >= argc) return usage();
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) return usage(kSpec);
       out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "-h") == 0 ||
-               std::strcmp(argv[i], "--help") == 0) {
-      usage();
-      return 0;
     } else {
-      files.emplace_back(argv[i]);
+      files.emplace_back(arg);
     }
   }
 
   if (extract) {
-    if (files.empty()) return usage();
-    std::vector<pdt::tools::ReportInput> inputs;
+    if (files.empty()) return usage(kSpec);
+    std::vector<ReportInput> inputs;
     for (const std::string& path : files) {
-      pdt::tools::ReportInput in;
-      if (!load(path, &in)) return 1;
+      ReportInput in;
+      in.name = path;
+      if (!load_json_file(kSpec, path, &in.root)) return kExitUsage;
       inputs.push_back(std::move(in));
     }
-    const std::vector<pdt::tools::DiffEntry> entries =
-        pdt::tools::extract_entries(inputs, procs_filter);
+    const std::vector<DiffEntry> entries =
+        extract_entries(inputs, procs_filter);
     if (entries.empty()) {
       std::fprintf(stderr,
                    "pdt-diff: no speedup_series points found to extract\n");
-      return 1;
+      return kExitFail;
     }
     if (out_path.empty()) {
-      pdt::tools::write_baseline(entries, std::cout);
+      write_baseline(entries, std::cout);
     } else {
       std::ofstream os(out_path, std::ios::binary);
       if (!os) {
         std::fprintf(stderr, "pdt-diff: cannot write %s\n", out_path.c_str());
-        return 1;
+        return kExitFail;
       }
-      pdt::tools::write_baseline(entries, os);
+      write_baseline(entries, os);
       std::fprintf(stderr, "pdt-diff: wrote %zu tuples to %s\n",
                    entries.size(), out_path.c_str());
     }
-    return 0;
+    return kExitOk;
   }
 
-  if (files.size() < 2) return usage();
-  pdt::tools::ReportInput base_in;
-  if (!load(files[0], &base_in)) return 1;
-  std::vector<pdt::tools::DiffEntry> baseline;
+  if (files.size() < 2) return usage(kSpec);
+  ReportInput base_in;
+  base_in.name = files[0];
+  if (!load_json_file(kSpec, files[0], &base_in.root)) return kExitUsage;
+  std::vector<DiffEntry> baseline;
   std::string error;
-  if (!pdt::tools::parse_baseline(base_in.root, &baseline, &error)) {
+  if (!parse_baseline(base_in.root, &baseline, &error)) {
     std::fprintf(stderr, "pdt-diff: %s: %s\n", files[0].c_str(),
                  error.c_str());
-    return 1;
+    return kExitUsage;
   }
-  std::vector<pdt::tools::ReportInput> inputs;
+  std::vector<ReportInput> inputs;
   for (std::size_t i = 1; i < files.size(); ++i) {
-    pdt::tools::ReportInput in;
-    if (!load(files[i], &in)) return 1;
+    ReportInput in;
+    in.name = files[i];
+    if (!load_json_file(kSpec, files[i], &in.root)) return kExitUsage;
     inputs.push_back(std::move(in));
   }
-  const std::vector<pdt::tools::DiffEntry> current =
-      pdt::tools::extract_entries(inputs, {});
-  pdt::tools::DiffOptions opt;
+  const std::vector<DiffEntry> current = extract_entries(inputs, {});
+  DiffOptions opt;
   opt.tol = tol;
-  return pdt::tools::run_diff(baseline, current, opt, std::cout) == 0 ? 0 : 1;
+  return run_diff(baseline, current, opt, std::cout) == 0 ? kExitOk
+                                                          : kExitFail;
 }

@@ -1,0 +1,628 @@
+#include "replay/replay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace pdt::tools {
+
+namespace {
+
+int ceil_log2_int(int p) {
+  int bits = 0;
+  for (int v = 1; v < p; v <<= 1) ++bits;
+  return bits;
+}
+
+/// Rescale factor for one constant. recorded == target yields exactly
+/// 1.0 so the identity replay multiplies every charge by 1.0 — an IEEE
+/// no-op that keeps the clocks bit-exact. A recorded 0 with a nonzero
+/// target is unscalable: the log carries no term proportional to that
+/// constant, so the factor stays 1 and the caller is flagged.
+double ratio(double recorded, double target, bool* unscalable) {
+  if (recorded == target) return 1.0;
+  if (recorded == 0.0) {
+    *unscalable = true;
+    return 1.0;
+  }
+  return target / recorded;
+}
+
+}  // namespace
+
+bool ReplayCost::set(std::string_view key, double v) {
+  if (key == "t_s") {
+    t_s = v;
+  } else if (key == "t_w") {
+    t_w = v;
+  } else if (key == "t_c") {
+    t_c = v;
+  } else if (key == "t_io") {
+    t_io = v;
+  } else if (key == "t_timeout") {
+    t_timeout = v;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_event_log(const JsonValue& root, EventLog* out,
+                     std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (root.get("schema").as_string() != "pdt-events-v1") {
+    return fail("schema is not pdt-events-v1 (got \"" +
+                root.get("schema").as_string() + "\")");
+  }
+  out->nprocs = static_cast<int>(root.get("nprocs").as_int());
+  if (out->nprocs < 1) return fail("nprocs must be >= 1");
+
+  const JsonValue& cm = root.get("cost_model");
+  out->cost.t_s = cm.get("t_s").as_double();
+  out->cost.t_w = cm.get("t_w").as_double();
+  out->cost.t_c = cm.get("t_c").as_double();
+  out->cost.t_io = cm.get("t_io").as_double();
+  out->cost.t_timeout = cm.get("t_timeout").as_double();
+
+  const JsonValue& meta = root.get("meta");
+  out->formulation = meta.get("formulation").as_string();
+  out->workload = meta.get("workload").as_string();
+  out->n = meta.get("n").as_double();
+  out->iso_c = meta.get("iso_c").as_double();
+
+  out->phases.clear();
+  for (const JsonValue& p : root.get("phases").array()) {
+    out->phases.push_back(p.as_string());
+  }
+
+  const auto rank_ok = [out](int r) { return r >= 0 && r < out->nprocs; };
+  const auto parse_members = [&](const JsonValue& arr,
+                                 std::vector<int>* members) {
+    if (!arr.is_array()) return false;
+    for (const JsonValue& m : arr.array()) {
+      const int r = static_cast<int>(m.as_int(-1));
+      if (!rank_ok(r)) return false;
+      members->push_back(r);
+    }
+    return true;
+  };
+
+  out->events.clear();
+  const JsonValue& events = root.get("events");
+  if (!events.is_array()) return fail("events is not an array");
+  out->events.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    const std::string& tag = e.at(0).as_string();
+    ReplayEvent ev;
+    bool ok = true;
+    if (tag == "cp" || tag == "io") {
+      ev.tag = tag == "cp" ? ReplayEvent::Tag::Compute : ReplayEvent::Tag::Io;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ev.dt = e.at(2).as_double();
+      ev.phase = static_cast<int>(e.at(3).as_int());
+      ev.level = static_cast<int>(e.at(4).as_int(-1));
+      ok = rank_ok(ev.rank);
+    } else if (tag == "cm") {
+      ev.tag = ReplayEvent::Tag::Comm;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ev.dt = e.at(2).as_double();
+      ev.lat = e.at(3).as_double();
+      ev.words_sent = e.at(4).as_double();
+      ev.words_received = e.at(5).as_double();
+      ev.messages = static_cast<std::uint64_t>(e.at(6).as_int());
+      ev.phase = static_cast<int>(e.at(7).as_int());
+      ev.level = static_cast<int>(e.at(8).as_int(-1));
+      ok = rank_ok(ev.rank);
+    } else if (tag == "b") {
+      ev.tag = ReplayEvent::Tag::Barrier;
+      ev.label = e.at(1).as_string();
+      ok = parse_members(e.at(2), &ev.members);
+    } else if (tag == "to") {
+      ev.tag = ReplayEvent::Tag::Timeout;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ok = rank_ok(ev.rank) && parse_members(e.at(2), &ev.members);
+    } else if (tag == "w") {
+      ev.tag = ReplayEvent::Tag::Wait;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ev.until = e.at(2).as_double();
+      ok = rank_ok(ev.rank);
+    } else if (tag == "wf") {
+      ev.tag = ReplayEvent::Tag::WaitFor;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ev.peer = static_cast<int>(e.at(2).as_int(-1));
+      ok = rank_ok(ev.rank) && rank_ok(ev.peer);
+    } else if (tag == "g") {
+      ev.tag = ReplayEvent::Tag::Collective;
+      ev.label = e.at(1).as_string();
+      ev.words = e.at(2).as_double();
+      ev.dim = static_cast<int>(e.at(3).as_int());
+      ok = parse_members(e.at(4), &ev.members);
+    } else {
+      return fail("event " + std::to_string(i) + ": unknown tag \"" + tag +
+                  "\"");
+    }
+    if (!ok) {
+      return fail("event " + std::to_string(i) + " (\"" + tag +
+                  "\"): malformed or rank out of range");
+    }
+    out->events.push_back(std::move(ev));
+  }
+
+  const JsonValue& fin = root.get("final");
+  out->recorded_max_clock = fin.get("max_clock_us").as_double();
+  out->recorded_clocks.clear();
+  for (const JsonValue& c : fin.get("clocks").array()) {
+    out->recorded_clocks.push_back(c.as_double());
+  }
+  if (out->recorded_clocks.size() !=
+      static_cast<std::size_t>(out->nprocs)) {
+    return fail("final.clocks has " +
+                std::to_string(out->recorded_clocks.size()) +
+                " entries, expected nprocs = " + std::to_string(out->nprocs));
+  }
+  return true;
+}
+
+ReplayResult replay_log(const EventLog& log, const ReplayCost& target,
+                        bool with_blame) {
+  ReplayResult res;
+  res.clocks.assign(static_cast<std::size_t>(log.nprocs), 0.0);
+  std::vector<int> last_phase(static_cast<std::size_t>(log.nprocs), 0);
+  std::vector<int> last_level(static_cast<std::size_t>(log.nprocs), -1);
+
+  const double rs = ratio(log.cost.t_s, target.t_s, &res.unscalable);
+  const double rw = ratio(log.cost.t_w, target.t_w, &res.unscalable);
+  const double rc = ratio(log.cost.t_c, target.t_c, &res.unscalable);
+  const double rio = ratio(log.cost.t_io, target.t_io, &res.unscalable);
+
+  // (idler, idler_level, holder, holder_phase) -> accumulated idle.
+  std::map<std::array<int, 4>, double> acc;
+  const auto blame = [&](int idler, int holder, int holder_phase,
+                         double idle) {
+    if (!with_blame || idle <= 0.0) return;
+    acc[{idler, last_level[static_cast<std::size_t>(idler)], holder,
+         holder_phase}] += idle;
+  };
+  const auto clock = [&res](int r) -> double& {
+    return res.clocks[static_cast<std::size_t>(r)];
+  };
+
+  for (const ReplayEvent& e : log.events) {
+    switch (e.tag) {
+      case ReplayEvent::Tag::Compute:
+      case ReplayEvent::Tag::Io:
+      case ReplayEvent::Tag::Comm: {
+        double dt;
+        if (e.tag == ReplayEvent::Tag::Compute) {
+          dt = e.dt * rc;
+        } else if (e.tag == ReplayEvent::Tag::Io) {
+          dt = e.dt * rio;
+        } else if (rs == rw) {
+          // One factor for the whole charge. The split form below is
+          // mathematically equal but NOT bit-identical (lat + (dt - lat)
+          // need not round back to dt), so the identity path must take
+          // this branch.
+          dt = e.dt * rs;
+        } else {
+          dt = e.lat * rs + (e.dt - e.lat) * rw;
+        }
+        clock(e.rank) += dt;
+        res.busy_total += dt;
+        last_phase[static_cast<std::size_t>(e.rank)] = e.phase;
+        last_level[static_cast<std::size_t>(e.rank)] = e.level;
+        break;
+      }
+      case ReplayEvent::Tag::Barrier: {
+        double horizon = 0.0;
+        for (const int r : e.members) horizon = std::max(horizon, clock(r));
+        int holder = e.members.empty() ? 0 : e.members.front();
+        for (const int r : e.members) {
+          if (clock(r) == horizon) {
+            holder = r;
+            break;
+          }
+        }
+        for (const int r : e.members) {
+          if (r != holder) {
+            blame(r, holder, last_phase[static_cast<std::size_t>(holder)],
+                  horizon - clock(r));
+          }
+          if (clock(r) < horizon) clock(r) = horizon;
+        }
+        break;
+      }
+      case ReplayEvent::Tag::Timeout: {
+        double horizon = 0.0;
+        for (const int r : e.members) horizon = std::max(horizon, clock(r));
+        const double deadline = horizon + target.t_timeout;
+        for (const int r : e.members) {
+          blame(r, e.rank, -1, deadline - clock(r));
+          if (clock(r) < deadline) clock(r) = deadline;
+        }
+        break;
+      }
+      case ReplayEvent::Tag::Wait:
+        // Absolute-time wait: the recorded target is not rescaled (no
+        // remaining call site uses one on the hot paths — see DESIGN §8).
+        if (clock(e.rank) < e.until) clock(e.rank) = e.until;
+        break;
+      case ReplayEvent::Tag::WaitFor: {
+        const double t = clock(e.peer);
+        blame(e.rank, e.peer, last_phase[static_cast<std::size_t>(e.peer)],
+              t - clock(e.rank));
+        if (clock(e.rank) < t) clock(e.rank) = t;
+        break;
+      }
+      case ReplayEvent::Tag::Collective:
+        break;  // annotation only
+    }
+  }
+
+  for (const double c : res.clocks) res.max_clock = std::max(res.max_clock, c);
+
+  if (with_blame) {
+    res.blame.reserve(acc.size());
+    for (const auto& [key, idle] : acc) {
+      ReplayBlameEdge edge;
+      edge.idler = key[0];
+      edge.idler_level = key[1];
+      edge.holder = key[2];
+      edge.holder_phase = key[3];
+      edge.idle_us = idle;
+      const double total = clock(edge.idler);
+      edge.idle_pct = total > 0.0 ? 100.0 * idle / total : 0.0;
+      res.blame.push_back(edge);
+    }
+    std::sort(res.blame.begin(), res.blame.end(),
+              [](const ReplayBlameEdge& a, const ReplayBlameEdge& b) {
+                if (a.idle_us != b.idle_us) return a.idle_us > b.idle_us;
+                if (a.idler != b.idler) return a.idler < b.idler;
+                if (a.holder != b.holder) return a.holder < b.holder;
+                if (a.idler_level != b.idler_level) {
+                  return a.idler_level < b.idler_level;
+                }
+                return a.holder_phase < b.holder_phase;
+              });
+  }
+  return res;
+}
+
+bool parse_sweep_spec(std::string_view spec, std::vector<SweepAxis>* out,
+                      std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view part = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail("sweep axis \"" + std::string(part) + "\" is not KEY=...");
+    }
+    SweepAxis axis;
+    axis.key = std::string(part.substr(0, eq));
+    {
+      ReplayCost probe;
+      if (!probe.set(axis.key, 0.0)) {
+        return fail("unknown cost constant \"" + axis.key + "\"");
+      }
+    }
+    const std::string range(part.substr(eq + 1));
+    char* end = nullptr;
+    axis.lo = std::strtod(range.c_str(), &end);
+    if (end == range.c_str()) {
+      return fail("sweep axis \"" + axis.key + "\": bad LO value");
+    }
+    if (*end == '\0') {
+      axis.hi = axis.lo;  // single-point axis: KEY=V
+      axis.step = 1.0;
+    } else {
+      if (*end != ':') return fail("sweep axis \"" + axis.key + "\": expected LO:HI:STEP");
+      const char* s = end + 1;
+      axis.hi = std::strtod(s, &end);
+      if (end == s || *end != ':') {
+        return fail("sweep axis \"" + axis.key + "\": expected LO:HI:STEP");
+      }
+      s = end + 1;
+      axis.step = std::strtod(s, &end);
+      if (end == s || *end != '\0' || axis.step <= 0.0 || axis.hi < axis.lo) {
+        return fail("sweep axis \"" + axis.key + "\": expected LO:HI:STEP with STEP > 0, HI >= LO");
+      }
+    }
+    out->push_back(std::move(axis));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (out->empty()) return fail("empty sweep spec");
+  return true;
+}
+
+namespace {
+
+/// Axis sample count (inclusive of LO; HI included within fp slack).
+int axis_steps(const SweepAxis& a) {
+  return 1 + static_cast<int>(std::floor((a.hi - a.lo) / a.step + 1e-9));
+}
+
+void write_cost_fields(std::ostream& os, const ReplayCost& c) {
+  os << "\"t_s\": " << json_double_exact(c.t_s)
+     << ", \"t_w\": " << json_double_exact(c.t_w)
+     << ", \"t_c\": " << json_double_exact(c.t_c)
+     << ", \"t_io\": " << json_double_exact(c.t_io)
+     << ", \"t_timeout\": " << json_double_exact(c.t_timeout);
+}
+
+void write_blame(std::ostream& os, const std::vector<ReplayBlameEdge>& blame,
+                 const std::vector<std::string>& phases, int top,
+                 const char* indent) {
+  os << "[";
+  const std::size_t n =
+      top >= 0 ? std::min(blame.size(), static_cast<std::size_t>(top))
+               : blame.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ReplayBlameEdge& b = blame[i];
+    const std::string phase =
+        b.holder_phase < 0
+            ? "(rank failure)"
+            : (static_cast<std::size_t>(b.holder_phase) < phases.size()
+                   ? phases[static_cast<std::size_t>(b.holder_phase)]
+                   : "phase" + std::to_string(b.holder_phase));
+    os << (i == 0 ? "" : ",") << "\n" << indent << "{\"idler\": " << b.idler
+       << ", \"idler_level\": " << b.idler_level
+       << ", \"holder\": " << b.holder << ", \"holder_phase\": \""
+       << json_escaped(phase) << "\", \"idle_us\": "
+       << json_double_exact(b.idle_us)
+       << ", \"idle_pct\": " << json_double_exact(b.idle_pct) << "}";
+  }
+  if (n == 0) {
+    os << "]";
+  } else {
+    os << "\n" << indent << "]";
+  }
+}
+
+}  // namespace
+
+int run_replay(const std::vector<EventLog>& logs, const ReplayOptions& opt,
+               std::ostream& os) {
+  // The subject of replay/sweep is the first parallel log; P=1 logs are
+  // serial references for speedup/efficiency (matched on meta.n).
+  const EventLog* main_log = nullptr;
+  std::map<double, const EventLog*> serial_by_n;
+  for (const EventLog& log : logs) {
+    if (log.nprocs == 1) {
+      if (serial_by_n.find(log.n) == serial_by_n.end()) {
+        serial_by_n[log.n] = &log;
+      }
+    } else if (main_log == nullptr) {
+      main_log = &log;
+    }
+  }
+  if (main_log == nullptr && !logs.empty()) main_log = &logs[0];
+
+  const auto target_for = [&opt](const EventLog& log) {
+    ReplayCost t = log.cost;
+    for (const auto& [key, v] : opt.overrides) t.set(key, v);
+    return t;
+  };
+
+  bool check_ok = true;
+  os << "{\n  \"schema\": \"pdt-replay-v1\",\n";
+  os << "  \"inputs\": [";
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    const EventLog& log = logs[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+       << json_escaped(log.name) << "\", \"formulation\": \""
+       << json_escaped(log.formulation) << "\", \"workload\": \""
+       << json_escaped(log.workload) << "\", \"n\": "
+       << json_double_exact(log.n) << ", \"procs\": " << log.nprocs
+       << ", \"events\": " << log.events.size() << "}";
+  }
+  os << "\n  ]";
+
+  if (opt.check) {
+    os << ",\n  \"check\": {\"logs\": [";
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      const EventLog& log = logs[i];
+      const ReplayResult r = replay_log(log, log.cost);
+      bool ok = r.max_clock == log.recorded_max_clock;
+      os << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+         << json_escaped(log.name)
+         << "\", \"max_clock_us\": " << json_double_exact(r.max_clock)
+         << ", \"recorded_max_clock_us\": "
+         << json_double_exact(log.recorded_max_clock)
+         << ", \"mismatches\": [";
+      bool first = true;
+      for (int rank = 0; rank < log.nprocs; ++rank) {
+        const double got = r.clocks[static_cast<std::size_t>(rank)];
+        const double want =
+            log.recorded_clocks[static_cast<std::size_t>(rank)];
+        if (got == want) continue;
+        ok = false;
+        os << (first ? "" : ", ") << "{\"rank\": " << rank
+           << ", \"replayed_us\": " << json_double_exact(got)
+           << ", \"recorded_us\": " << json_double_exact(want) << "}";
+        first = false;
+      }
+      os << "], \"ok\": " << (ok ? "true" : "false") << "}";
+      if (!ok) check_ok = false;
+    }
+    os << "\n  ], \"ok\": " << (check_ok ? "true" : "false") << "}";
+  }
+
+  if (main_log != nullptr) {
+    const ReplayCost target = target_for(*main_log);
+    const ReplayResult r = replay_log(*main_log, target, true);
+    os << ",\n  \"replay\": {\n    \"name\": \""
+       << json_escaped(main_log->name) << "\",\n    \"cost_model\": {";
+    write_cost_fields(os, target);
+    os << "},\n    \"max_clock_us\": " << json_double_exact(r.max_clock)
+       << ",\n    \"recorded_max_clock_us\": "
+       << json_double_exact(main_log->recorded_max_clock)
+       << ",\n    \"busy_total_us\": " << json_double_exact(r.busy_total)
+       << ",\n    \"unscalable\": " << (r.unscalable ? "true" : "false")
+       << ",\n    \"clocks\": [";
+    for (std::size_t i = 0; i < r.clocks.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << json_double_exact(r.clocks[i]);
+    }
+    os << "],\n    \"blame\": ";
+    write_blame(os, r.blame, main_log->phases, opt.blame_top, "      ");
+    os << "\n  }";
+  }
+
+  if (!opt.sweep.empty() && main_log != nullptr) {
+    const EventLog* serial = nullptr;
+    if (const auto it = serial_by_n.find(main_log->n);
+        it != serial_by_n.end()) {
+      serial = it->second;
+    } else if (!serial_by_n.empty()) {
+      serial = serial_by_n.begin()->second;
+    }
+    os << ",\n  \"sweep\": {\n    \"axes\": [";
+    for (std::size_t i = 0; i < opt.sweep.size(); ++i) {
+      const SweepAxis& a = opt.sweep[i];
+      os << (i == 0 ? "" : ", ") << "{\"key\": \"" << json_escaped(a.key)
+         << "\", \"lo\": " << json_double_exact(a.lo)
+         << ", \"hi\": " << json_double_exact(a.hi)
+         << ", \"step\": " << json_double_exact(a.step) << "}";
+    }
+    os << "],\n    \"serial_reference\": \""
+       << json_escaped(serial != nullptr ? serial->name : "busy-sum")
+       << "\",\n    \"procs\": " << main_log->nprocs
+       << ",\n    \"points\": [";
+
+    std::vector<int> idx(opt.sweep.size(), 0);
+    bool first = true;
+    bool done = false;
+    while (!done) {
+      ReplayCost cost = target_for(*main_log);
+      for (std::size_t a = 0; a < opt.sweep.size(); ++a) {
+        cost.set(opt.sweep[a].key,
+                 opt.sweep[a].lo + idx[a] * opt.sweep[a].step);
+      }
+      const ReplayResult r = replay_log(*main_log, cost);
+      const double serial_us =
+          serial != nullptr ? replay_log(*serial, cost).max_clock
+                            : r.busy_total;
+      const double speedup = r.max_clock > 0.0 ? serial_us / r.max_clock : 0.0;
+      const double efficiency = speedup / main_log->nprocs;
+      os << (first ? "" : ",") << "\n      {";
+      for (std::size_t a = 0; a < opt.sweep.size(); ++a) {
+        os << "\"" << json_escaped(opt.sweep[a].key) << "\": "
+           << json_double_exact(opt.sweep[a].lo + idx[a] * opt.sweep[a].step)
+           << ", ";
+      }
+      os << "\"max_clock_us\": " << json_double_exact(r.max_clock)
+         << ", \"serial_us\": " << json_double_exact(serial_us)
+         << ", \"speedup\": " << json_double_exact(speedup)
+         << ", \"efficiency\": " << json_double_exact(efficiency) << "}";
+      first = false;
+
+      // Odometer increment over the axis grid.
+      std::size_t a = 0;
+      for (; a < opt.sweep.size(); ++a) {
+        if (++idx[a] < axis_steps(opt.sweep[a])) break;
+        idx[a] = 0;
+      }
+      done = a == opt.sweep.size();
+    }
+    os << "\n    ]\n  }";
+  }
+
+  if (opt.iso) {
+    const double E = opt.iso_efficiency;
+    // Serial reference times by recorded n, under the same overrides.
+    std::map<double, double> serial_time;
+    for (const auto& [n, log] : serial_by_n) {
+      serial_time[n] = replay_log(*log, target_for(*log)).max_clock;
+    }
+    // Measured efficiency grid: procs -> sorted (n, efficiency).
+    struct GridPoint {
+      double n = 0.0;
+      double efficiency = 0.0;
+      double max_clock = 0.0;
+      bool busy_estimate = false;
+    };
+    std::map<int, std::vector<GridPoint>> by_p;
+    double iso_c = 0.0;
+    for (const EventLog& log : logs) {
+      if (log.nprocs <= 1) continue;
+      if (iso_c == 0.0) iso_c = log.iso_c;
+      const ReplayResult r = replay_log(log, target_for(log));
+      GridPoint pt;
+      pt.n = log.n;
+      pt.max_clock = r.max_clock;
+      const auto it = serial_time.find(log.n);
+      const double serial_us =
+          it != serial_time.end() ? it->second : r.busy_total;
+      pt.busy_estimate = it == serial_time.end();
+      pt.efficiency = r.max_clock > 0.0
+                          ? serial_us / (log.nprocs * r.max_clock)
+                          : 0.0;
+      by_p[log.nprocs].push_back(pt);
+    }
+    os << ",\n  \"iso\": {\n    \"efficiency\": " << json_double_exact(E)
+       << ",\n    \"iso_c\": " << json_double_exact(iso_c)
+       << ",\n    \"points\": [";
+    bool first = true;
+    for (auto& [p, grid] : by_p) {
+      std::sort(grid.begin(), grid.end(),
+                [](const GridPoint& a, const GridPoint& b) { return a.n < b.n; });
+      // Efficiency grows with n: find the bracketing pair around the
+      // target and interpolate the measured isoefficiency point.
+      double measured = 0.0;
+      bool bracketed = false;
+      std::size_t k = 0;
+      while (k < grid.size() && grid[k].efficiency < E) ++k;
+      if (k == 0) {
+        measured = grid.empty() ? 0.0 : grid.front().n;
+      } else if (k == grid.size()) {
+        measured = grid.back().n;
+      } else {
+        const GridPoint& a = grid[k - 1];
+        const GridPoint& b = grid[k];
+        const double span = b.efficiency - a.efficiency;
+        measured = span > 0.0
+                       ? a.n + (E - a.efficiency) * (b.n - a.n) / span
+                       : b.n;
+        bracketed = true;
+      }
+      const double analytic =
+          E < 1.0 ? E / (1.0 - E) * iso_c * p * ceil_log2_int(p) : 0.0;
+      os << (first ? "" : ",") << "\n      {\"procs\": " << p
+         << ", \"measured_n\": " << json_double_exact(measured)
+         << ", \"analytic_n\": " << json_double_exact(analytic)
+         << ", \"error_pct\": "
+         << json_double_exact(analytic > 0.0
+                                  ? 100.0 * (measured - analytic) / analytic
+                                  : 0.0)
+         << ", \"bracketed\": " << (bracketed ? "true" : "false")
+         << ", \"grid\": [";
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "{\"n\": "
+           << json_double_exact(grid[i].n) << ", \"efficiency\": "
+           << json_double_exact(grid[i].efficiency) << ", \"max_clock_us\": "
+           << json_double_exact(grid[i].max_clock) << ", \"busy_estimate\": "
+           << (grid[i].busy_estimate ? "true" : "false") << "}";
+      }
+      os << "]}";
+      first = false;
+    }
+    os << "\n    ]\n  }";
+  }
+
+  os << "\n}\n";
+  return check_ok ? 0 : 1;
+}
+
+}  // namespace pdt::tools

@@ -1,78 +1,70 @@
 // pdt-report — render pdtree JSON reports as markdown.
 //
-//   pdt-report [-o out.md] <report.json>...
-//
 // Accepts pdt-bench-v1 envelopes (what the bench binaries write) and bare
-// pdt-metrics-v1 / pdt-comm-v1 objects. Output is deterministic: the same
-// inputs always produce byte-identical markdown. Exits non-zero on
-// unreadable or unparseable input, or on an unrecognized schema.
+// pdt-metrics-v1 / pdt-comm-v1 / pdt-mem-v1 / pdt-replay-v1 objects.
+// Output is deterministic: the same inputs always produce byte-identical
+// markdown. Exit codes follow the suite convention in common/cli.hpp.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "report/json_value.hpp"
+#include "common/cli.hpp"
 #include "report/report.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr, "usage: pdt-report [-o out.md] <report.json>...\n");
-  return 2;
-}
+constexpr pdt::tools::CliSpec kSpec = {
+    "pdt-report",
+    "usage: pdt-report [-o out.md] <report.json>...\n"
+    "\n"
+    "Render pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / pdt-mem-v1 /\n"
+    "pdt-replay-v1 JSON reports as deterministic markdown.\n"
+    "\n"
+    "  -o out.md    write to out.md instead of stdout\n"
+    "  -h, --help   show this help\n"
+    "  --version    print the tool-suite version\n",
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace pdt::tools;
   std::string out_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-o") == 0) {
-      if (i + 1 >= argc) return usage();
+    const std::string_view arg = argv[i];
+    int code = kExitOk;
+    if (standard_flag(kSpec, arg, &code)) return code;
+    if (arg == "-o") {
+      if (i + 1 >= argc) return usage(kSpec);
       out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "-h") == 0 ||
-               std::strcmp(argv[i], "--help") == 0) {
-      usage();
-      return 0;
     } else {
-      files.emplace_back(argv[i]);
+      files.emplace_back(arg);
     }
   }
-  if (files.empty()) return usage();
+  if (files.empty()) return usage(kSpec);
 
-  std::vector<pdt::tools::ReportInput> inputs;
+  std::vector<ReportInput> inputs;
   for (const std::string& path : files) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-      std::fprintf(stderr, "pdt-report: cannot open %s\n", path.c_str());
-      return 1;
-    }
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    pdt::tools::ReportInput in;
+    ReportInput in;
     in.name = path;
-    std::string error;
-    if (!pdt::tools::json_parse(buf.str(), &in.root, &error)) {
-      std::fprintf(stderr, "pdt-report: %s: %s\n", path.c_str(),
-                   error.c_str());
-      return 1;
-    }
+    if (!load_json_file(kSpec, path, &in.root)) return kExitUsage;
     inputs.push_back(std::move(in));
   }
 
   bool ok = false;
   if (out_path.empty()) {
-    ok = pdt::tools::render_report(inputs, std::cout);
+    ok = render_report(inputs, std::cout);
   } else {
     std::ofstream os(out_path, std::ios::binary);
     if (!os) {
       std::fprintf(stderr, "pdt-report: cannot write %s\n", out_path.c_str());
-      return 1;
+      return kExitFail;
     }
-    ok = pdt::tools::render_report(inputs, os);
+    ok = render_report(inputs, os);
   }
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitFail;
 }

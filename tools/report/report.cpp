@@ -457,6 +457,147 @@ void render_speedup_tables(const JsonValue& sections, std::ostream& os) {
   }
 }
 
+// -------------------------------------------------------------- replay --
+
+void render_blame_table(const JsonValue& blame, std::ostream& os) {
+  if (blame.size() == 0) return;
+  os << "#### Wait-for blame (top " << blame.size() << " edges)\n\n";
+  os << "| idler | level | waits on | holder phase | idle_us | idle % |\n";
+  os << "|---:|---:|---:|---|---:|---:|\n";
+  for (const JsonValue& b : blame.array()) {
+    os << "| " << b.get("idler").as_int() << " | "
+       << b.get("idler_level").as_int() << " | " << b.get("holder").as_int()
+       << " | " << b.get("holder_phase").as_string() << " | "
+       << fmt_us(b.get("idle_us").as_double()) << " | "
+       << fmt(b.get("idle_pct").as_double(), 1) << " |\n";
+  }
+  os << "\n";
+}
+
+void render_replay(const ReportInput& in, std::ostream& os) {
+  const JsonValue& root = in.root;
+  os << "# Replay report: `" << in.name << "`\n\n";
+
+  const JsonValue& inputs = root.get("inputs");
+  if (inputs.size() > 0) {
+    os << "#### Replayed logs\n\n";
+    os << "| log | formulation | workload | n | procs | events |\n";
+    os << "|---|---|---|---:|---:|---:|\n";
+    for (const JsonValue& l : inputs.array()) {
+      os << "| `" << l.get("name").as_string() << "` | "
+         << l.get("formulation").as_string() << " | "
+         << l.get("workload").as_string() << " | "
+         << fmt_int(l.get("n").as_double()) << " | "
+         << l.get("procs").as_int() << " | " << l.get("events").as_int()
+         << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& check = root.get("check");
+  if (!check.is_null()) {
+    const bool ok = check.get("ok").as_bool();
+    os << "#### Replay identity check — "
+       << (ok ? "**PASS**" : "**FAIL**")
+       << " (every per-rank clock bit-exact)\n\n";
+    os << "| log | replayed max_clock_us | recorded max_clock_us | "
+          "mismatched ranks |\n";
+    os << "|---|---:|---:|---:|\n";
+    for (const JsonValue& l : check.get("logs").array()) {
+      os << "| `" << l.get("name").as_string() << "` | "
+         << fmt_us(l.get("max_clock_us").as_double()) << " | "
+         << fmt_us(l.get("recorded_max_clock_us").as_double()) << " | "
+         << l.get("mismatches").size() << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& replay = root.get("replay");
+  if (!replay.is_null()) {
+    const JsonValue& cm = replay.get("cost_model");
+    os << "#### What-if replay of `" << replay.get("name").as_string()
+       << "`\n\n";
+    os << "- cost model: t_s=" << fmt(cm.get("t_s").as_double(), 2)
+       << "us, t_w=" << fmt(cm.get("t_w").as_double(), 3)
+       << "us/word, t_c=" << fmt(cm.get("t_c").as_double(), 3)
+       << "us, t_io=" << fmt(cm.get("t_io").as_double(), 3)
+       << "us/word, t_timeout=" << fmt(cm.get("t_timeout").as_double(), 0)
+       << "us\n";
+    os << "- replayed runtime: "
+       << fmt_us(replay.get("max_clock_us").as_double()) << " us (recorded "
+       << fmt_us(replay.get("recorded_max_clock_us").as_double())
+       << " us)\n";
+    if (replay.get("unscalable").as_bool()) {
+      os << "- **note:** some overridden constants were 0 in the recorded "
+            "run; those charges could not be rescaled\n";
+    }
+    os << "\n";
+    render_blame_table(replay.get("blame"), os);
+  }
+
+  const JsonValue& sweep = root.get("sweep");
+  if (!sweep.is_null()) {
+    std::vector<std::string> axes;
+    for (const JsonValue& a : sweep.get("axes").array()) {
+      axes.push_back(a.get("key").as_string());
+    }
+    os << "#### Cost-model sweep — P=" << sweep.get("procs").as_int()
+       << ", serial reference `"
+       << sweep.get("serial_reference").as_string() << "`\n\n";
+    os << "|";
+    for (const std::string& k : axes) os << " " << k << " |";
+    os << " max_clock_us | serial_us | speedup | efficiency |\n|";
+    for (std::size_t i = 0; i < axes.size(); ++i) os << "---:|";
+    os << "---:|---:|---:|---:|\n";
+    for (const JsonValue& pt : sweep.get("points").array()) {
+      os << "|";
+      for (const std::string& k : axes) {
+        os << " " << fmt(pt.get(k).as_double(), 3) << " |";
+      }
+      os << " " << fmt_us(pt.get("max_clock_us").as_double()) << " | "
+         << fmt_us(pt.get("serial_us").as_double()) << " | "
+         << fmt(pt.get("speedup").as_double(), 2) << " | "
+         << fmt(pt.get("efficiency").as_double(), 3) << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& iso = root.get("iso");
+  if (!iso.is_null()) {
+    os << "#### Isoefficiency — measured vs analytic at E="
+       << fmt(iso.get("efficiency").as_double(), 2)
+       << " (iso_c=" << fmt(iso.get("iso_c").as_double(), 3) << ")\n\n";
+    os << "| procs | measured N | analytic N | error % | bracketed |\n";
+    os << "|---:|---:|---:|---:|---|\n";
+    for (const JsonValue& pt : iso.get("points").array()) {
+      os << "| " << pt.get("procs").as_int() << " | "
+         << fmt_int(pt.get("measured_n").as_double()) << " | "
+         << fmt_int(pt.get("analytic_n").as_double()) << " | "
+         << fmt(pt.get("error_pct").as_double(), 1) << " | "
+         << (pt.get("bracketed").as_bool() ? "yes" : "no (grid edge)")
+         << " |\n";
+    }
+    os << "\n";
+    os << "Measured N interpolates the recorded efficiency grid at the "
+          "target; analytic N = E/(1-E) * iso_c * P log2 P "
+          "(isoefficiency_records).\n\n";
+    for (const JsonValue& pt : iso.get("points").array()) {
+      os << "##### Efficiency grid, P=" << pt.get("procs").as_int() << "\n\n";
+      os << "| n | efficiency | max_clock_us | serial source |\n";
+      os << "|---:|---:|---:|---|\n";
+      for (const JsonValue& g : pt.get("grid").array()) {
+        os << "| " << fmt_int(g.get("n").as_double()) << " | "
+           << fmt(g.get("efficiency").as_double(), 3) << " | "
+           << fmt_us(g.get("max_clock_us").as_double()) << " | "
+           << (g.get("busy_estimate").as_bool() ? "busy-sum estimate"
+                                                : "P=1 replay")
+           << " |\n";
+      }
+      os << "\n";
+    }
+  }
+}
+
 void render_bench(const ReportInput& in, std::ostream& os) {
   const JsonValue& root = in.root;
   os << "# Bench report: " << root.get("harness").as_string() << "\n\n";
@@ -563,11 +704,13 @@ bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os) {
     } else if (schema == "pdt-mem-v1") {
       os << "# Memory report: `" << in.name << "`\n\n";
       render_mem(in.root, os);
+    } else if (schema == "pdt-replay-v1") {
+      render_replay(in, os);
     } else {
       os << "# Unrecognized report: `" << in.name << "`\n\n";
       os << "- schema: `" << (schema.empty() ? "(none)" : schema)
          << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / "
-            "pdt-mem-v1\n\n";
+            "pdt-mem-v1 / pdt-replay-v1\n\n";
       ok = false;
     }
   }

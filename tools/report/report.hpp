@@ -1,8 +1,10 @@
 // Deterministic markdown rendering of pdtree report files.
 //
 // render_report() accepts any mix of parsed pdt-bench-v1 envelopes (the
-// <harness>.json files the bench binaries write) and bare pdt-metrics-v1 /
-// pdt-comm-v1 / pdt-mem-v1 objects, and renders the analysis views the
+// <harness>.json files the bench binaries write), bare pdt-metrics-v1 /
+// pdt-comm-v1 / pdt-mem-v1 objects, and pdt-replay-v1 reports (what
+// pdt-replay emits: identity checks, what-if sweeps, measured-vs-analytic
+// isoefficiency, wait-for blame), and renders the analysis views the
 // paper argues from: speedup/efficiency tables, per-level time breakdown
 // with load-imbalance factors, the collective cost-model error (measured
 // vs the Eq. 2-4 prediction), the rank x rank communication matrix, the
@@ -17,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "report/json_value.hpp"
+#include "common/json_value.hpp"
 
 namespace pdt::tools {
 
