@@ -23,6 +23,7 @@
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/export.hpp"
 #include "obs/observability.hpp"
 
@@ -102,6 +103,21 @@ inline std::string json_path(const std::string& file) {
   return *json_dir() + "/" + file;
 }
 
+/// Host (wall-clock) profiling toggle: on by default — the profiler is
+/// non-perturbing (the parity suite proves the virtual state identical) —
+/// PDT_HOST=0 turns it off, PDT_HOST_COUNTERS=1 additionally asks for
+/// perf_event_open cycle/instruction counters.
+inline bool host_enabled() {
+  const char* env = std::getenv("PDT_HOST");
+  return env == nullptr ||
+         (std::string(env) != "0" && std::string(env) != "off");
+}
+
+inline bool host_counters_requested() {
+  const char* env = std::getenv("PDT_HOST_COUNTERS");
+  return env != nullptr && std::string(env) == "1";
+}
+
 /// The harness's JSON report: an envelope object with run metadata and a
 /// "sections" array that the harness appends section objects to through
 /// writer(). All methods are safe no-ops when JSON output is disabled.
@@ -109,14 +125,14 @@ class BenchReport {
  public:
   explicit BenchReport(const char* harness) : harness_(harness) {
     if (!json_dir().has_value()) return;
-    path_ = json_path(std::string(harness) + ".json");
-    os_.open(path_);
-    if (!os_) {
+    file_.emplace(json_path(std::string(harness) + ".json"));
+    if (!file_->ok()) {
       std::fprintf(stderr, "warning: cannot write %s; JSON report disabled\n",
-                   path_.c_str());
+                   file_->path().c_str());
+      file_.reset();
       return;
     }
-    w_.emplace(os_);
+    w_.emplace(file_->stream());
     w_->begin_object();
     w_->kv("schema", "pdt-bench-v1");
     w_->kv("harness", harness);
@@ -134,9 +150,13 @@ class BenchReport {
     if (!w_.has_value()) return;
     w_->end_array();
     w_->end_object();
-    os_ << '\n';
-    os_.close();
-    std::printf("\n[json] wrote %s\n", path_.c_str());
+    file_->stream() << '\n';
+    if (file_->commit()) {
+      std::printf("\n[json] wrote %s\n", file_->path().c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s\n",
+                   file_->path().c_str());
+    }
   }
 
   BenchReport(const BenchReport&) = delete;
@@ -151,8 +171,7 @@ class BenchReport {
 
  private:
   const char* harness_;
-  std::string path_;
-  std::ofstream os_;
+  std::optional<obs::AtomicFile> file_;
   std::optional<obs::JsonWriter> w_;
 };
 
@@ -240,6 +259,13 @@ inline void emit_mem_run(BenchReport& rep, const char* tag, int procs,
 /// unless JSON output is disabled. `iso_c` is embedded in the event
 /// log's meta so offline isoefficiency charts can draw the analytic
 /// curve (pass core::isoefficiency_constant; 0 = not applicable).
+///
+/// Unless PDT_HOST=0, a HostProfiler rides the run and the section gains
+/// a "host" member (pdt-host-v1: the wall-nanosecond account paired
+/// cell-for-cell with the virtual breakdown), the events log gains a
+/// "host" overlay, and <harness>.<tag>.host.json carries the standalone
+/// report. All side files go through AtomicFile (temp + rename), so a
+/// killed harness never leaves a torn artifact for the CI gates.
 inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         core::Formulation f,
                                         const data::Dataset& ds,
@@ -247,6 +273,10 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         double iso_c = 0.0) {
   obs::Observability o(obs::ProfilerConfig{.timeline = true});
   o.enable_event_log();
+  if (host_enabled()) {
+    o.enable_host_profiler(
+        obs::HostProfilerConfig{.counters = host_counters_requested()});
+  }
   opt.obs = &o;
   opt.trace = true;  // collective events feed the trace's flow arrows
   const core::ParResult res = core::build(f, ds, opt);
@@ -267,30 +297,51 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
     w->key("mem");
     obs::write_mem(*w, res.mem, &res.mem_predicted, &o.mem_ledger(),
                    &o.profiler());
+    if (o.host_profiler() != nullptr) {
+      w->key("host");
+      obs::write_host(*w, *o.host_profiler());
+    }
     w->end_object();
 
-    const std::string trace_path = json_path(
-        std::string(rep.harness()) + "." + tag + ".trace.json");
-    std::ofstream ts(trace_path);
-    if (ts) {
-      obs::write_perfetto_trace(ts, o.profiler(), res.trace);
-      std::printf("[json] wrote %s (load at https://ui.perfetto.dev)\n",
-                  trace_path.c_str());
+    obs::AtomicFile trace_file(json_path(
+        std::string(rep.harness()) + "." + tag + ".trace.json"));
+    if (trace_file.ok()) {
+      obs::write_perfetto_trace(trace_file.stream(), o.profiler(), res.trace);
+      if (trace_file.commit()) {
+        std::printf("[json] wrote %s (load at https://ui.perfetto.dev)\n",
+                    trace_file.path().c_str());
+      }
     }
 
-    const std::string events_path = json_path(
-        std::string(rep.harness()) + "." + tag + ".events.json");
-    std::ofstream es(events_path);
-    if (es && o.event_log() != nullptr) {
-      obs::EventLogMeta meta;
-      meta.formulation = core::to_string(f);
-      meta.workload = tag;
-      meta.n = static_cast<std::int64_t>(ds.num_rows());
-      meta.procs = opt.num_procs;
-      meta.iso_c = iso_c;
-      obs::write_events_report(es, *o.event_log(), meta);
-      std::printf("[json] wrote %s (replay with pdt-replay)\n",
-                  events_path.c_str());
+    if (o.event_log() != nullptr) {
+      obs::AtomicFile events_file(json_path(
+          std::string(rep.harness()) + "." + tag + ".events.json"));
+      if (events_file.ok()) {
+        obs::EventLogMeta meta;
+        meta.formulation = core::to_string(f);
+        meta.workload = tag;
+        meta.n = static_cast<std::int64_t>(ds.num_rows());
+        meta.procs = opt.num_procs;
+        meta.iso_c = iso_c;
+        obs::write_events_report(events_file.stream(), *o.event_log(), meta,
+                                 o.host_profiler());
+        if (events_file.commit()) {
+          std::printf("[json] wrote %s (replay with pdt-replay)\n",
+                      events_file.path().c_str());
+        }
+      }
+    }
+
+    if (o.host_profiler() != nullptr) {
+      obs::AtomicFile host_file(json_path(
+          std::string(rep.harness()) + "." + tag + ".host.json"));
+      if (host_file.ok()) {
+        obs::write_host_report(host_file.stream(), *o.host_profiler());
+        if (host_file.commit()) {
+          std::printf("[json] wrote %s (host wall-clock account)\n",
+                      host_file.path().c_str());
+        }
+      }
     }
   }
   return res;

@@ -8,6 +8,8 @@
 //
 // Also emits fig6_speedup.json (pdt-bench-v1) and, per formulation, a
 // Perfetto trace of an instrumented P=8 run on the smaller workload.
+#include <tuple>
+
 #include "bench_util.hpp"
 #include "core/cost_analysis.hpp"
 
@@ -81,14 +83,17 @@ void instrumented_runs(bench::BenchReport& rep, double paper_n,
   const data::Dataset ds = bench::fig6_workload(bench::scaled(paper_n), seed);
   std::printf("\n--- instrumented P=8 runs (%.1fM paper-scale) ---\n",
               paper_n / 1e6);
-  for (const auto& [f, tag] :
-       {std::pair{core::Formulation::Sync, "sync.P8"},
-        std::pair{core::Formulation::Partitioned, "partitioned.P8"},
-        std::pair{core::Formulation::Hybrid, "hybrid.P8"}}) {
+  // hybrid.P1 anchors the host-time speedup table (pdt-report needs at
+  // least two P values of one formulation to form a host-ns ratio).
+  for (const auto& [f, procs, tag] :
+       {std::tuple{core::Formulation::Sync, 8, "sync.P8"},
+        std::tuple{core::Formulation::Partitioned, 8, "partitioned.P8"},
+        std::tuple{core::Formulation::Hybrid, 8, "hybrid.P8"},
+        std::tuple{core::Formulation::Hybrid, 1, "hybrid.P1"}}) {
     core::ParOptions opt;
-    opt.num_procs = 8;
+    opt.num_procs = procs;
     const core::ParResult res = bench::run_instrumented(rep, tag, f, ds, opt);
-    std::printf("%-13s %10.1f ms\n", core::to_string(f),
+    std::printf("%-13s P=%d %10.1f ms\n", core::to_string(f), procs,
                 res.parallel_time / 1000.0);
   }
 }

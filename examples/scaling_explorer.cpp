@@ -4,12 +4,18 @@
 //
 // Build & run:  ./build/examples/scaling_explorer [sync|part|hybrid] [N] [Pmax]
 //
+// Host profiling (DESIGN.md §9):
+//   --host                  pair every simulated phase with the wall time
+//                           this host actually spent, and rank where the
+//                           cost model and the host disagree the most
+//
 // Fault injection (DESIGN.md §7) — any of these arms checkpoint/recovery:
 //   --fail=R@L              rank R fail-stops when its group enters level L
 //   --straggler=R@L0:L1:F   rank R's charges cost Fx over levels [L0, L1]
 //   --delay=A-BxF           link A<->B costs Fx
 //   PDT_FAULT_SEED=<seed>   seeded random single-failure scenario per P
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +84,77 @@ static void print_top_blame(const obs::Observability& o) {
   }
 }
 
+// The --host view: total wall time this host spent inside the run, the
+// per-phase host/virtual share split, and the three (phase, level)
+// segments where the cost model and the host diverge the most. Host and
+// virtual cells share (phase, level, rank) keys (DESIGN.md §9), so the
+// pairing is exact, not heuristic.
+static void print_host_summary(const obs::Observability& o) {
+  const obs::HostProfiler* h = o.host_profiler();
+  if (h == nullptr || h->total_ns() <= 0) return;
+  const std::vector<std::string>& names = o.profiler().phase_names();
+  const double host_total = static_cast<double>(h->total_ns());
+
+  // Per-phase split (levels summed), virtual shares alongside.
+  double virt_total = 0.0;
+  std::vector<double> virt_us(names.size(), 0.0);
+  std::vector<double> host_ns(names.size(), 0.0);
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    const obs::PhaseId id = static_cast<obs::PhaseId>(p);
+    virt_us[p] = o.profiler().phase_totals(id, obs::kNoLevel, true).total();
+    virt_total += virt_us[p];
+    host_ns[p] = static_cast<double>(
+        h->phase_totals(id, obs::kNoLevel, true).total_ns());
+  }
+  std::printf("     host wall time %.2f ms (%s), per phase:\n",
+              host_total / 1e6, h->clock_name());
+  for (std::size_t p = 0; p < names.size(); ++p) {
+    if (host_ns[p] <= 0.0 && virt_us[p] <= 0.0) continue;
+    std::printf("       %-18s %8.2f ms  %5.1f%% host | %5.1f%% virtual\n",
+                names[p].c_str(), host_ns[p] / 1e6,
+                100.0 * host_ns[p] / host_total,
+                virt_total > 0.0 ? 100.0 * virt_us[p] / virt_total : 0.0);
+  }
+
+  // Divergence ranking over (phase, level) segments: + means the segment
+  // is dearer on this host than the cost model says.
+  struct Seg {
+    obs::PhaseId phase = 0;
+    int level = obs::kNoLevel;
+    double host_ns = 0.0;
+    double pp = 0.0;  // host share minus virtual share, in points
+  };
+  std::vector<Seg> segs;
+  for (const obs::HostProfiler::Row& row : h->rows()) {
+    if (!segs.empty() && segs.back().phase == row.phase &&
+        segs.back().level == row.level) {
+      segs.back().host_ns += static_cast<double>(row.totals.total_ns());
+    } else {
+      segs.push_back({row.phase, row.level,
+                      static_cast<double>(row.totals.total_ns()), 0.0});
+    }
+  }
+  for (Seg& s : segs) {
+    const double vus = o.profiler().phase_totals(s.phase, s.level).total();
+    const double host_share = 100.0 * s.host_ns / host_total;
+    const double virt_share =
+        virt_total > 0.0 ? 100.0 * vus / virt_total : 0.0;
+    s.pp = host_share - virt_share;
+  }
+  std::stable_sort(segs.begin(), segs.end(), [](const Seg& a, const Seg& b) {
+    return std::fabs(a.pp) > std::fabs(b.pp);
+  });
+  std::printf("     top simulated-vs-real divergence (+ = dearer on this "
+              "host):\n");
+  for (std::size_t i = 0; i < segs.size() && i < 3; ++i) {
+    const Seg& s = segs[i];
+    const std::string phase(o.profiler().phase_name(s.phase));
+    std::printf("       %+5.1fpp  %s", s.pp, phase.c_str());
+    if (s.level != obs::kNoLevel) std::printf(" (level %d)", s.level);
+    std::printf("  %.2f ms host\n", s.host_ns / 1e6);
+  }
+}
+
 // The heaviest-loaded rank's memory and its three largest (phase, level)
 // segments: which structure, during which phase, owns the footprint?
 static void print_top_memory(const obs::Observability& o,
@@ -105,15 +182,18 @@ static void print_top_memory(const obs::Observability& o,
 }
 
 int main(int argc, char** argv) {
-  // Split fault flags from positional arguments.
+  // Split fault/host flags from positional arguments.
   mpsim::FaultPlan flag_plan;
+  bool host = false;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     int a = 0;
     int b = 0;
     int c = 0;
     double factor = 0.0;
-    if (std::sscanf(argv[i], "--fail=%d@%d", &a, &b) == 2) {
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = true;
+    } else if (std::sscanf(argv[i], "--fail=%d@%d", &a, &b) == 2) {
       flag_plan.fail_stop(a, b);
     } else if (std::sscanf(argv[i], "--straggler=%d@%d:%d:%lf", &a, &b, &c,
                            &factor) == 4) {
@@ -123,8 +203,8 @@ int main(int argc, char** argv) {
       flag_plan.delay_link(a, b, factor);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
-                   "usage: %s [sync|part|hybrid] [N] [Pmax] [--fail=R@L] "
-                   "[--straggler=R@L0:L1:F] [--delay=A-BxF]\n",
+                   "usage: %s [sync|part|hybrid] [N] [Pmax] [--host] "
+                   "[--fail=R@L] [--straggler=R@L0:L1:F] [--delay=A-BxF]\n",
                    argv[0]);
       return 2;
     } else {
@@ -174,6 +254,7 @@ int main(int argc, char** argv) {
     opt.num_procs = p;
     obs::Observability o;  // fresh ledger + tracer per processor count
     o.enable_event_log();  // feeds the wait-for blame analysis below
+    if (host) o.enable_host_profiler();
     if (p > 1) opt.obs = &o;
     // Seeded random scenario is drawn per processor count (the victim
     // rank must exist); explicit flags ride along unchanged.
@@ -220,6 +301,7 @@ int main(int argc, char** argv) {
       print_top_segments(o);
       print_top_blame(o);
       print_top_memory(o, res);
+      if (host) print_host_summary(o);
       // PDT_EVENTS_OUT=<prefix> dumps each run's pdt-events-v1 log to
       // <prefix>.P<p>.events.json for offline pdt-replay what-ifs.
       const char* events_out = std::getenv("PDT_EVENTS_OUT");

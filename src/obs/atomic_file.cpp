@@ -1,0 +1,40 @@
+#include "obs/atomic_file.hpp"
+
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <process.h>
+#define PDT_GETPID _getpid
+#else
+#include <unistd.h>
+#define PDT_GETPID getpid
+#endif
+
+namespace pdt::obs {
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  tmp_path_ = path_ + ".tmp" + std::to_string(PDT_GETPID());
+  os_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+}
+
+AtomicFile::~AtomicFile() {
+  if (committed_) return;
+  if (os_.is_open()) os_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+bool AtomicFile::commit() {
+  if (committed_) return true;
+  if (!os_.is_open()) return false;
+  os_.flush();
+  const bool good = os_.good();
+  os_.close();
+  if (!good || std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return false;
+  }
+  committed_ = true;
+  return true;
+}
+
+}  // namespace pdt::obs

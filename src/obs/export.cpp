@@ -509,8 +509,55 @@ void write_event(JsonWriter& w, const mpsim::ExecEvent& e) {
 
 }  // namespace
 
+namespace {
+
+/// The compact host overlay shared by the events log and any envelope
+/// that wants a one-object wall-clock summary: totals, counters, and a
+/// per-phase host-vs-virtual rollup.
+void write_host_overlay(JsonWriter& w, const HostProfiler& host) {
+  w.begin_object();
+  w.kv("clock", host.clock_name());
+  w.kv("total_ns", host.total_ns());
+  w.kv("samples", host.samples());
+  const HostCounters hc = host.counters();
+  w.key("counters").begin_object();
+  w.kv("requested", host.counters_requested());
+  w.kv("enabled", hc.enabled);
+  if (hc.enabled) {
+    w.kv("cycles", hc.cycles);
+    w.kv("instructions", hc.instructions);
+  }
+  w.end_object();
+
+  const PhaseProfiler* prof = host.stamps();
+  w.key("by_phase").begin_array();
+  // Phase ids are dense; iterate ids seen by either side.
+  std::size_t num_phases = 0;
+  for (const HostProfiler::Row& r : host.rows()) {
+    num_phases = std::max(num_phases, static_cast<std::size_t>(r.phase) + 1);
+  }
+  for (std::size_t p = 0; p < num_phases; ++p) {
+    const HostTotals h =
+        host.phase_totals(static_cast<PhaseId>(p), 0, /*any_level=*/true);
+    if (h.samples == 0) continue;
+    w.begin_object();
+    w.kv("phase", comm_phase_name(prof, static_cast<PhaseId>(p)));
+    w.kv("host_ns", h.total_ns());
+    if (prof != nullptr) {
+      const PhaseTotals v =
+          prof->phase_totals(static_cast<PhaseId>(p), 0, /*any_level=*/true);
+      w.kv("virtual_us", v.compute + v.comm + v.io + v.idle);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
 void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
-                  const EventLogMeta& meta) {
+                  const EventLogMeta& meta, const HostProfiler* host) {
   w.begin_object();
   w.kv("schema", "pdt-events-v1");
   w.kv("nprocs", rec.nprocs());
@@ -550,13 +597,148 @@ void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
   w.end_array();
   w.end_object();
 
+  // Measured wall-clock overlay (absent when no host profiler ran, so
+  // pre-host logs stay byte-identical). pdt-replay uses this to chart
+  // predicted (virtual, re-priced) against measured (host) scaling.
+  if (host != nullptr) {
+    w.key("host");
+    write_host_overlay(w, *host);
+  }
+
   w.end_object();
 }
 
 void write_events_report(std::ostream& os, const mpsim::EventRecorder& rec,
-                         const EventLogMeta& meta) {
+                         const EventLogMeta& meta, const HostProfiler* host) {
   JsonWriter w(os);
-  write_events(w, rec, meta);
+  write_events(w, rec, meta, host);
+  os << '\n';
+}
+
+// ---------------------------------------------------------------- host --
+
+void write_host(JsonWriter& w, const HostProfiler& host) {
+  const PhaseProfiler* prof = host.stamps();
+  w.begin_object();
+  w.kv("schema", "pdt-host-v1");
+  w.kv("clock", host.clock_name());
+  w.kv("num_ranks", host.num_ranks());
+  w.kv("max_level", host.max_level());
+  w.kv("total_ns", host.total_ns());
+  w.kv("samples", host.samples());
+
+  const HostCounters hc = host.counters();
+  w.key("counters").begin_object();
+  w.kv("requested", host.counters_requested());
+  w.kv("enabled", hc.enabled);
+  if (hc.enabled) {
+    w.kv("cycles", hc.cycles);
+    w.kv("instructions", hc.instructions);
+    w.kv("ipc", hc.cycles > 0 ? static_cast<double>(hc.instructions) /
+                                    static_cast<double>(hc.cycles)
+                              : 0.0);
+  }
+  w.end_object();
+
+  // Virtual grand total paired against total_ns (for the report's
+  // headline "1 virtual us cost X host ns on this machine" ratio).
+  double virtual_total_us = 0.0;
+
+  // Per-(phase, level) groups with per-rank cells, each cell paired with
+  // the virtual microseconds the same (phase, level, rank) key holds.
+  w.key("phases").begin_array();
+  {
+    const auto rows = host.rows();
+    std::size_t i = 0;
+    while (i < rows.size()) {
+      const PhaseId phase = rows[i].phase;
+      const int level = rows[i].level;
+      w.begin_object();
+      w.kv("phase", comm_phase_name(prof, phase));
+      w.kv("level", level);
+      HostTotals sum;
+      double virtual_us = 0.0;
+      w.key("per_rank").begin_array();
+      for (; i < rows.size() && rows[i].phase == phase &&
+             rows[i].level == level;
+           ++i) {
+        sum += rows[i].totals;
+        const HostTotals& t = rows[i].totals;
+        w.begin_object();
+        w.kv("rank", rows[i].rank);
+        w.kv("compute_ns", t.compute_ns);
+        w.kv("comm_ns", t.comm_ns);
+        w.kv("io_ns", t.io_ns);
+        w.kv("idle_ns", t.idle_ns);
+        w.kv("total_ns", t.total_ns());
+        w.kv("samples", t.samples);
+        w.end_object();
+      }
+      w.end_array();
+      w.kv("compute_ns", sum.compute_ns);
+      w.kv("comm_ns", sum.comm_ns);
+      w.kv("io_ns", sum.io_ns);
+      w.kv("idle_ns", sum.idle_ns);
+      w.kv("total_ns", sum.total_ns());
+      w.kv("samples", sum.samples);
+      if (prof != nullptr) {
+        const PhaseTotals v = prof->phase_totals(phase, level);
+        const double vus = v.compute + v.comm + v.io + v.idle;
+        virtual_us += vus;
+        w.kv("virtual_us", vus);
+      }
+      virtual_total_us += virtual_us;
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("virtual_total_us", virtual_total_us);
+
+  // Per-phase rollup: host share vs. virtual share of their respective
+  // grand totals, and the signed divergence in percentage points — the
+  // ranking pdt-report uses to surface where the cost model and the host
+  // disagree most.
+  w.key("by_phase").begin_array();
+  {
+    std::size_t num_phases = 0;
+    for (const HostProfiler::Row& r : host.rows()) {
+      num_phases = std::max(num_phases, static_cast<std::size_t>(r.phase) + 1);
+    }
+    const std::int64_t host_total = host.total_ns();
+    for (std::size_t p = 0; p < num_phases; ++p) {
+      const HostTotals h =
+          host.phase_totals(static_cast<PhaseId>(p), 0, /*any_level=*/true);
+      if (h.samples == 0) continue;
+      w.begin_object();
+      w.kv("phase", comm_phase_name(prof, static_cast<PhaseId>(p)));
+      w.kv("host_ns", h.total_ns());
+      const double host_share =
+          host_total > 0
+              ? 100.0 * static_cast<double>(h.total_ns()) /
+                    static_cast<double>(host_total)
+              : 0.0;
+      w.kv("host_share_pct", host_share);
+      if (prof != nullptr) {
+        const PhaseTotals v =
+            prof->phase_totals(static_cast<PhaseId>(p), 0, /*any_level=*/true);
+        const double vus = v.compute + v.comm + v.io + v.idle;
+        w.kv("virtual_us", vus);
+        const double virtual_share =
+            virtual_total_us > 0.0 ? 100.0 * vus / virtual_total_us : 0.0;
+        w.kv("virtual_share_pct", virtual_share);
+        w.kv("divergence_pp", host_share - virtual_share);
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+void write_host_report(std::ostream& os, const HostProfiler& host) {
+  JsonWriter w(os);
+  write_host(w, host);
   os << '\n';
 }
 

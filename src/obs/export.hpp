@@ -28,7 +28,15 @@
 //    latency decomposition and phase/level stamp, every barrier/timeout
 //    with its member set, every collective annotation — plus the final
 //    per-rank clocks. `tools/pdt-replay` consumes this to re-execute the
-//    run under arbitrary cost models. Schema in DESIGN.md §8.
+//    run under arbitrary cost models. Schema in DESIGN.md §8. When a
+//    HostProfiler observed the same run, a "host" overlay object carries
+//    its wall-clock account so replays can chart predicted vs. measured.
+//
+//  * write_host — the host-time report ("pdt-host-v1"): the HostProfiler's
+//    wall-nanosecond account per (phase, level, rank) cell, each cell
+//    paired with the virtual microseconds the same cell accumulated, plus
+//    a per-phase rollup ranking where simulated and real time diverge.
+//    Schema in DESIGN.md §9.
 #pragma once
 
 #include <cstdint>
@@ -123,12 +131,25 @@ struct EventLogMeta {
 };
 
 /// Emit the "pdt-events-v1" execution log as one JSON object value on
-/// `w` (composable into larger documents).
+/// `w` (composable into larger documents). `host` (optional) appends a
+/// "host" overlay object with the run's measured wall-clock account —
+/// absent when null, so pre-host logs are byte-identical.
 void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
-                  const EventLogMeta& meta = {});
+                  const EventLogMeta& meta = {},
+                  const HostProfiler* host = nullptr);
 
 /// Standalone file variant of write_events.
 void write_events_report(std::ostream& os, const mpsim::EventRecorder& rec,
-                         const EventLogMeta& meta = {});
+                         const EventLogMeta& meta = {},
+                         const HostProfiler* host = nullptr);
+
+/// Emit the "pdt-host-v1" host-time report as one JSON object value on
+/// `w`. Every (phase, level) group carries both the host nanoseconds and
+/// the paired virtual microseconds from the profiler the HostProfiler
+/// rode (the pairing rule: same (phase, level, rank) key on both sides).
+void write_host(JsonWriter& w, const HostProfiler& host);
+
+/// Standalone file variant of write_host.
+void write_host_report(std::ostream& os, const HostProfiler& host);
 
 }  // namespace pdt::obs

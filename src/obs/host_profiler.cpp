@@ -1,0 +1,133 @@
+#include "obs/host_profiler.hpp"
+
+#include <algorithm>
+
+namespace pdt::obs {
+
+namespace {
+
+// splitmix64 finalizer, identical to the virtual profiler's cell hash.
+std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Key layout mirrors PhaseProfiler::pack so host rows sort and pair with
+// virtual rows cell-for-cell.
+std::uint64_t pack(PhaseId p, int level, mpsim::Rank r) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level + 1))
+          << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
+}
+
+}  // namespace
+
+HostProfiler::HostProfiler(const PhaseProfiler* stamps, HostClock* clock,
+                           HostProfilerConfig cfg)
+    : cfg_(cfg),
+      stamps_(stamps),
+      clock_(clock != nullptr ? clock : &default_clock_),
+      cells_(64) {
+  if (cfg_.counters && counter_group_.open()) counter_group_.start();
+}
+
+void HostProfiler::grow_cells() {
+  std::vector<Cell> bigger(cells_.size() * 2);
+  for (const Cell& c : cells_) {
+    if (c.key == ~0ull) continue;
+    std::size_t i = hash64(c.key) & (bigger.size() - 1);
+    while (bigger[i].key != ~0ull) i = (i + 1) & (bigger.size() - 1);
+    bigger[i] = c;
+  }
+  cells_ = std::move(bigger);
+  last_hit_ = static_cast<std::size_t>(-1);
+}
+
+HostTotals& HostProfiler::cell(PhaseId p, int level, mpsim::Rank r) {
+  const std::uint64_t key = pack(p, level, r);
+  if (last_hit_ != static_cast<std::size_t>(-1) &&
+      cells_[last_hit_].key == key) {
+    return cells_[last_hit_].totals;
+  }
+  if (cells_used_ * 2 >= cells_.size()) grow_cells();
+  std::size_t i = hash64(key) & (cells_.size() - 1);
+  while (cells_[i].key != ~0ull && cells_[i].key != key) {
+    i = (i + 1) & (cells_.size() - 1);
+  }
+  if (cells_[i].key == ~0ull) {
+    cells_[i].key = key;
+    ++cells_used_;
+  }
+  last_hit_ = i;
+  return cells_[i].totals;
+}
+
+void HostProfiler::on_charge(mpsim::Rank r, mpsim::ChargeKind kind) {
+  const std::int64_t now = clock_->now_ns();
+  if (!started_) {
+    // The first charge only anchors the interval chain: host work before
+    // it belongs to setup (dataset generation, machine construction),
+    // not to any simulated segment.
+    started_ = true;
+    last_ns_ = now;
+    return;
+  }
+  const std::int64_t dt = std::max<std::int64_t>(0, now - last_ns_);
+  last_ns_ = now;
+
+  num_ranks_ = std::max(num_ranks_, r + 1);
+  const PhaseId p = stamps_ != nullptr ? stamps_->current_phase() : 0;
+  const int level = stamps_ != nullptr ? stamps_->current_level() : kNoLevel;
+  max_level_ = std::max(max_level_, level);
+
+  HostTotals& t = cell(p, level, r);
+  switch (kind) {
+    case mpsim::ChargeKind::Compute: t.compute_ns += dt; break;
+    case mpsim::ChargeKind::Comm: t.comm_ns += dt; break;
+    case mpsim::ChargeKind::Io: t.io_ns += dt; break;
+    case mpsim::ChargeKind::Idle: t.idle_ns += dt; break;
+  }
+  ++t.samples;
+  total_ns_ += dt;
+  ++samples_;
+}
+
+std::vector<HostProfiler::Row> HostProfiler::rows() const {
+  std::vector<Row> out;
+  out.reserve(cells_used_);
+  for (const Cell& c : cells_) {
+    if (c.key == ~0ull) continue;
+    Row row;
+    row.phase = static_cast<PhaseId>(c.key >> 40);
+    row.level = static_cast<int>((c.key >> 20) & 0xFFFFFu) - 1;
+    row.rank = static_cast<mpsim::Rank>(c.key & 0xFFFFFu);
+    row.totals = c.totals;
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.phase != b.phase) return a.phase < b.phase;
+    if (a.level != b.level) return a.level < b.level;
+    return a.rank < b.rank;
+  });
+  return out;
+}
+
+HostTotals HostProfiler::phase_totals(PhaseId p, int level,
+                                      bool any_level) const {
+  HostTotals sum;
+  for (const Cell& c : cells_) {
+    if (c.key == ~0ull) continue;
+    if (static_cast<PhaseId>(c.key >> 40) != p) continue;
+    const int l = static_cast<int>((c.key >> 20) & 0xFFFFFu) - 1;
+    if (!any_level && l != level) continue;
+    sum += c.totals;
+  }
+  return sum;
+}
+
+HostCounters HostProfiler::counters() const { return counter_group_.read(); }
+
+}  // namespace pdt::obs

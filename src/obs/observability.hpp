@@ -15,6 +15,7 @@
 #include "mpsim/event_log.hpp"
 #include "mpsim/machine.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/mem_ledger.hpp"
 #include "obs/phase.hpp"
 #include "obs/registry.hpp"
@@ -35,6 +36,7 @@ class ObserverFanout final : public mpsim::ChargeObserver {
                  double words_received) override {
     profiler_->on_charge(r, kind, start, dt, words_sent, words_received);
     critical_->on_charge(r, kind, start, dt, words_sent, words_received);
+    if (host_ != nullptr) host_->on_charge(r, kind);
   }
 
   void on_barrier(const std::vector<mpsim::Rank>& members, mpsim::Rank holder,
@@ -55,10 +57,16 @@ class ObserverFanout final : public mpsim::ChargeObserver {
     mem_->on_free(r, tag, bytes);
   }
 
+  /// Start forwarding charges to a host profiler (nullptr detaches; the
+  /// default). One branch per charge when detached — the virtual path is
+  /// untouched either way.
+  void set_host(HostProfiler* host) { host_ = host; }
+
  private:
   PhaseProfiler* profiler_;
   CriticalPathTracer* critical_;
   MemLedger* mem_;
+  HostProfiler* host_ = nullptr;
 };
 
 class Observability {
@@ -103,6 +111,25 @@ class Observability {
     return recorder_.get();
   }
 
+  /// Turn on host (wall-clock) profiling: creates the owned HostProfiler
+  /// riding the virtual profiler's (phase, level) stamps and wires it
+  /// into the observer fanout (idempotent — the config of the first call
+  /// wins). Strictly passive: the virtual clocks, trees, and every
+  /// pre-existing export stay bit-identical (the parity suite enforces
+  /// it). Serialize with obs::write_host afterwards.
+  HostProfiler& enable_host_profiler(HostProfilerConfig cfg = {},
+                                     HostClock* clock = nullptr) {
+    if (host_ == nullptr) {
+      host_ = std::make_unique<HostProfiler>(&profiler_, clock, cfg);
+      fanout_.set_host(host_.get());
+    }
+    return *host_;
+  }
+  /// The owned host profiler, or nullptr when host profiling is off.
+  [[nodiscard]] const HostProfiler* host_profiler() const {
+    return host_.get();
+  }
+
   /// Attach the profiler + critical-path tracer as the machine's charge
   /// observer and the ledger as its communication ledger (plus the event
   /// recorder when enable_event_log() was called).
@@ -120,6 +147,7 @@ class Observability {
   mpsim::CommLedger ledger_;
   MetricsRegistry metrics_;
   std::unique_ptr<mpsim::EventRecorder> recorder_;
+  std::unique_ptr<HostProfiler> host_;
 };
 
 }  // namespace pdt::obs

@@ -322,5 +322,66 @@ TEST(CommExport, LedgerAloneExportsWithNullCriticalPath) {
   EXPECT_NE(os.str().find("\"pdt-comm-v1\""), std::string::npos);
 }
 
+// Like InstrumentedRun but with the event log and host profiler riding
+// along, for the pdt-host-v1 and events-overlay tests.
+struct HostedRun {
+  HostedRun(bool with_host = true) : o(ProfilerConfig{.timeline = true}) {
+    o.enable_event_log();
+    if (with_host) o.enable_host_profiler();
+    const data::Dataset ds = data::discretize_uniform(
+        data::quest_generate(1500, {.function = 2, .seed = 21}),
+        data::quest_paper_bins());
+    core::ParOptions opt;
+    opt.num_procs = 8;
+    opt.obs = &o;
+    res = core::build(core::Formulation::Hybrid, ds, opt);
+  }
+  Observability o;
+  core::ParResult res;
+};
+
+TEST(HostExport, ReportIsValidJsonWithSchemaFields) {
+  HostedRun run;
+  ASSERT_NE(run.o.host_profiler(), nullptr);
+  std::ostringstream os;
+  write_host_report(os, *run.o.host_profiler());
+  const std::string doc = os.str();
+  EXPECT_TRUE(JsonChecker(doc).valid());
+  EXPECT_NE(doc.find("\"pdt-host-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"clock\":\"steady_clock\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phases\""), std::string::npos);
+  EXPECT_NE(doc.find("\"per_rank\""), std::string::npos);
+  EXPECT_NE(doc.find("\"by_phase\""), std::string::npos);
+  EXPECT_NE(doc.find("\"divergence_pp\""), std::string::npos);
+  // Every host group carries its paired virtual account.
+  EXPECT_NE(doc.find("\"virtual_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"virtual_total_us\""), std::string::npos);
+}
+
+TEST(HostExport, EventsLogWithoutHostStaysHostFree) {
+  // A run whose exporter is not handed a host profiler must serialize
+  // the exact pre-host pdt-events-v1 bytes: the overlay key is absent
+  // even when a profiler was attached to the run.
+  HostedRun hosted;
+  HostedRun plain(/*with_host=*/false);
+  ASSERT_NE(hosted.o.event_log(), nullptr);
+  ASSERT_NE(plain.o.event_log(), nullptr);
+
+  std::ostringstream with_overlay;
+  write_events_report(with_overlay, *hosted.o.event_log(), {},
+                      hosted.o.host_profiler());
+  EXPECT_TRUE(JsonChecker(with_overlay.str()).valid());
+  EXPECT_NE(with_overlay.str().find("\"host\""), std::string::npos);
+
+  std::ostringstream hosted_no_overlay;
+  write_events_report(hosted_no_overlay, *hosted.o.event_log(), {});
+  std::ostringstream plain_os;
+  write_events_report(plain_os, *plain.o.event_log(), {});
+  EXPECT_EQ(hosted_no_overlay.str(), plain_os.str())
+      << "host profiler must not perturb the recorded event stream";
+  EXPECT_EQ(hosted_no_overlay.str().find("\"host\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pdt::obs

@@ -135,6 +135,63 @@ TEST(ObsParity, ExactContinuousSortPhaseAlsoBitIdentical) {
   EXPECT_TRUE(has_sort) << "the parallel-sort phase must be annotated";
 }
 
+// The host profiler reads a wall clock and writes its own cells; the
+// virtual run it rides must stay bit-identical, and all the virtual
+// observers must see exactly what they saw without it.
+TEST(ObsParity, HostProfilerNeverChangesTheVirtualRun) {
+  const data::Dataset ds = quest_binned(2500);
+  for (const Formulation f :
+       {Formulation::Sync, Formulation::Partitioned, Formulation::Hybrid}) {
+    ParOptions opt;
+    opt.num_procs = 8;
+
+    obs::Observability plain(obs::ProfilerConfig{.timeline = true});
+    opt.obs = &plain;
+    const ParResult off = build(f, ds, opt);
+
+    obs::Observability hosted(obs::ProfilerConfig{.timeline = true});
+    hosted.enable_host_profiler();
+    opt.obs = &hosted;
+    const ParResult on = build(f, ds, opt);
+
+    expect_bit_identical(off, on, to_string(f));
+
+    // The virtual profiler cells must be identical too — same rows, same
+    // totals — because nothing about the attribution machinery changed.
+    const auto off_rows = plain.profiler().rows();
+    const auto on_rows = hosted.profiler().rows();
+    ASSERT_EQ(off_rows.size(), on_rows.size()) << to_string(f);
+    for (std::size_t i = 0; i < off_rows.size(); ++i) {
+      EXPECT_EQ(off_rows[i].phase, on_rows[i].phase);
+      EXPECT_EQ(off_rows[i].level, on_rows[i].level);
+      EXPECT_EQ(off_rows[i].rank, on_rows[i].rank);
+      EXPECT_EQ(off_rows[i].totals.total(), on_rows[i].totals.total());
+      EXPECT_EQ(off_rows[i].totals.charges, on_rows[i].totals.charges);
+    }
+
+    // And the host profiler actually rode along: it saw every charge
+    // after the anchoring first one.
+    const obs::HostProfiler* h = hosted.host_profiler();
+    ASSERT_NE(h, nullptr);
+    std::uint64_t virtual_charges = 0;
+    for (const auto& row : on_rows) virtual_charges += row.totals.charges;
+    EXPECT_EQ(h->samples(), virtual_charges - 1)
+        << to_string(f) << ": one host sample per charge (first anchors)";
+    EXPECT_EQ(h->num_ranks(), 8);
+  }
+}
+
+// enable_host_profiler is idempotent and the accessor reflects state.
+TEST(ObsParity, HostProfilerAccessor) {
+  obs::Observability o;
+  EXPECT_EQ(o.host_profiler(), nullptr);
+  o.enable_host_profiler();
+  const obs::HostProfiler* h = o.host_profiler();
+  ASSERT_NE(h, nullptr);
+  o.enable_host_profiler();  // second call keeps the first profiler
+  EXPECT_EQ(o.host_profiler(), h);
+}
+
 TEST(ObsParity, MetricsAgreeWithRunAccounting) {
   const data::Dataset ds = quest_binned(2500);
   ParOptions opt;

@@ -188,5 +188,91 @@ TEST(ReplayCheckTest, CorruptedRecordedClockFailsTheGate) {
   EXPECT_EQ(run_replay({log}, ropt, sink2), 1);
 }
 
+// The host overlay: a profiled run's wall-clock account rides inside the
+// events log, survives the JSON round trip, and run_replay charts
+// predicted (virtual) vs measured (host) scaling from it.
+TEST(ReplayHostTest, OverlayRoundTripsAndIdentityStillHolds) {
+  core::ParOptions opt;
+  opt.num_procs = 4;
+  obs::Observability o;
+  o.enable_event_log();
+  o.enable_host_profiler();
+  opt.obs = &o;
+  (void)core::build(core::Formulation::Hybrid, workload(2000), opt);
+
+  std::ostringstream os;
+  obs::EventLogMeta meta;
+  meta.procs = 4;
+  obs::write_events_report(os, *o.event_log(), meta, o.host_profiler());
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(json_parse(os.str(), &root, &err)) << err;
+  EventLog log;
+  ASSERT_TRUE(parse_event_log(root, &log, &err)) << err;
+
+  EXPECT_TRUE(log.has_host);
+  EXPECT_EQ(log.host_clock, "steady_clock");
+  EXPECT_GT(log.host_total_ns, 0.0);
+  EXPECT_GT(log.host_samples, 0u);
+  EXPECT_FALSE(log.host_by_phase.empty());
+  for (const HostPhaseRow& row : log.host_by_phase) {
+    EXPECT_FALSE(row.phase.empty());
+    EXPECT_GE(row.host_ns, 0.0);
+  }
+
+  // The overlay is bookkeeping only — the identity replay of the event
+  // stream itself must still be bit-exact.
+  const ReplayResult r = replay_log(log, log.cost);
+  EXPECT_EQ(r.max_clock, log.recorded_max_clock);
+}
+
+TEST(ReplayHostTest, RunReplayChartsPredictedVsMeasuredScaling) {
+  auto record = [](int procs) {
+    core::ParOptions opt;
+    opt.num_procs = procs;
+    obs::Observability o;
+    o.enable_event_log();
+    o.enable_host_profiler();
+    opt.obs = &o;
+    (void)core::build(core::Formulation::Hybrid, workload(2000), opt);
+    std::ostringstream os;
+    obs::EventLogMeta meta;
+    meta.procs = procs;
+    meta.n = 2000;
+    obs::write_events_report(os, *o.event_log(), meta, o.host_profiler());
+    JsonValue root;
+    std::string err;
+    EXPECT_TRUE(json_parse(os.str(), &root, &err)) << err;
+    EventLog log;
+    EXPECT_TRUE(parse_event_log(root, &log, &err)) << err;
+    log.name = "P" + std::to_string(procs);
+    return log;
+  };
+  const EventLog p2 = record(2);
+  const EventLog p8 = record(8);
+
+  std::ostringstream out;
+  EXPECT_EQ(run_replay({p2, p8}, ReplayOptions{}, out), 0);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"host\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"ns_per_virtual_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scaling\""), std::string::npos);
+  EXPECT_NE(doc.find("\"predicted_speedup\""), std::string::npos);
+  EXPECT_NE(doc.find("\"measured_host_ratio\""), std::string::npos);
+
+  // Logs recorded without a host profiler produce no overlay.
+  core::ParOptions opt;
+  opt.num_procs = 4;
+  obs::Observability o;
+  o.enable_event_log();
+  opt.obs = &o;
+  (void)core::build(core::Formulation::Hybrid, workload(2000), opt);
+  const EventLog plain = round_trip(*o.event_log());
+  EXPECT_FALSE(plain.has_host);
+  std::ostringstream out2;
+  EXPECT_EQ(run_replay({plain}, ReplayOptions{}, out2), 0);
+  EXPECT_EQ(out2.str().find("\"host\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pdt::tools

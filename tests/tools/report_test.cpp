@@ -138,5 +138,105 @@ TEST(Report, MissingSchemaFieldIsReportedAsNone) {
   EXPECT_NE(os.str().find("`(none)`"), std::string::npos);
 }
 
+// Bench envelope with paired host accounts on two instrumented runs —
+// enough for the host share table and the host-time speedup table.
+constexpr std::string_view kHostBench = R"({
+  "schema": "pdt-bench-v1",
+  "harness": "fig6_speedup",
+  "sections": [
+    {"type": "speedup_series", "workload": "q", "formulation": "hybrid",
+     "points": [
+       {"procs": 4, "time_us": 30.0, "speedup": 3.0, "efficiency": 0.75}
+     ]},
+    {"type": "instrumented_run", "tag": "hybrid.P1", "formulation": "hybrid",
+     "procs": 1, "max_clock_us": 1000.0,
+     "host": {"schema": "pdt-host-v1", "clock": "steady_clock",
+              "total_ns": 2000000.0, "samples": 10,
+              "virtual_total_us": 1000.0,
+              "by_phase": [
+                {"phase": "histogram", "host_ns": 1500000.0,
+                 "host_share_pct": 75.0, "virtual_us": 400.0,
+                 "virtual_share_pct": 40.0, "divergence_pp": 35.0},
+                {"phase": "all-reduce", "host_ns": 500000.0,
+                 "host_share_pct": 25.0, "virtual_us": 600.0,
+                 "virtual_share_pct": 60.0, "divergence_pp": -35.0}
+              ]}},
+    {"type": "instrumented_run", "tag": "hybrid.P4", "formulation": "hybrid",
+     "procs": 4, "max_clock_us": 400.0,
+     "host": {"schema": "pdt-host-v1", "clock": "steady_clock",
+              "total_ns": 1000000.0, "samples": 10,
+              "virtual_total_us": 400.0, "by_phase": []}}
+  ]
+})";
+
+TEST(Report, RendersHostSectionsAndSpeedupTable) {
+  std::ostringstream os;
+  EXPECT_TRUE(render_report({make_input("h.json", kHostBench)}, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("### Host wall-clock (pdt-host-v1)"), std::string::npos);
+  EXPECT_NE(out.find("Host vs simulated time share by phase"),
+            std::string::npos);
+  EXPECT_NE(out.find("| histogram | 1.500 | 75.0 | 400.0 | 40.0 | 35.0 |"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Largest simulated-vs-real divergences"),
+            std::string::npos);
+  EXPECT_NE(out.find("### Host-time speedup — hybrid (baseline P=1)"),
+            std::string::npos)
+      << out;
+  // P=4: host 2.0ms -> 1.0ms = 2.00x, virtual 1000us -> 400us = 2.50x.
+  EXPECT_NE(out.find("| 4 | 1.000 | 2.00 | 400.0 | 2.50 |"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Report, SectionFilterGatesWhatRenders) {
+  RenderOptions host_only;
+  host_only.sections = {"host"};
+  std::ostringstream os;
+  EXPECT_TRUE(
+      render_report({make_input("h.json", kHostBench)}, os, host_only));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Host-time speedup"), std::string::npos);
+  EXPECT_NE(out.find("Host wall-clock"), std::string::npos);
+  EXPECT_EQ(out.find("### Speedup —"), std::string::npos) << out;
+
+  RenderOptions speedup_only;
+  speedup_only.sections = {"speedup"};
+  std::ostringstream os2;
+  EXPECT_TRUE(
+      render_report({make_input("h.json", kHostBench)}, os2, speedup_only));
+  const std::string out2 = os2.str();
+  EXPECT_NE(out2.find("### Speedup —"), std::string::npos) << out2;
+  EXPECT_EQ(out2.find("Host-time speedup"), std::string::npos);
+  EXPECT_EQ(out2.find("Host wall-clock"), std::string::npos);
+}
+
+TEST(Report, WantsIsAllWhenEmptyAndMembershipOtherwise) {
+  RenderOptions all;
+  EXPECT_TRUE(all.wants("host"));
+  EXPECT_TRUE(all.wants("speedup"));
+  RenderOptions some;
+  some.sections = {"comm", "memory"};
+  EXPECT_TRUE(some.wants("comm"));
+  EXPECT_TRUE(some.wants("memory"));
+  EXPECT_FALSE(some.wants("host"));
+}
+
+TEST(Report, StandaloneHostSchemaRenders) {
+  constexpr std::string_view kHostDoc = R"({
+    "schema": "pdt-host-v1", "clock": "steady_clock",
+    "total_ns": 5000000.0, "samples": 42, "virtual_total_us": 900.0,
+    "counters": {"requested": true, "enabled": false},
+    "by_phase": []
+  })";
+  std::ostringstream os;
+  EXPECT_TRUE(render_report({make_input("host.json", kHostDoc)}, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Host report: `host.json`"), std::string::npos) << out;
+  EXPECT_NE(out.find("`steady_clock`"), std::string::npos);
+  EXPECT_NE(out.find("requested but unavailable"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pdt::tools

@@ -4,6 +4,14 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(_WIN32)
+#include <process.h>
+#define PDT_TOOLS_GETPID _getpid
+#else
+#include <unistd.h>
+#define PDT_TOOLS_GETPID getpid
+#endif
+
 namespace pdt::tools {
 
 int usage(const CliSpec& spec) {
@@ -39,6 +47,27 @@ bool load_json_file(const CliSpec& spec, const std::string& path,
   if (!json_parse(buf.str(), root, &error)) {
     std::fprintf(stderr, "%s: %s: %s\n", spec.tool, path.c_str(),
                  error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_file_atomic(const CliSpec& spec, const std::string& path,
+                       const std::string& content) {
+  const std::string tmp =
+      path + ".tmp" + std::to_string(PDT_TOOLS_GETPID());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (os) os << content << std::flush;
+    if (!os) {
+      std::fprintf(stderr, "%s: cannot write %s\n", spec.tool, path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "%s: cannot write %s\n", spec.tool, path.c_str());
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

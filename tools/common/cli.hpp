@@ -22,7 +22,7 @@ inline constexpr int kExitFail = 1;
 inline constexpr int kExitUsage = 2;
 
 /// One version string for the whole tool suite, bumped with the schemas.
-inline constexpr const char* kToolsVersion = "0.6.0";
+inline constexpr const char* kToolsVersion = "0.7.0";
 
 struct CliSpec {
   const char* tool;   ///< binary name, e.g. "pdt-report"
@@ -42,5 +42,14 @@ bool standard_flag(const CliSpec& spec, std::string_view arg, int* exit_code);
 /// caller should exit kExitUsage — bad input, not a failed gate).
 bool load_json_file(const CliSpec& spec, const std::string& path,
                     JsonValue* root);
+
+/// Write `content` to `path` crash-safely: stream to `<path>.tmp<pid>`,
+/// then rename onto the final path (the tools-side mirror of
+/// obs::AtomicFile — the tools deliberately do not link the simulator
+/// libraries). On failure prints "<tool>: cannot write <path>" to stderr,
+/// removes the temp, and returns false (callers exit kExitFail — output,
+/// not input, failed).
+bool write_file_atomic(const CliSpec& spec, const std::string& path,
+                       const std::string& content);
 
 }  // namespace pdt::tools

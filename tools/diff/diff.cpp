@@ -146,4 +146,156 @@ int run_diff(const std::vector<DiffEntry>& baseline,
   return failures;
 }
 
+// ------------------------------------------------------------ host mode --
+
+namespace {
+
+/// Median of `v` (not required sorted; v is copied). 0 for empty input.
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+bool same_host_tuple(const HostEntry& a, const HostEntry& b) {
+  return a.harness == b.harness && a.tag == b.tag &&
+         a.formulation == b.formulation && a.procs == b.procs;
+}
+
+std::string fmt_ms(double ns) { return fmt(ns / 1e6, 3); }
+
+}  // namespace
+
+std::vector<HostEntry> extract_host_entries(
+    const std::vector<ReportInput>& inputs) {
+  // Gather all repeats per tuple first (keyed by first appearance), then
+  // collapse. Parallel arrays keep the code dependency-free.
+  std::vector<HostEntry> tuples;
+  std::vector<std::vector<double>> samples;
+  for (const ReportInput& in : inputs) {
+    if (in.root.get("schema").as_string() != "pdt-bench-v1") continue;
+    const std::string& harness = in.root.get("harness").as_string();
+    for (const JsonValue& sec : in.root.get("sections").array()) {
+      if (sec.get("type").as_string() != "instrumented_run") continue;
+      const JsonValue& host = sec.get("host");
+      if (host.is_null()) continue;
+      HostEntry e;
+      e.harness = harness;
+      e.tag = sec.get("tag").as_string();
+      e.formulation = sec.get("formulation").as_string();
+      e.procs = sec.get("procs").as_int();
+      std::size_t i = 0;
+      for (; i < tuples.size(); ++i) {
+        if (same_host_tuple(tuples[i], e)) break;
+      }
+      if (i == tuples.size()) {
+        tuples.push_back(std::move(e));
+        samples.emplace_back();
+      }
+      samples[i].push_back(host.get("total_ns").as_double());
+    }
+  }
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    tuples[i].k = static_cast<std::int64_t>(samples[i].size());
+    tuples[i].median_ns = median_of(samples[i]);
+    std::vector<double> dev;
+    dev.reserve(samples[i].size());
+    for (const double s : samples[i]) {
+      dev.push_back(std::fabs(s - tuples[i].median_ns));
+    }
+    tuples[i].mad_ns = median_of(std::move(dev));
+  }
+  return tuples;
+}
+
+bool parse_host_baseline(const JsonValue& root, std::vector<HostEntry>* out,
+                         std::string* error) {
+  if (root.get("schema").as_string() != "pdt-host-baseline-v1") {
+    if (error != nullptr) {
+      *error = "schema is not pdt-host-baseline-v1 (got \"" +
+               root.get("schema").as_string() + "\")";
+    }
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& e : root.get("entries").array()) {
+    HostEntry h;
+    h.harness = e.get("harness").as_string();
+    h.tag = e.get("tag").as_string();
+    h.formulation = e.get("formulation").as_string();
+    h.procs = e.get("procs").as_int();
+    h.k = e.get("k").as_int();
+    h.median_ns = e.get("median_ns").as_double();
+    h.mad_ns = e.get("mad_ns").as_double();
+    if (h.harness.empty() || h.tag.empty() || h.procs <= 0 ||
+        h.median_ns <= 0.0) {
+      if (error != nullptr) {
+        *error = "host baseline entry missing harness/tag/procs/median_ns";
+      }
+      return false;
+    }
+    out->push_back(std::move(h));
+  }
+  return true;
+}
+
+void write_host_baseline(const std::vector<HostEntry>& entries,
+                         std::ostream& os) {
+  os << "{\n  \"schema\": \"pdt-host-baseline-v1\",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const HostEntry& e = entries[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"harness\": \""
+       << json_escaped(e.harness) << "\", \"tag\": \"" << json_escaped(e.tag)
+       << "\", \"formulation\": \"" << json_escaped(e.formulation)
+       << "\", \"procs\": " << e.procs << ", \"k\": " << e.k
+       << ", \"median_ns\": " << json_double_exact(e.median_ns)
+       << ", \"mad_ns\": " << json_double_exact(e.mad_ns) << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+int run_host_diff(const std::vector<HostEntry>& baseline,
+                  const std::vector<HostEntry>& current,
+                  const HostDiffOptions& opt, std::ostream& os) {
+  // 1.4826 scales a MAD to the standard deviation it would be under
+  // normal noise, so mad_k reads as a sigma count.
+  constexpr double kMadToSigma = 1.4826;
+  int failures = 0;
+  os << "comparing " << baseline.size() << " host tuples (floor "
+     << fmt(100.0 * opt.tol, 1) << "%, mad_k " << fmt(opt.mad_k, 1) << ")\n";
+  for (const HostEntry& b : baseline) {
+    const HostEntry* cur = nullptr;
+    for (const HostEntry& c : current) {
+      if (same_host_tuple(b, c)) {
+        cur = &c;
+        break;
+      }
+    }
+    const std::string name = b.harness + " " + b.tag + " " + b.formulation +
+                             " P=" + std::to_string(b.procs);
+    if (cur == nullptr) {
+      ++failures;
+      os << "MISSING " << name << " — tuple absent from current results\n";
+      continue;
+    }
+    const double band =
+        std::max(opt.tol * b.median_ns,
+                 opt.mad_k * kMadToSigma * (b.mad_ns + cur->mad_ns));
+    const double delta = cur->median_ns - b.median_ns;
+    const bool fail = std::fabs(delta) > band;
+    if (fail) ++failures;
+    os << (fail ? "FAIL    " : "ok      ") << name << " — median "
+       << fmt_ms(b.median_ns) << " -> " << fmt_ms(cur->median_ns) << " ms ("
+       << (delta >= 0.0 ? "+" : "") << fmt(100.0 * delta / b.median_ns, 1)
+       << "%), band ±" << fmt_ms(band) << " ms (k=" << b.k << "/" << cur->k
+       << ", mad " << fmt_ms(b.mad_ns) << "/" << fmt_ms(cur->mad_ns)
+       << " ms)\n";
+  }
+  os << (failures == 0 ? "OK" : "REGRESSION") << ": " << failures << " of "
+     << baseline.size() << " host tuples failed\n";
+  return failures;
+}
+
 }  // namespace pdt::tools

@@ -66,4 +66,67 @@ struct DiffOptions {
                            const std::vector<DiffEntry>& current,
                            const DiffOptions& opt, std::ostream& os);
 
+// ------------------------------------------------------------ host mode --
+//
+// Unlike the virtual clock, host wall time is noisy: the same binary on
+// the same machine jitters run to run, and different machines differ by
+// integer factors. The host gate therefore works on *repeats*: each
+// (harness, tag, formulation, procs) tuple is measured k times (one
+// bench envelope per repeat), collapsed to median + MAD (median absolute
+// deviation — a robust spread immune to one slow outlier run), and the
+// tolerance band scales with the measured noise:
+//
+//   band = max(tol * base_median, mad_k * 1.4826 * (base_mad + cur_mad))
+//
+// 1.4826 * MAD estimates one standard deviation for normal noise, so
+// mad_k is roughly "how many sigmas of combined jitter to forgive"; the
+// tol term floors the band so a near-zero-MAD baseline cannot turn the
+// gate into a bit-exactness check on wall time.
+
+/// One host-time tuple with its repeats collapsed to median + MAD (both
+/// in nanoseconds; k = number of repeats observed).
+struct HostEntry {
+  std::string harness;
+  std::string tag;
+  std::string formulation;
+  std::int64_t procs = 0;
+  std::int64_t k = 0;
+  double median_ns = 0.0;
+  double mad_ns = 0.0;
+};
+
+/// Collect the host total_ns of every instrumented_run section that has
+/// one, across all input envelopes (each input = one repeat), and
+/// collapse per tuple to median + MAD. Tuples keep first-appearance
+/// order; sections without a "host" member contribute nothing.
+[[nodiscard]] std::vector<HostEntry> extract_host_entries(
+    const std::vector<ReportInput>& inputs);
+
+/// Parse a pdt-host-baseline-v1 document.
+[[nodiscard]] bool parse_host_baseline(const JsonValue& root,
+                                       std::vector<HostEntry>* out,
+                                       std::string* error);
+
+/// Write entries as a pdt-host-baseline-v1 document (deterministic,
+/// input-ordered).
+void write_host_baseline(const std::vector<HostEntry>& entries,
+                         std::ostream& os);
+
+struct HostDiffOptions {
+  /// Relative floor of the tolerance band. Host times are not portable
+  /// across machines, so a committed baseline gates with a generous
+  /// default that still catches order-of-magnitude regressions.
+  double tol = 0.5;
+  /// MAD multiplier: how many ~sigmas of combined baseline+current
+  /// jitter to forgive on top of the floor.
+  double mad_k = 5.0;
+};
+
+/// Compare current host medians against a baseline; a line per tuple.
+/// Returns the number of failures (drift past the noise band, or
+/// baseline tuples missing from `current`).
+[[nodiscard]] int run_host_diff(const std::vector<HostEntry>& baseline,
+                                const std::vector<HostEntry>& current,
+                                const HostDiffOptions& opt, std::ostream& os);
+
 }  // namespace pdt::tools

@@ -13,8 +13,8 @@
 // Exit codes follow the suite convention in common/cli.hpp.
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,13 +29,23 @@ constexpr pdt::tools::CliSpec kSpec = {
     "usage: pdt-diff [--tol T] <baseline.json> <bench.json>...\n"
     "       pdt-diff --extract [--procs P,P,...] [-o out.json] "
     "<bench.json>...\n"
+    "       pdt-diff --host [--tol T] [--mad-k K] <baseline.json> "
+    "<bench.json>...\n"
+    "       pdt-diff --host --extract [-o out.json] <bench.json>...\n"
     "\n"
     "Gate the bench reports' headline tuples against a committed\n"
     "baseline (exit 1 on drift past T), or extract a fresh baseline.\n"
     "\n"
-    "  --tol T       relative tolerance (default 1e-9)\n"
+    "Default mode gates the deterministic virtual clock; --host gates\n"
+    "the noisy wall-clock medians instead: pass one bench envelope per\n"
+    "repeat, tuples collapse to median-of-k with a MAD-scaled band\n"
+    "  band = max(T * base_median, K * 1.4826 * (base_mad + cur_mad)).\n"
+    "\n"
+    "  --host        operate on host wall time (median-of-k + MAD)\n"
+    "  --tol T       relative tolerance (default 1e-9; 0.5 with --host)\n"
+    "  --mad-k K     sigmas of jitter to forgive with --host (default 5)\n"
     "  --procs P,..  keep only these processor counts when extracting\n"
-    "  -o out.json   write the extracted baseline to out.json\n"
+    "  -o out.json   write the extracted baseline to out.json (atomic)\n"
     "  -h, --help    show this help\n"
     "  --version     print the tool-suite version\n",
 };
@@ -45,7 +55,10 @@ constexpr pdt::tools::CliSpec kSpec = {
 int main(int argc, char** argv) {
   using namespace pdt::tools;
   bool extract = false;
+  bool host = false;
+  bool tol_set = false;
   double tol = 1e-9;
+  double mad_k = 5.0;
   std::string out_path;
   std::vector<std::int64_t> procs_filter;
   std::vector<std::string> files;
@@ -55,11 +68,19 @@ int main(int argc, char** argv) {
     if (standard_flag(kSpec, arg, &code)) return code;
     if (arg == "--extract") {
       extract = true;
+    } else if (arg == "--host") {
+      host = true;
     } else if (arg == "--tol") {
       if (i + 1 >= argc) return usage(kSpec);
       char* end = nullptr;
       tol = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0' || tol < 0.0) return usage(kSpec);
+      tol_set = true;
+    } else if (arg == "--mad-k") {
+      if (i + 1 >= argc) return usage(kSpec);
+      char* end = nullptr;
+      mad_k = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || mad_k < 0.0) return usage(kSpec);
     } else if (arg == "--procs") {
       if (i + 1 >= argc) return usage(kSpec);
       const char* s = argv[++i];
@@ -88,24 +109,35 @@ int main(int argc, char** argv) {
       if (!load_json_file(kSpec, path, &in.root)) return kExitUsage;
       inputs.push_back(std::move(in));
     }
-    const std::vector<DiffEntry> entries =
-        extract_entries(inputs, procs_filter);
-    if (entries.empty()) {
-      std::fprintf(stderr,
-                   "pdt-diff: no speedup_series points found to extract\n");
-      return kExitFail;
-    }
-    if (out_path.empty()) {
-      write_baseline(entries, std::cout);
-    } else {
-      std::ofstream os(out_path, std::ios::binary);
-      if (!os) {
-        std::fprintf(stderr, "pdt-diff: cannot write %s\n", out_path.c_str());
+    std::ostringstream doc;
+    std::size_t count = 0;
+    if (host) {
+      const std::vector<HostEntry> entries = extract_host_entries(inputs);
+      if (entries.empty()) {
+        std::fprintf(stderr,
+                     "pdt-diff: no instrumented_run host sections found to "
+                     "extract\n");
         return kExitFail;
       }
-      write_baseline(entries, os);
-      std::fprintf(stderr, "pdt-diff: wrote %zu tuples to %s\n",
-                   entries.size(), out_path.c_str());
+      count = entries.size();
+      write_host_baseline(entries, doc);
+    } else {
+      const std::vector<DiffEntry> entries =
+          extract_entries(inputs, procs_filter);
+      if (entries.empty()) {
+        std::fprintf(stderr,
+                     "pdt-diff: no speedup_series points found to extract\n");
+        return kExitFail;
+      }
+      count = entries.size();
+      write_baseline(entries, doc);
+    }
+    if (out_path.empty()) {
+      std::cout << doc.str();
+    } else {
+      if (!write_file_atomic(kSpec, out_path, doc.str())) return kExitFail;
+      std::fprintf(stderr, "pdt-diff: wrote %zu tuples to %s\n", count,
+                   out_path.c_str());
     }
     return kExitOk;
   }
@@ -114,19 +146,35 @@ int main(int argc, char** argv) {
   ReportInput base_in;
   base_in.name = files[0];
   if (!load_json_file(kSpec, files[0], &base_in.root)) return kExitUsage;
-  std::vector<DiffEntry> baseline;
-  std::string error;
-  if (!parse_baseline(base_in.root, &baseline, &error)) {
-    std::fprintf(stderr, "pdt-diff: %s: %s\n", files[0].c_str(),
-                 error.c_str());
-    return kExitUsage;
-  }
   std::vector<ReportInput> inputs;
   for (std::size_t i = 1; i < files.size(); ++i) {
     ReportInput in;
     in.name = files[i];
     if (!load_json_file(kSpec, files[i], &in.root)) return kExitUsage;
     inputs.push_back(std::move(in));
+  }
+
+  std::string error;
+  if (host) {
+    std::vector<HostEntry> baseline;
+    if (!parse_host_baseline(base_in.root, &baseline, &error)) {
+      std::fprintf(stderr, "pdt-diff: %s: %s\n", files[0].c_str(),
+                   error.c_str());
+      return kExitUsage;
+    }
+    const std::vector<HostEntry> current = extract_host_entries(inputs);
+    HostDiffOptions opt;
+    if (tol_set) opt.tol = tol;
+    opt.mad_k = mad_k;
+    return run_host_diff(baseline, current, opt, std::cout) == 0 ? kExitOk
+                                                                 : kExitFail;
+  }
+
+  std::vector<DiffEntry> baseline;
+  if (!parse_baseline(base_in.root, &baseline, &error)) {
+    std::fprintf(stderr, "pdt-diff: %s: %s\n", files[0].c_str(),
+                 error.c_str());
+    return kExitUsage;
   }
   const std::vector<DiffEntry> current = extract_entries(inputs, {});
   DiffOptions opt;

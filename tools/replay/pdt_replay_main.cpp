@@ -21,8 +21,8 @@
 // Exit codes follow the suite convention in common/cli.hpp.
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -140,12 +140,9 @@ int main(int argc, char** argv) {
   if (out_path.empty()) {
     rc = run_replay(logs, opt, std::cout);
   } else {
-    std::ofstream os(out_path, std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "pdt-replay: cannot write %s\n", out_path.c_str());
-      return kExitFail;
-    }
+    std::ostringstream os;
     rc = run_replay(logs, opt, os);
+    if (!write_file_atomic(kSpec, out_path, os.str())) return kExitFail;
   }
   if (rc != 0) {
     std::fprintf(stderr,

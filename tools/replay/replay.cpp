@@ -166,6 +166,24 @@ bool parse_event_log(const JsonValue& root, EventLog* out,
                 std::to_string(out->recorded_clocks.size()) +
                 " entries, expected nprocs = " + std::to_string(out->nprocs));
   }
+
+  // Optional wall-clock overlay (logs recorded without a host profiler
+  // simply lack the key).
+  const JsonValue& host = root.get("host");
+  out->has_host = !host.is_null();
+  out->host_by_phase.clear();
+  if (out->has_host) {
+    out->host_clock = host.get("clock").as_string();
+    out->host_total_ns = host.get("total_ns").as_double();
+    out->host_samples = static_cast<std::uint64_t>(host.get("samples").as_int());
+    for (const JsonValue& p : host.get("by_phase").array()) {
+      HostPhaseRow row;
+      row.phase = p.get("phase").as_string();
+      row.host_ns = p.get("host_ns").as_double();
+      row.virtual_us = p.get("virtual_us").as_double();
+      out->host_by_phase.push_back(std::move(row));
+    }
+  }
   return true;
 }
 
@@ -429,6 +447,74 @@ int run_replay(const std::vector<EventLog>& logs, const ReplayOptions& opt,
        << ", \"events\": " << log.events.size() << "}";
   }
   os << "\n  ]";
+
+  // Predicted-vs-measured overlay from logs recorded with a host
+  // profiler: the virtual clock is the model's prediction, total_ns is
+  // what the recording machine actually spent. The scaling rows pair
+  // every host-carrying log against the smallest-P one with the same
+  // meta.n, so a P sweep of logs charts predicted speedup next to the
+  // measured wall-time ratio.
+  {
+    std::vector<const EventLog*> host_logs;
+    for (const EventLog& log : logs) {
+      if (log.has_host && log.host_total_ns > 0.0) host_logs.push_back(&log);
+    }
+    if (!host_logs.empty()) {
+      os << ",\n  \"host\": {\"logs\": [";
+      for (std::size_t i = 0; i < host_logs.size(); ++i) {
+        const EventLog& log = *host_logs[i];
+        os << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+           << json_escaped(log.name) << "\", \"procs\": " << log.nprocs
+           << ", \"clock\": \"" << json_escaped(log.host_clock)
+           << "\", \"total_ns\": " << json_double_exact(log.host_total_ns)
+           << ", \"samples\": " << log.host_samples
+           << ", \"virtual_us\": "
+           << json_double_exact(log.recorded_max_clock)
+           << ", \"ns_per_virtual_us\": "
+           << json_double_exact(log.recorded_max_clock > 0.0
+                                    ? log.host_total_ns /
+                                          log.recorded_max_clock
+                                    : 0.0)
+           << ", \"by_phase\": [";
+        for (std::size_t p = 0; p < log.host_by_phase.size(); ++p) {
+          const HostPhaseRow& row = log.host_by_phase[p];
+          os << (p == 0 ? "" : ", ") << "{\"phase\": \""
+             << json_escaped(row.phase)
+             << "\", \"host_ns\": " << json_double_exact(row.host_ns)
+             << ", \"virtual_us\": " << json_double_exact(row.virtual_us)
+             << "}";
+        }
+        os << "]}";
+      }
+      os << "\n  ], \"scaling\": [";
+      bool first = true;
+      for (const EventLog* log : host_logs) {
+        // Baseline: the smallest-P host log sharing this log's meta.n.
+        const EventLog* base = nullptr;
+        for (const EventLog* cand : host_logs) {
+          if (cand->n != log->n) continue;
+          if (base == nullptr || cand->nprocs < base->nprocs) base = cand;
+        }
+        if (base == nullptr || base == log) continue;
+        os << (first ? "" : ",") << "\n    {\"name\": \""
+           << json_escaped(log->name) << "\", \"procs\": " << log->nprocs
+           << ", \"baseline_procs\": " << base->nprocs
+           << ", \"predicted_speedup\": "
+           << json_double_exact(log->recorded_max_clock > 0.0
+                                    ? base->recorded_max_clock /
+                                          log->recorded_max_clock
+                                    : 0.0)
+           << ", \"measured_host_ratio\": "
+           << json_double_exact(log->host_total_ns > 0.0
+                                    ? base->host_total_ns /
+                                          log->host_total_ns
+                                    : 0.0)
+           << "}";
+        first = false;
+      }
+      os << "\n  ]}";
+    }
+  }
 
   if (opt.check) {
     os << ",\n  \"check\": {\"logs\": [";

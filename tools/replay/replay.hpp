@@ -76,6 +76,13 @@ struct ReplayEvent {
   std::vector<int> members;
 };
 
+/// One per-phase row of the optional host overlay.
+struct HostPhaseRow {
+  std::string phase;
+  double host_ns = 0.0;
+  double virtual_us = 0.0;
+};
+
 /// A fully parsed pdt-events-v1 document.
 struct EventLog {
   std::string name;
@@ -89,6 +96,16 @@ struct EventLog {
   std::vector<ReplayEvent> events;
   double recorded_max_clock = 0.0;
   std::vector<double> recorded_clocks;
+
+  /// Measured wall-clock overlay, when the log carries a "host" object
+  /// (a HostProfiler rode the recorded run). Lets run_replay chart
+  /// predicted (virtual, re-priced) scaling against what the recording
+  /// host actually spent.
+  bool has_host = false;
+  std::string host_clock;
+  double host_total_ns = 0.0;
+  std::uint64_t host_samples = 0;
+  std::vector<HostPhaseRow> host_by_phase;
 };
 
 /// Parse a pdt-events-v1 root object. On failure returns false and

@@ -5,8 +5,8 @@
 // Output is deterministic: the same inputs always produce byte-identical
 // markdown. Exit codes follow the suite convention in common/cli.hpp.
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,14 +18,18 @@ namespace {
 
 constexpr pdt::tools::CliSpec kSpec = {
     "pdt-report",
-    "usage: pdt-report [-o out.md] <report.json>...\n"
+    "usage: pdt-report [-o out.md] [--section <name>]... <report.json>...\n"
     "\n"
     "Render pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / pdt-mem-v1 /\n"
-    "pdt-replay-v1 JSON reports as deterministic markdown.\n"
+    "pdt-host-v1 / pdt-replay-v1 JSON reports as deterministic markdown.\n"
     "\n"
-    "  -o out.md    write to out.md instead of stdout\n"
-    "  -h, --help   show this help\n"
-    "  --version    print the tool-suite version\n",
+    "  -o out.md        write to out.md instead of stdout (atomic:\n"
+    "                   temp file + rename)\n"
+    "  --section NAME   render only this section (repeatable); report\n"
+    "                   headers are always kept\n"
+    "  --list-sections  print the selectable section names and exit\n"
+    "  -h, --help       show this help\n"
+    "  --version        print the tool-suite version\n",
 };
 
 }  // namespace
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
   using namespace pdt::tools;
   std::string out_path;
   std::vector<std::string> files;
+  RenderOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     int code = kExitOk;
@@ -41,6 +46,22 @@ int main(int argc, char** argv) {
     if (arg == "-o") {
       if (i + 1 >= argc) return usage(kSpec);
       out_path = argv[++i];
+    } else if (arg == "--section") {
+      if (i + 1 >= argc) return usage(kSpec);
+      const std::string name = argv[++i];
+      bool known = false;
+      for (const char* s : kReportSections) known = known || name == s;
+      if (!known) {
+        std::fprintf(stderr,
+                     "pdt-report: unknown section \"%s\" "
+                     "(--list-sections shows the choices)\n",
+                     name.c_str());
+        return kExitUsage;
+      }
+      opt.sections.push_back(name);
+    } else if (arg == "--list-sections") {
+      for (const char* s : kReportSections) std::printf("%s\n", s);
+      return kExitOk;
     } else {
       files.emplace_back(arg);
     }
@@ -57,14 +78,11 @@ int main(int argc, char** argv) {
 
   bool ok = false;
   if (out_path.empty()) {
-    ok = render_report(inputs, std::cout);
+    ok = render_report(inputs, std::cout, opt);
   } else {
-    std::ofstream os(out_path, std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "pdt-report: cannot write %s\n", out_path.c_str());
-      return kExitFail;
-    }
-    ok = render_report(inputs, os);
+    std::ostringstream os;
+    ok = render_report(inputs, os, opt);
+    if (!write_file_atomic(kSpec, out_path, os.str())) return kExitFail;
   }
   return ok ? kExitOk : kExitFail;
 }

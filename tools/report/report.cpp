@@ -1,6 +1,8 @@
 #include "report/report.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <string_view>
 
@@ -381,6 +383,128 @@ void render_mem_scaling(const JsonValue& sections, std::ostream& os) {
   }
 }
 
+// ---------------------------------------------------------------- host --
+
+std::string fmt_ms_from_ns(double ns) { return fmt(ns / 1e6, 3); }
+
+// The virtual-vs-host side-by-side of one instrumented run: both clocks'
+// per-phase shares of their own totals, and the signed divergence (in
+// percentage points) ranking where the SP-2 cost model and this host
+// disagree most about where the time goes.
+void render_host(const JsonValue& h, std::ostream& os) {
+  os << "- host clock: `" << h.get("clock").as_string() << "`, "
+     << fmt_ms_from_ns(h.get("total_ns").as_double()) << " ms over "
+     << h.get("samples").as_int() << " samples (paired virtual total: "
+     << fmt_us(h.get("virtual_total_us").as_double()) << " us)\n";
+  const JsonValue& c = h.get("counters");
+  if (!c.is_null()) {
+    if (c.get("enabled").as_bool()) {
+      os << "- hw counters: " << fmt_int(c.get("cycles").as_double())
+         << " cycles, " << fmt_int(c.get("instructions").as_double())
+         << " instructions (IPC " << fmt(c.get("ipc").as_double(), 2)
+         << ")\n";
+    } else if (c.get("requested").as_bool()) {
+      os << "- hw counters: requested but unavailable (perf_event_open "
+            "refused or unsupported on this platform)\n";
+    }
+  }
+  os << "\n";
+
+  const JsonValue& by_phase = h.get("by_phase");
+  if (by_phase.size() == 0) return;
+  os << "#### Host vs simulated time share by phase\n\n";
+  os << "| phase | host ms | host % | virtual us | virtual % | "
+        "divergence pp |\n";
+  os << "|---|---:|---:|---:|---:|---:|\n";
+  for (const JsonValue& p : by_phase.array()) {
+    os << "| " << p.get("phase").as_string() << " | "
+       << fmt_ms_from_ns(p.get("host_ns").as_double()) << " | "
+       << fmt(p.get("host_share_pct").as_double(), 1) << " | "
+       << fmt_us(p.get("virtual_us").as_double()) << " | "
+       << fmt(p.get("virtual_share_pct").as_double(), 1) << " | "
+       << fmt(p.get("divergence_pp").as_double(), 1) << " |\n";
+  }
+  os << "\n";
+
+  // Divergence ranking: phases whose host share most exceeds (+) or
+  // falls short of (-) their simulated share. Stable sort keeps the
+  // input (phase-id) order on ties, so the output is deterministic.
+  std::vector<const JsonValue*> ranked;
+  for (const JsonValue& p : by_phase.array()) ranked.push_back(&p);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const JsonValue* a, const JsonValue* b) {
+                     return std::fabs(a->get("divergence_pp").as_double()) >
+                            std::fabs(b->get("divergence_pp").as_double());
+                   });
+  if (ranked.size() > 3) ranked.resize(3);
+  os << "Largest simulated-vs-real divergences (+ = dearer on this host "
+        "than the cost model says):";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const double d = ranked[i]->get("divergence_pp").as_double();
+    os << (i == 0 ? " " : ", ") << ranked[i]->get("phase").as_string() << " ("
+       << (d >= 0.0 ? "+" : "") << fmt(d, 1) << "pp)";
+  }
+  os << "\n\n";
+}
+
+// The host-time speedup table: for every formulation measured at two or
+// more processor counts, how the *wall* time of the simulated runs
+// scales next to the virtual speedup the simulator predicts. On one
+// host core the wall time should be roughly flat in P (same data work +
+// simulation overhead) — the virtual column is the paper's claim, the
+// host column is what this machine actually did; divergence between the
+// two trends is the point of the table.
+void render_host_speedup(const JsonValue& sections, std::ostream& os) {
+  struct Entry {
+    std::int64_t procs;
+    double host_ns;
+    double virt_us;
+  };
+  std::vector<std::string> forms;
+  std::vector<std::vector<Entry>> by_form;
+  for (const JsonValue& sec : sections.array()) {
+    if (sec.get("type").as_string() != "instrumented_run") continue;
+    const JsonValue& h = sec.get("host");
+    if (h.is_null()) continue;
+    const std::string& f = sec.get("formulation").as_string();
+    std::size_t i = 0;
+    for (; i < forms.size(); ++i) {
+      if (forms[i] == f) break;
+    }
+    if (i == forms.size()) {
+      forms.push_back(f);
+      by_form.emplace_back();
+    }
+    by_form[i].push_back(Entry{sec.get("procs").as_int(),
+                               h.get("total_ns").as_double(),
+                               sec.get("max_clock_us").as_double()});
+  }
+
+  for (std::size_t i = 0; i < forms.size(); ++i) {
+    std::vector<Entry>& entries = by_form[i];
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.procs < b.procs;
+                     });
+    if (entries.size() < 2 || entries.front().procs == entries.back().procs) {
+      continue;
+    }
+    const Entry& base = entries.front();
+    os << "### Host-time speedup — " << forms[i] << " (baseline P="
+       << base.procs << ")\n\n";
+    os << "| P | host ms | host speedup | virtual us | virtual speedup |\n";
+    os << "|---:|---:|---:|---:|---:|\n";
+    for (const Entry& e : entries) {
+      os << "| " << e.procs << " | " << fmt_ms_from_ns(e.host_ns) << " | "
+         << fmt(e.host_ns > 0.0 ? base.host_ns / e.host_ns : 0.0, 2) << " | "
+         << fmt_us(e.virt_us) << " | "
+         << fmt(e.virt_us > 0.0 ? base.virt_us / e.virt_us : 0.0, 2)
+         << " |\n";
+    }
+    os << "\n";
+  }
+}
+
 // ---------------------------------------------------------------- bench --
 
 void render_speedup_tables(const JsonValue& sections, std::ostream& os) {
@@ -494,6 +618,44 @@ void render_replay(const ReportInput& in, std::ostream& os) {
     os << "\n";
   }
 
+  const JsonValue& host = root.get("host");
+  if (!host.is_null()) {
+    const JsonValue& hlogs = host.get("logs");
+    if (hlogs.size() > 0) {
+      os << "#### Host overlay — measured wall time of the recorded runs\n\n";
+      os << "| log | procs | clock | host ms | virtual us | "
+            "ns per virtual us |\n";
+      os << "|---|---:|---|---:|---:|---:|\n";
+      for (const JsonValue& l : hlogs.array()) {
+        os << "| `" << l.get("name").as_string() << "` | "
+           << l.get("procs").as_int() << " | "
+           << l.get("clock").as_string() << " | "
+           << fmt_ms_from_ns(l.get("total_ns").as_double()) << " | "
+           << fmt_us(l.get("virtual_us").as_double()) << " | "
+           << fmt(l.get("ns_per_virtual_us").as_double(), 2) << " |\n";
+      }
+      os << "\n";
+    }
+    const JsonValue& scaling = host.get("scaling");
+    if (scaling.size() > 0) {
+      os << "#### Predicted vs measured scaling\n\n";
+      os << "| log | procs | baseline P | predicted speedup | "
+            "measured host ratio |\n";
+      os << "|---|---:|---:|---:|---:|\n";
+      for (const JsonValue& s : scaling.array()) {
+        os << "| `" << s.get("name").as_string() << "` | "
+           << s.get("procs").as_int() << " | "
+           << s.get("baseline_procs").as_int() << " | "
+           << fmt(s.get("predicted_speedup").as_double(), 2) << " | "
+           << fmt(s.get("measured_host_ratio").as_double(), 2) << " |\n";
+      }
+      os << "\nPredicted speedup re-prices the virtual clocks; the "
+            "measured ratio is wall time on the recording host (flat is "
+            "expected on one core — divergence between the trends is the "
+            "simulation overhead/cost-model gap).\n\n";
+    }
+  }
+
   const JsonValue& check = root.get("check");
   if (!check.is_null()) {
     const bool ok = check.get("ok").as_bool();
@@ -598,7 +760,8 @@ void render_replay(const ReportInput& in, std::ostream& os) {
   }
 }
 
-void render_bench(const ReportInput& in, std::ostream& os) {
+void render_bench(const ReportInput& in, std::ostream& os,
+                  const RenderOptions& opt) {
   const JsonValue& root = in.root;
   os << "# Bench report: " << root.get("harness").as_string() << "\n\n";
   os << "- source: `" << in.name << "`\n";
@@ -613,18 +776,21 @@ void render_bench(const ReportInput& in, std::ostream& os) {
   os << "\n";
 
   const JsonValue& sections = root.get("sections");
-  render_speedup_tables(sections, os);
-  render_mem_scaling(sections, os);
+  if (opt.wants("speedup")) render_speedup_tables(sections, os);
+  if (opt.wants("host")) render_host_speedup(sections, os);
+  if (opt.wants("memory")) render_mem_scaling(sections, os);
 
   for (const JsonValue& sec : sections.array()) {
     const std::string& type = sec.get("type").as_string();
     if (type == "mem_run") {
+      if (!opt.wants("memory")) continue;
       os << "## Memory run `" << sec.get("tag").as_string() << "` — P="
          << sec.get("procs").as_int() << "\n\n";
       render_mem(sec.get("mem"), os);
       continue;
     }
     if (type == "mem_contrast") {
+      if (!opt.wants("memory")) continue;
       os << "## Memory contrast at P=" << sec.get("procs").as_int() << "\n\n";
       for (const JsonValue& row : sec.get("rows").array()) {
         os << "### " << row.get("scheme").as_string() << " ("
@@ -635,6 +801,7 @@ void render_bench(const ReportInput& in, std::ostream& os) {
       continue;
     }
     if (type == "fault_tolerance") {
+      if (!opt.wants("fault")) continue;
       os << "## Fault tolerance (pdt-ft-v1) — "
          << sec.get("formulation").as_string() << ", P="
          << sec.get("procs").as_int() << ", n=" << sec.get("n").as_int()
@@ -673,48 +840,65 @@ void render_bench(const ReportInput& in, std::ostream& os) {
     os << "- simulated runtime: " << fmt_us(sec.get("max_clock_us").as_double())
        << " us\n";
     const JsonValue& metrics = sec.get("metrics");
-    if (!metrics.is_null()) render_metrics(metrics, os);
+    if (!metrics.is_null() && opt.wants("metrics")) render_metrics(metrics, os);
     const JsonValue& comm = sec.get("comm");
-    if (!comm.is_null()) {
+    if (!comm.is_null() && opt.wants("comm")) {
       os << "### Communication (pdt-comm-v1)\n\n";
       render_comm(comm, os);
     }
     const JsonValue& mem = sec.get("mem");
-    if (!mem.is_null()) {
+    if (!mem.is_null() && opt.wants("memory")) {
       os << "### Memory (pdt-mem-v1)\n\n";
       render_mem(mem, os);
+    }
+    const JsonValue& host = sec.get("host");
+    if (!host.is_null() && opt.wants("host")) {
+      os << "### Host wall-clock (pdt-host-v1)\n\n";
+      render_host(host, os);
     }
   }
 }
 
 }  // namespace
 
-bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os) {
+bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os,
+                   const RenderOptions& opt) {
   bool ok = true;
   for (const ReportInput& in : inputs) {
     const std::string& schema = in.root.get("schema").as_string();
     if (schema == "pdt-bench-v1") {
-      render_bench(in, os);
+      render_bench(in, os, opt);
     } else if (schema == "pdt-metrics-v1") {
       os << "# Metrics report: `" << in.name << "`\n\n";
-      render_metrics(in.root, os);
+      if (opt.wants("metrics")) render_metrics(in.root, os);
     } else if (schema == "pdt-comm-v1") {
       os << "# Communication report: `" << in.name << "`\n\n";
-      render_comm(in.root, os);
+      if (opt.wants("comm")) render_comm(in.root, os);
     } else if (schema == "pdt-mem-v1") {
       os << "# Memory report: `" << in.name << "`\n\n";
-      render_mem(in.root, os);
+      if (opt.wants("memory")) render_mem(in.root, os);
+    } else if (schema == "pdt-host-v1") {
+      os << "# Host report: `" << in.name << "`\n\n";
+      if (opt.wants("host")) render_host(in.root, os);
     } else if (schema == "pdt-replay-v1") {
-      render_replay(in, os);
+      if (opt.wants("replay")) {
+        render_replay(in, os);
+      } else {
+        os << "# Replay report: `" << in.name << "`\n\n";
+      }
     } else {
       os << "# Unrecognized report: `" << in.name << "`\n\n";
       os << "- schema: `" << (schema.empty() ? "(none)" : schema)
          << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / "
-            "pdt-mem-v1 / pdt-replay-v1\n\n";
+            "pdt-mem-v1 / pdt-host-v1 / pdt-replay-v1\n\n";
       ok = false;
     }
   }
   return ok;
+}
+
+bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os) {
+  return render_report(inputs, os, RenderOptions{});
 }
 
 }  // namespace pdt::tools

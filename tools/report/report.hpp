@@ -17,6 +17,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json_value.hpp"
@@ -28,8 +29,33 @@ struct ReportInput {
   JsonValue root;
 };
 
+/// The selectable section names, in render order (what --list-sections
+/// prints and --section validates against).
+inline constexpr const char* kReportSections[] = {
+    "speedup", "metrics", "comm", "memory", "host", "fault", "replay",
+};
+
+struct RenderOptions {
+  /// Sections to render; empty = all. Report headers (title, source,
+  /// scale, cost model) are always rendered so filtered output stays
+  /// self-describing.
+  std::vector<std::string> sections;
+
+  [[nodiscard]] bool wants(std::string_view name) const {
+    if (sections.empty()) return true;
+    for (const std::string& s : sections) {
+      if (s == name) return true;
+    }
+    return false;
+  }
+};
+
 /// Render all inputs into one markdown document. Returns false (after
 /// still rendering what it can) if any input has an unrecognized schema.
+bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os,
+                   const RenderOptions& opt);
+
+/// Render everything (empty RenderOptions).
 bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os);
 
 }  // namespace pdt::tools
