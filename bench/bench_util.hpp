@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -25,6 +26,7 @@
 #include "data/quest.hpp"
 #include "obs/atomic_file.hpp"
 #include "obs/export.hpp"
+#include "obs/fingerprint.hpp"
 #include "obs/observability.hpp"
 
 namespace pdt::bench {
@@ -88,6 +90,10 @@ inline void header(const char* fig, const char* what) {
 }
 
 /// Directory for JSON artifacts, or nullopt when disabled (PDT_JSON=0).
+/// A PDT_JSON_DIR that does not exist yet is created recursively (the CI
+/// repeat loops point fresh harness runs at per-repeat directories); a
+/// failed creation warns once and lets the per-file opens report the
+/// rest.
 inline std::optional<std::string> json_dir() {
   const char* toggle = std::getenv("PDT_JSON");
   if (toggle != nullptr &&
@@ -96,6 +102,19 @@ inline std::optional<std::string> json_dir() {
   }
   const char* dir = std::getenv("PDT_JSON_DIR");
   if (dir == nullptr || *dir == '\0') return std::string(".");
+  static bool attempted = false;
+  if (!attempted) {
+    attempted = true;
+    std::error_code ec;
+    if (!std::filesystem::exists(dir, ec)) {
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr,
+                     "warning: cannot create PDT_JSON_DIR \"%s\": %s\n", dir,
+                     ec.message().c_str());
+      }
+    }
+  }
   return std::string(dir);
 }
 
@@ -116,6 +135,15 @@ inline bool host_enabled() {
 inline bool host_counters_requested() {
   const char* env = std::getenv("PDT_HOST_COUNTERS");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// This process's environment fingerprint (git SHA, compiler, CPU,
+/// PDT_* env) — collected once, stamped into every envelope and event
+/// log so the pdt-trend registry can attribute any drift to a build or
+/// machine change.
+inline const obs::EnvFingerprint& fingerprint() {
+  static const obs::EnvFingerprint fp = obs::EnvFingerprint::collect();
+  return fp;
 }
 
 /// The harness's JSON report: an envelope object with run metadata and a
@@ -143,6 +171,8 @@ class BenchReport {
     w_->kv("t_c", mpsim::CostModel::sp2().t_c);
     w_->kv("t_io", mpsim::CostModel::sp2().t_io);
     w_->end_object();
+    w_->key("fingerprint");
+    obs::write_fingerprint(*w_, fingerprint());
     w_->key("sections").begin_array();
   }
 
@@ -323,6 +353,7 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
         meta.n = static_cast<std::int64_t>(ds.num_rows());
         meta.procs = opt.num_procs;
         meta.iso_c = iso_c;
+        meta.fingerprint = &fingerprint();
         obs::write_events_report(events_file.stream(), *o.event_log(), meta,
                                  o.host_profiler());
         if (events_file.commit()) {

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/fingerprint.hpp"
+
 namespace pdt::obs {
 
 // ---------------------------------------------------------------- JSON --
@@ -577,6 +579,10 @@ void write_events(JsonWriter& w, const mpsim::EventRecorder& rec,
   w.kv("n", meta.n);
   w.kv("procs", meta.procs != 0 ? meta.procs : rec.nprocs());
   w.kv("iso_c", meta.iso_c);
+  if (meta.fingerprint != nullptr) {
+    w.key("fingerprint");
+    write_fingerprint(w, *meta.fingerprint);
+  }
   w.end_object();
 
   w.key("phases").begin_array();

@@ -49,6 +49,8 @@
 
 namespace pdt::obs {
 
+struct EnvFingerprint;
+
 /// Minimal streaming JSON writer (comma/nesting management + escaping).
 /// Also used by the bench harnesses for their report envelopes.
 class JsonWriter {
@@ -128,6 +130,9 @@ struct EventLogMeta {
   std::int64_t n = 0;       ///< training records
   int procs = 0;            ///< ranks in the recorded run
   double iso_c = 0.0;       ///< core::isoefficiency_constant (0 = absent)
+  /// Build/machine provenance (borrowed; absent when null, so logs
+  /// written without one keep their pre-fingerprint bytes).
+  const EnvFingerprint* fingerprint = nullptr;
 };
 
 /// Emit the "pdt-events-v1" execution log as one JSON object value on

@@ -1,0 +1,120 @@
+#include "obs/fingerprint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+#include <thread>
+
+#include "obs/export.hpp"
+
+#if defined(_WIN32)
+#include <winsock2.h>
+#else
+#include <unistd.h>
+extern char** environ;
+#endif
+
+// Provenance embedded at configure time (src/obs/CMakeLists.txt runs
+// git there); a tarball build that never saw git gets "unknown".
+#ifndef PDT_GIT_SHA
+#define PDT_GIT_SHA "unknown"
+#endif
+#ifndef PDT_GIT_DIRTY
+#define PDT_GIT_DIRTY 0
+#endif
+#ifndef PDT_CXX_FLAGS
+#define PDT_CXX_FLAGS ""
+#endif
+
+namespace pdt::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string cpu_model() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view key = "model name";
+    if (line.compare(0, key.size(), key) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+std::string host_name() {
+#if defined(_WIN32)
+  const char* env = std::getenv("COMPUTERNAME");
+  return env != nullptr ? env : "unknown";
+#else
+  char buf[256] = {};
+  if (gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+#endif
+}
+
+std::vector<std::pair<std::string, std::string>> pdt_environment() {
+  std::vector<std::pair<std::string, std::string>> out;
+#if !defined(_WIN32)
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry = *e;
+    if (entry.substr(0, 4) != "PDT_") continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    out.emplace_back(std::string(entry.substr(0, eq)),
+                     std::string(entry.substr(eq + 1)));
+  }
+#endif
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+EnvFingerprint EnvFingerprint::collect() {
+  EnvFingerprint fp;
+  fp.git_sha = PDT_GIT_SHA;
+  fp.git_dirty = PDT_GIT_DIRTY != 0;
+  fp.compiler = compiler_id();
+  fp.flags = PDT_CXX_FLAGS;
+  fp.cpu = cpu_model();
+  fp.cores = static_cast<int>(std::thread::hardware_concurrency());
+  fp.hostname = host_name();
+  fp.pdt_env = pdt_environment();
+  return fp;
+}
+
+void write_fingerprint(JsonWriter& w, const EnvFingerprint& fp) {
+  w.begin_object();
+  w.kv("git_sha", fp.git_sha);
+  w.kv("git_dirty", fp.git_dirty);
+  w.kv("compiler", fp.compiler);
+  w.kv("flags", fp.flags);
+  w.kv("cpu", fp.cpu);
+  w.kv("cores", fp.cores);
+  w.kv("hostname", fp.hostname);
+  w.key("env").begin_object();
+  for (const auto& [k, v] : fp.pdt_env) w.kv(k, v);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace pdt::obs

@@ -215,5 +215,62 @@ TEST(AtomicFile, CommitPublishesAndAbandonLeavesNothing) {
   std::filesystem::remove(path);
 }
 
+TEST(AtomicFile, MissingTargetDirectoryFailsCleanly) {
+  // AtomicFile does not create directories — that is the writer's job
+  // (bench_util::json_dir() pre-creates PDT_JSON_DIR). A missing parent
+  // must surface as ok()==false, not a crash or a stray file.
+  const std::string missing =
+      ::testing::TempDir() + "/no_such_dir_atomic/sub/x.json";
+  AtomicFile f(missing);
+  EXPECT_FALSE(f.ok());
+  f.stream() << "into the void";  // null sink: must not throw
+  EXPECT_FALSE(f.commit());
+  EXPECT_FALSE(std::filesystem::exists(missing));
+}
+
+TEST(AtomicFile, OverwriteReplacesContentOnlyOnCommit) {
+  const std::string path = ::testing::TempDir() + "/atomic_overwrite.json";
+  {
+    AtomicFile f(path);
+    ASSERT_TRUE(f.ok());
+    f.stream() << "old";
+    ASSERT_TRUE(f.commit());
+  }
+  {
+    AtomicFile f(path);
+    ASSERT_TRUE(f.ok());
+    f.stream() << "new and longer";
+    // Until commit, readers still see the previous artifact whole.
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "old");
+    ASSERT_TRUE(f.commit());
+  }
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "new and longer");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, AbandonAfterPartialWriteLeavesNoTrace) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/atomic_abandon_fresh.json";
+  std::filesystem::remove(path);
+  {
+    AtomicFile f(path);
+    ASSERT_TRUE(f.ok());
+    f.stream() << "{\"truncated\": ";
+    // Scope exit without commit(): the destructor must clean up.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path))
+      << "abandon must not publish a torn artifact";
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().string().find(path + ".tmp"), std::string::npos)
+        << "leftover temp file: " << e.path();
+  }
+}
+
 }  // namespace
 }  // namespace pdt::obs

@@ -166,5 +166,37 @@ TEST(JsonValue, ParsesNonFiniteAsNullPerWriterContract) {
   EXPECT_DOUBLE_EQ(v.get("delta_us").as_double(0.0), 0.0);
 }
 
+TEST(JsonValue, RejectsEmptyAndWhitespaceOnlyInput) {
+  // An empty PDT_JSON_DIR artifact (e.g. a file touched but never
+  // written) must read as a parse error with a position, not as a
+  // silent null document.
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("", &v, &err));
+  EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+  EXPECT_NE(err.find("at byte 0"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(json_parse("  \n\t ", &v, &err));
+  EXPECT_NE(err.find("unexpected end of input"), std::string::npos) << err;
+}
+
+TEST(JsonValue, SerializeRoundTripsDocumentsCompactly) {
+  // json_serialize is how pdt-trend copies fingerprint objects from
+  // envelopes into registry records: insertion order and exact doubles
+  // must survive a parse -> serialize -> parse cycle.
+  const std::string text =
+      R"({"git_sha":"abc","git_dirty":true,"cores":4,"ratio":0.1,)"
+      R"("env":{"PDT_SCALE":"0.05"},"list":[1,"two",null,false]})";
+  const JsonValue v = parse_ok(text);
+  EXPECT_EQ(json_serialize(v), text) << "compact form is the fixed point";
+
+  const JsonValue again = parse_ok(json_serialize(v));
+  EXPECT_EQ(json_serialize(again), text);
+  EXPECT_DOUBLE_EQ(again.get("ratio").as_double(), 0.1) << "bit-exact";
+  // Escapes survive.
+  const JsonValue esc = parse_ok(R"({"a":"q\"b\\c"})");
+  EXPECT_EQ(json_serialize(esc), R"({"a":"q\"b\\c"})");
+}
+
 }  // namespace
 }  // namespace pdt::tools

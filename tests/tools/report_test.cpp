@@ -223,6 +223,62 @@ TEST(Report, WantsIsAllWhenEmptyAndMembershipOtherwise) {
   EXPECT_FALSE(some.wants("host"));
 }
 
+TEST(Report, TrendSchemaRendersSparklinesAndExplainTable) {
+  constexpr std::string_view kTrendDoc = R"({
+    "schema": "pdt-trend-v1", "runs": 3, "window": 5,
+    "tol": 0.5, "mad_k": 5, "vtol": 0.02,
+    "meta": [
+      {"seq": 1, "timestamp": "2026-08-01T00:00:00Z", "label": "a",
+       "git_sha": "abc123", "git_dirty": false},
+      {"seq": 2, "timestamp": "", "label": "", "git_sha": "def456",
+       "git_dirty": true},
+      {"seq": 3, "timestamp": "2026-08-03T00:00:00Z", "label": "c",
+       "git_sha": "abc789", "git_dirty": false}
+    ],
+    "tuples": [
+      {"name": "fig6 0.8M hybrid P=8", "kind": "host",
+       "verdict": "REGRESSION", "seqs": [1, 2, 3],
+       "values": [100000000.0, 101000000.0, 300000000.0],
+       "changepoints": [{"seq": 3, "direction": "up"}],
+       "base": 100500000.0, "latest": 300000000.0, "band": 50250000.0,
+       "explain": [
+         {"phase": "comm", "level": 1, "before_ns": 20000000.0,
+          "after_ns": 220000000.0, "delta_ns": 200000000.0,
+          "share_pct": 100.2}
+       ]},
+      {"name": "fig6 0.8M hybrid P=8", "kind": "virtual", "verdict": "ok",
+       "seqs": [1, 2, 3], "values": [1000.0, 1000.0, 1000.0],
+       "changepoints": [], "base": 1000.0, "latest": 1000.0, "band": 20.0}
+    ]
+  })";
+  std::ostringstream os1, os2;
+  EXPECT_TRUE(render_report({make_input("trend.json", kTrendDoc)}, os1));
+  EXPECT_TRUE(render_report({make_input("trend.json", kTrendDoc)}, os2));
+  EXPECT_EQ(os1.str(), os2.str()) << "byte-identical re-render";
+  const std::string out = os1.str();
+  EXPECT_NE(out.find("# Trend report: `trend.json`"), std::string::npos);
+  EXPECT_NE(out.find("| 2 | - | def456\\* | - |"), std::string::npos)
+      << "dirty build marked, empty fields dashed:\n" << out;
+  EXPECT_NE(out.find("▁"), std::string::npos) << "sparkline rendered";
+  EXPECT_NE(out.find("^@3"), std::string::npos) << "changepoint marker";
+  EXPECT_NE(out.find("**REGRESSION**"), std::string::npos);
+  EXPECT_NE(out.find("#### Explain: fig6 0.8M hybrid P=8"),
+            std::string::npos);
+  EXPECT_NE(out.find("| comm | 1 | 20.000 | 220.000 | 200.000 | 100.2 |"),
+            std::string::npos)
+      << out;
+
+  // The flat virtual series renders all-low bars and no markers.
+  EXPECT_NE(out.find("▁▁▁ | 1000.0 us"), std::string::npos) << out;
+
+  // Section filtering: without "trend", only the header renders.
+  RenderOptions none;
+  none.sections = {"speedup"};
+  std::ostringstream os3;
+  EXPECT_TRUE(render_report({make_input("trend.json", kTrendDoc)}, os3, none));
+  EXPECT_EQ(os3.str(), "# Trend report: `trend.json`\n\n");
+}
+
 TEST(Report, StandaloneHostSchemaRenders) {
   constexpr std::string_view kHostDoc = R"({
     "schema": "pdt-host-v1", "clock": "steady_clock",

@@ -306,6 +306,38 @@ std::string json_double_exact(double v) {
   return std::string(buf);
 }
 
+std::string json_serialize(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::Null:
+      return "null";
+    case JsonValue::Type::Bool:
+      return v.as_bool() ? "true" : "false";
+    case JsonValue::Type::Number:
+      return json_double_exact(v.as_double());
+    case JsonValue::Type::String:
+      return "\"" + json_escaped(v.as_string()) + "\"";
+    case JsonValue::Type::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) out += ",";
+        out += json_serialize(v.at(i));
+      }
+      return out + "]";
+    }
+    case JsonValue::Type::Object: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, val] : v.object()) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + json_escaped(k) + "\":" + json_serialize(val);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
 std::string json_escaped(std::string_view s) {
   std::string out;
   out.reserve(s.size());

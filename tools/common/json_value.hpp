@@ -97,4 +97,10 @@ class JsonValue {
 /// Minimal JSON string escaping (quote, backslash, control characters).
 [[nodiscard]] std::string json_escaped(std::string_view s);
 
+/// Serialize a parsed value back to compact JSON (no whitespace).
+/// Deterministic: objects keep insertion order, doubles round-trip via
+/// json_double_exact — pdt-trend uses this to copy fingerprint objects
+/// verbatim from envelopes into registry records.
+[[nodiscard]] std::string json_serialize(const JsonValue& v);
+
 }  // namespace pdt::tools

@@ -40,6 +40,13 @@ constexpr pdt::tools::CliSpec kSpec = {
     "the noisy wall-clock medians instead: pass one bench envelope per\n"
     "repeat, tuples collapse to median-of-k with a MAD-scaled band\n"
     "  band = max(T * base_median, K * 1.4826 * (base_mad + cur_mad)).\n"
+    "By default T = 0.5 and K = 5: a tuple passes while its median\n"
+    "stays within 50% of the baseline median OR within ~5 sigmas of\n"
+    "the combined baseline+current jitter (1.4826 * MAD estimates one\n"
+    "sigma under normal noise), whichever band is wider. The relative\n"
+    "floor keeps a near-zero-MAD baseline from demanding bit-exact wall\n"
+    "time; the MAD term forgives honestly measured jitter. Full\n"
+    "semantics: DESIGN.md section 9.\n"
     "\n"
     "  --host        operate on host wall time (median-of-k + MAD)\n"
     "  --tol T       relative tolerance (default 1e-9; 0.5 with --host)\n"

@@ -859,6 +859,125 @@ void render_bench(const ReportInput& in, std::ostream& os,
   }
 }
 
+// --------------------------------------------------------------- trend --
+
+/// Unicode sparkline of `values`, normalized to the series' own
+/// min..max (a flat series renders as all-low bars). The glyph ramp is
+/// fixed, so the output is deterministic for given inputs.
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr const char* kBars[] = {"▁", "▂", "▃", "▄",
+                                          "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values[0];
+  double hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    int idx = 0;
+    if (hi > lo) {
+      idx = static_cast<int>(7.0 * (v - lo) / (hi - lo) + 0.5);
+      idx = std::max(0, std::min(7, idx));
+    }
+    out += kBars[idx];
+  }
+  return out;
+}
+
+void render_trend(const ReportInput& in, std::ostream& os) {
+  const JsonValue& root = in.root;
+  os << "# Trend report: `" << in.name << "`\n\n";
+  os << "- runs: " << root.get("runs").as_int() << ", window "
+     << root.get("window").as_int() << ", host floor "
+     << fmt(100.0 * root.get("tol").as_double(), 1) << "% / mad_k "
+     << fmt(root.get("mad_k").as_double(), 1) << ", virtual tol "
+     << fmt(100.0 * root.get("vtol").as_double(), 2) << "%\n\n";
+
+  const JsonValue& meta = root.get("meta");
+  if (meta.size() > 0) {
+    os << "#### Runs\n\n";
+    os << "| seq | timestamp | build | label |\n";
+    os << "|---:|---|---|---|\n";
+    for (const JsonValue& m : meta.array()) {
+      const std::string& sha = m.get("git_sha").as_string();
+      os << "| " << m.get("seq").as_int() << " | "
+         << (m.get("timestamp").as_string().empty()
+                 ? "-"
+                 : m.get("timestamp").as_string())
+         << " | " << (sha.empty() ? "unknown" : sha)
+         << (m.get("git_dirty").as_bool() ? "\\*" : "") << " | "
+         << (m.get("label").as_string().empty() ? "-"
+                                                : m.get("label").as_string())
+         << " |\n";
+    }
+    os << "\n";
+  }
+
+  const JsonValue& tuples = root.get("tuples");
+  if (tuples.size() > 0) {
+    os << "#### Tuple history\n\n";
+    os << "| tuple | kind | trend | latest | vs window | verdict |\n";
+    os << "|---|---|---|---:|---|---|\n";
+    for (const JsonValue& t : tuples.array()) {
+      const bool is_host = t.get("kind").as_string() == "host";
+      std::vector<double> values;
+      for (const JsonValue& v : t.get("values").array()) {
+        values.push_back(v.as_double());
+      }
+      // Changepoint markers ride after the sparkline: ^ = shifted up
+      // (slower), v = shifted down (faster), at the marked seq.
+      std::string marks;
+      for (const JsonValue& c : t.get("changepoints").array()) {
+        marks += (marks.empty() ? "" : " ");
+        marks += c.get("direction").as_string() == "up" ? "^" : "v";
+        marks += "@" + std::to_string(c.get("seq").as_int());
+      }
+      const double latest =
+          values.empty() ? 0.0 : values.back();
+      std::string vs = "-";
+      if (t.has("base")) {
+        const double base = t.get("base").as_double();
+        const double delta = latest - base;
+        vs = (delta >= 0.0 ? "+" : "") +
+             fmt(base != 0.0 ? 100.0 * delta / base : 0.0, 1) + "% (band ±" +
+             (is_host ? fmt(t.get("band").as_double() / 1e6, 3) + " ms"
+                      : fmt(t.get("band").as_double(), 1) + " us") +
+             ")";
+      }
+      const std::string& verdict = t.get("verdict").as_string();
+      os << "| " << t.get("name").as_string() << " | "
+         << t.get("kind").as_string() << " | " << sparkline(values)
+         << (marks.empty() ? "" : " " + marks) << " | "
+         << (is_host ? fmt(latest / 1e6, 3) + " ms" : fmt(latest, 1) + " us")
+         << " | " << vs << " | "
+         << (verdict == "REGRESSION" ? "**REGRESSION**" : verdict) << " |\n";
+    }
+    os << "\n";
+
+    // Explain summaries: which (phase, level) cells moved each flagged
+    // host tuple.
+    for (const JsonValue& t : tuples.array()) {
+      const JsonValue& ex = t.get("explain");
+      if (ex.size() == 0) continue;
+      os << "#### Explain: " << t.get("name").as_string() << " ("
+         << t.get("verdict").as_string() << ")\n\n";
+      os << "| phase | level | before_ms | after_ms | delta_ms | share % |\n";
+      os << "|---|---:|---:|---:|---:|---:|\n";
+      for (const JsonValue& c : ex.array()) {
+        os << "| " << c.get("phase").as_string() << " | "
+           << c.get("level").as_int() << " | "
+           << fmt(c.get("before_ns").as_double() / 1e6, 3) << " | "
+           << fmt(c.get("after_ns").as_double() / 1e6, 3) << " | "
+           << fmt(c.get("delta_ns").as_double() / 1e6, 3) << " | "
+           << fmt(c.get("share_pct").as_double(), 1) << " |\n";
+      }
+      os << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os,
@@ -886,11 +1005,17 @@ bool render_report(const std::vector<ReportInput>& inputs, std::ostream& os,
       } else {
         os << "# Replay report: `" << in.name << "`\n\n";
       }
+    } else if (schema == "pdt-trend-v1") {
+      if (opt.wants("trend")) {
+        render_trend(in, os);
+      } else {
+        os << "# Trend report: `" << in.name << "`\n\n";
+      }
     } else {
       os << "# Unrecognized report: `" << in.name << "`\n\n";
       os << "- schema: `" << (schema.empty() ? "(none)" : schema)
          << "` is not one of pdt-bench-v1 / pdt-metrics-v1 / pdt-comm-v1 / "
-            "pdt-mem-v1 / pdt-host-v1 / pdt-replay-v1\n\n";
+            "pdt-mem-v1 / pdt-host-v1 / pdt-replay-v1 / pdt-trend-v1\n\n";
       ok = false;
     }
   }

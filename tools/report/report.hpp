@@ -33,6 +33,7 @@ struct ReportInput {
 /// prints and --section validates against).
 inline constexpr const char* kReportSections[] = {
     "speedup", "metrics", "comm", "memory", "host", "fault", "replay",
+    "trend",
 };
 
 struct RenderOptions {
