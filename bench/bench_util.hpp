@@ -24,6 +24,8 @@
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "dtree/metrics.hpp"
+#include "dtree/serialize.hpp"
 #include "obs/atomic_file.hpp"
 #include "obs/export.hpp"
 #include "obs/fingerprint.hpp"
@@ -205,6 +207,100 @@ class BenchReport {
   std::optional<obs::JsonWriter> w_;
 };
 
+/// Workload provenance for the model artifacts: enough to regenerate the
+/// training and held-out Quest datasets offline (`pdt-tree eval` relies
+/// on exactly these fields ending up in the pdt-model-v1 meta).
+struct ModelInfo {
+  std::uint64_t train_seed = 1;
+  int quest_function = 2;
+  bool paper_bins = true;  ///< fig6 preprocessing; false = raw continuous
+};
+
+/// Held-out seeds live a fixed offset from the training seed, so the
+/// eval sample is independent of training but fully determined by it.
+inline constexpr std::uint64_t kEvalSeedOffset = 9000;
+
+/// Held-out sample size for a training size: n/5 clamped to [1000, 20000]
+/// (big enough for a stable accuracy, cheap enough for every run).
+inline std::int64_t eval_rows_for(std::size_t train_n) {
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(train_n) / 5,
+                                  1000, 20000);
+}
+
+/// The held-out dataset a ModelInfo describes (same generator pipeline
+/// as training, eval seed).
+inline data::Dataset model_eval_dataset(const ModelInfo& info,
+                                        std::int64_t rows) {
+  data::Dataset ds = data::quest_generate(
+      static_cast<std::size_t>(rows),
+      {.function = info.quest_function,
+       .seed = info.train_seed + kEvalSeedOffset});
+  if (info.paper_bins) {
+    return data::discretize_uniform(ds, data::quest_paper_bins());
+  }
+  return ds;
+}
+
+/// Append a {"type":"model",...} section (content digest + tree shape +
+/// held-out accuracy) and dump the full pdt-model-v1 artifact to
+/// <harness>.<tag>.model.json (atomic). The digest covers only the
+/// canonical tree bytes, never P or audit data, so serial and all three
+/// formulations at any P must produce byte-identical digests — the CI
+/// model-identity gate compares these files by hash.
+inline void emit_model(BenchReport& rep, const char* tag,
+                       const char* formulation, int procs,
+                       const dtree::Tree& tree, std::size_t train_rows,
+                       const ModelInfo& info,
+                       const obs::SplitAudit* audit = nullptr) {
+  obs::JsonWriter* w = rep.writer();
+  if (w == nullptr) return;
+
+  dtree::ModelMeta meta;
+  meta.harness = rep.harness();
+  meta.tag = tag;
+  meta.formulation = formulation;
+  meta.procs = procs;
+  meta.quest_function = info.quest_function;
+  meta.train_seed = info.train_seed;
+  meta.train_rows = static_cast<std::int64_t>(train_rows);
+  meta.paper_bins = info.paper_bins;
+  meta.eval_seed = info.train_seed + kEvalSeedOffset;
+  meta.eval_rows = eval_rows_for(train_rows);
+
+  const data::Dataset eval_ds = model_eval_dataset(info, meta.eval_rows);
+  const dtree::Evaluation ev = dtree::evaluate(tree, eval_ds);
+  const std::string digest = dtree::model_digest(tree);
+
+  w->begin_object();
+  w->kv("type", "model");
+  w->kv("tag", tag);
+  w->kv("formulation", formulation);
+  w->kv("procs", procs);
+  w->kv("digest", digest);
+  w->kv("nodes", static_cast<std::int64_t>(dtree::canonical_order(tree).size()));
+  w->kv("leaves", static_cast<std::int64_t>(tree.num_leaves()));
+  w->kv("depth", static_cast<std::int64_t>(tree.depth()));
+  w->kv("eval_seed", meta.eval_seed);
+  w->kv("eval_rows", meta.eval_rows);
+  w->kv("accuracy", ev.accuracy());
+  w->end_object();
+
+  obs::AtomicFile model_file(json_path(
+      std::string(rep.harness()) + "." + tag + ".model.json"));
+  if (model_file.ok()) {
+    model_file.stream() << dtree::model_json(
+        tree, meta,
+        audit != nullptr
+            ? std::span<const dtree::SplitAuditEntry>(audit->entries())
+            : std::span<const dtree::SplitAuditEntry>(),
+        ev.accuracy());
+    if (model_file.commit()) {
+      std::printf("[json] wrote %s (inspect with pdt-tree)\n",
+                  model_file.path().c_str());
+    }
+  }
+}
+
 /// Append a {"type":"speedup_series",...} section.
 inline void emit_speedup_series(BenchReport& rep, const char* workload,
                                 const char* formulation,
@@ -300,13 +396,15 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                                         core::Formulation f,
                                         const data::Dataset& ds,
                                         core::ParOptions opt,
-                                        double iso_c = 0.0) {
+                                        double iso_c = 0.0,
+                                        const ModelInfo* model = nullptr) {
   obs::Observability o(obs::ProfilerConfig{.timeline = true});
   o.enable_event_log();
   if (host_enabled()) {
     o.enable_host_profiler(
         obs::HostProfilerConfig{.counters = host_counters_requested()});
   }
+  if (model != nullptr) o.enable_split_audit();
   opt.obs = &o;
   opt.trace = true;  // collective events feed the trace's flow arrows
   const core::ParResult res = core::build(f, ds, opt);
@@ -373,6 +471,11 @@ inline core::ParResult run_instrumented(BenchReport& rep, const char* tag,
                       host_file.path().c_str());
         }
       }
+    }
+
+    if (model != nullptr) {
+      emit_model(rep, tag, core::to_string(f), opt.num_procs, res.tree,
+                 ds.num_rows(), *model, o.split_audit());
     }
   }
   return res;

@@ -94,6 +94,16 @@ void run_formulation(bench::BenchReport& rep, core::Formulation f,
     w->end_array();
     w->end_object();
   }
+
+  // Model identity under the fault machinery: the fault-free baseline
+  // tree must carry the same digest as every other harness growing this
+  // workload (and every faulty scenario above was just proven identical
+  // to it).
+  char tag[32];
+  std::snprintf(tag, sizeof tag, "%s.P%d", core::to_string(f), procs);
+  bench::emit_model(rep, tag, core::to_string(f), procs, baseline.tree,
+                    ds.num_rows(),
+                    bench::ModelInfo{.train_seed = 1, .paper_bins = true});
 }
 
 }  // namespace

@@ -92,7 +92,9 @@ void instrumented_runs(bench::BenchReport& rep, double paper_n,
         std::tuple{core::Formulation::Hybrid, 1, "hybrid.P1"}}) {
     core::ParOptions opt;
     opt.num_procs = procs;
-    const core::ParResult res = bench::run_instrumented(rep, tag, f, ds, opt);
+    const bench::ModelInfo model{.train_seed = seed, .paper_bins = true};
+    const core::ParResult res =
+        bench::run_instrumented(rep, tag, f, ds, opt, 0.0, &model);
     std::printf("%-13s P=%d %10.1f ms\n", core::to_string(f), procs,
                 res.parallel_time / 1000.0);
   }

@@ -80,6 +80,12 @@ void run_config(bench::BenchReport& rep, double paper_n, int procs,
     w->end_array();
     w->end_object();
   }
+
+  // Model section for the proposed-trigger run: every split ratio grows
+  // the same tree (only communication differs), so ratio 1.0 stands in
+  // for all of them.
+  bench::emit_model(rep, tag, "hybrid", procs, at_one_res.tree, ds.num_rows(),
+                    bench::ModelInfo{.train_seed = seed, .paper_bins = true});
 }
 
 }  // namespace

@@ -45,8 +45,10 @@ int main() {
         n, {.function = 2, .seed = static_cast<std::uint64_t>(1.6e6)});
     core::ParOptions opt = bench::fig8_options();
     opt.num_procs = 8;
+    const bench::ModelInfo model{
+        .train_seed = static_cast<std::uint64_t>(1.6e6), .paper_bins = false};
     const core::ParResult res = bench::run_instrumented(
-        rep, "hybrid.P8", core::Formulation::Hybrid, ds, opt);
+        rep, "hybrid.P8", core::Formulation::Hybrid, ds, opt, 0.0, &model);
     std::printf("\ninstrumented hybrid P=8 (1.6M paper-scale): %.1f ms\n",
                 res.parallel_time / 1000.0);
   }

@@ -49,11 +49,13 @@ int main() {
     const data::Dataset ds = bench::fig6_workload(n, 1 + ni);
     char tag[48];
 
+    const bench::ModelInfo model{.train_seed = 1 + ni, .paper_bins = true};
+
     std::snprintf(tag, sizeof tag, "serial.N%zu", n);
     core::ParOptions sopt;
     sopt.num_procs = 1;
     const core::ParResult serial = bench::run_instrumented(
-        rep, tag, core::Formulation::Sync, ds, sopt, iso_c);
+        rep, tag, core::Formulation::Sync, ds, sopt, iso_c, &model);
     serial_time.push_back(serial.parallel_time);
 
     for (std::size_t pi = 0; pi < procs.size(); ++pi) {
@@ -61,7 +63,7 @@ int main() {
       core::ParOptions opt;
       opt.num_procs = procs[pi];
       const core::ParResult res = bench::run_instrumented(
-          rep, tag, core::Formulation::Hybrid, ds, opt, iso_c);
+          rep, tag, core::Formulation::Hybrid, ds, opt, iso_c, &model);
       time_at[pi].push_back(res.parallel_time);
     }
   }

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,8 @@
 #include "core/runner.hpp"
 #include "data/discretize.hpp"
 #include "data/quest.hpp"
+#include "dtree/metrics.hpp"
+#include "dtree/serialize.hpp"
 #include "mpsim/fault.hpp"
 #include "obs/blame.hpp"
 #include "obs/export.hpp"
@@ -181,6 +184,45 @@ static void print_top_memory(const obs::Observability& o,
   }
 }
 
+// One-line model identity after each run: the content digest must match
+// across every formulation and P growing this workload (pdt-tree diff
+// turns a mismatch into a failing gate), alongside shape and held-out
+// accuracy. PDT_MODEL_OUT=<prefix> additionally dumps the pdt-model-v1
+// document to <prefix>.P<p>.model.json for offline pdt-tree runs.
+static void print_model_line(const core::ParResult& res, core::Formulation f,
+                             int p, std::size_t n,
+                             const data::Dataset& eval_ds,
+                             std::uint64_t eval_seed,
+                             std::span<const dtree::SplitAuditEntry> audit) {
+  const dtree::Evaluation ev = dtree::evaluate(res.tree, eval_ds);
+  const std::string digest = dtree::model_digest(res.tree);
+  std::printf("     model %.12s...  %d nodes, %d leaves, depth %d, "
+              "held-out accuracy %.4f\n",
+              digest.c_str(), res.tree.num_nodes(), res.tree.num_leaves(),
+              res.tree.depth(), ev.accuracy());
+  const char* model_out = std::getenv("PDT_MODEL_OUT");
+  if (model_out == nullptr || *model_out == '\0') return;
+  dtree::ModelMeta meta;
+  meta.harness = "scaling_explorer";
+  meta.tag = "P" + std::to_string(p);
+  meta.formulation = core::to_string(f);
+  meta.procs = p;
+  meta.quest_function = 2;
+  meta.train_seed = 7;
+  meta.train_rows = static_cast<std::int64_t>(n);
+  meta.paper_bins = true;
+  meta.eval_seed = eval_seed;
+  meta.eval_rows = static_cast<std::int64_t>(eval_ds.num_rows());
+  const std::string path =
+      std::string(model_out) + ".P" + std::to_string(p) + ".model.json";
+  std::ofstream ms(path);
+  if (ms) {
+    ms << dtree::model_json(res.tree, meta, audit, ev.accuracy());
+    std::printf("     [json] wrote %s (inspect with pdt-tree)\n",
+                path.c_str());
+  }
+}
+
 int main(int argc, char** argv) {
   // Split fault/host flags from positional arguments.
   mpsim::FaultPlan flag_plan;
@@ -246,6 +288,16 @@ int main(int argc, char** argv) {
               serial.parallel_time / 1000.0, serial.tree.num_nodes(),
               serial.tree.depth());
 
+  // Held-out sample for the per-run model line: same generator pipeline,
+  // offset seed (mirrors the bench harnesses' eval provenance).
+  const std::uint64_t eval_seed = 7 + 9000;
+  const std::size_t eval_rows = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(n) / 5, 1000,
+                               20000));
+  const data::Dataset eval_ds = data::discretize_uniform(
+      data::quest_generate(eval_rows, {.function = 2, .seed = eval_seed}),
+      data::quest_paper_bins());
+
   std::printf("%4s %12s %8s %6s | %9s %9s %9s | %7s %7s\n", "P",
               "time(ms)", "speedup", "eff", "compute%", "comm%", "idle%",
               "splits", "moved");
@@ -255,6 +307,10 @@ int main(int argc, char** argv) {
     obs::Observability o;  // fresh ledger + tracer per processor count
     o.enable_event_log();  // feeds the wait-for blame analysis below
     if (host) o.enable_host_profiler();
+    // Audit split decisions only when the run will be dumped — the model
+    // dump then records per-rank feeds and winner/runner-up margins.
+    const char* model_out = std::getenv("PDT_MODEL_OUT");
+    if (model_out != nullptr && *model_out != '\0') o.enable_split_audit();
     if (p > 1) opt.obs = &o;
     // Seeded random scenario is drawn per processor count (the victim
     // rank must exist); explicit flags ride along unchanged.
@@ -284,6 +340,11 @@ int main(int argc, char** argv) {
                 res.totals.idle_time / busy_total * 100.0,
                 res.partition_splits,
                 static_cast<long long>(res.records_moved));
+    print_model_line(res, f, p, n, eval_ds, eval_seed,
+                     p > 1 && o.split_audit() != nullptr
+                         ? std::span<const dtree::SplitAuditEntry>(
+                               o.split_audit()->entries())
+                         : std::span<const dtree::SplitAuditEntry>{});
     if (p > 1) {
       if (opt.fault != nullptr) {
         std::printf("     fault plan: %s\n", opt.fault->describe().c_str());

@@ -122,6 +122,7 @@ ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
     obs_ = opt.obs;
     obs_->attach(machine);
     profiler_ = &obs_->profiler();
+    split_audit_ = obs_->split_audit();
     obs_->mem_ledger().set_predicted(mem_predicted_);
     obs::MetricsRegistry& reg = obs_->metrics();
     records_relocated_ = &reg.counter("records_relocated");
@@ -130,6 +131,11 @@ ParContext::ParContext(const data::Dataset& ds, const ParOptions& opt,
     frontier_nodes_ = &reg.histogram("frontier_nodes_per_expansion");
     shuffle_records_ = &reg.histogram("records_per_shuffle");
   }
+  // The audit observes the replicated tree regardless of which wiring
+  // requested it (the observability bundle wins over a GrowOptions hook).
+  tree_.set_split_observer(split_audit_ != nullptr
+                               ? static_cast<dtree::SplitObserver*>(split_audit_)
+                               : opt.grow.split_observer);
 }
 
 void ParContext::publish_summary_gauges() {
@@ -395,6 +401,14 @@ std::vector<NodeWork> expand_level(ParContext& ctx, const mpsim::Group& g,
         continue;
       }
       const int first = tree.expand(work[i]->node_id, d);
+      if (dtree::SplitObserver* audit = tree.split_observer()) {
+        // Feed counts by *global* rank, taken before the partition loop
+        // below clears the node's row lists.
+        for (int m = 0; m < p; ++m) {
+          const std::int64_t fed = work[i]->member_records(m);
+          if (fed > 0) audit->on_feed(work[i]->node_id, g.rank(m), fed);
+        }
+      }
 
       std::vector<NodeWork> children(
           static_cast<std::size_t>(d.test.num_children));

@@ -45,6 +45,10 @@ class ParContext {
   /// observability is disabled (obs::PhaseScope treats nullptr as no-op).
   [[nodiscard]] obs::PhaseProfiler* profiler() const { return profiler_; }
 
+  /// Split-decision audit of the attached sink, or nullptr when model
+  /// auditing is off (the default — one branch per expansion).
+  [[nodiscard]] obs::SplitAudit* split_audit() const { return split_audit_; }
+
   // Branch-cheap metric updates (handles resolved once in the ctor;
   // no-ops when observability is disabled).
   void count_records_relocated(std::int64_t n) {
@@ -144,6 +148,7 @@ class ParContext {
 
   obs::Observability* obs_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
+  obs::SplitAudit* split_audit_ = nullptr;
   obs::Counter* records_relocated_ = nullptr;
   obs::Counter* words_all_reduced_ = nullptr;
   obs::Counter* splits_evaluated_ = nullptr;

@@ -25,6 +25,7 @@ Tree grow_bfs(const data::Dataset& ds, const GrowOptions& opt,
   const AttrLayout layout(ds.schema(), opt.cont_bins);
 
   Tree tree(class_counts_of_rows(ds, all_rows(ds)));
+  tree.set_split_observer(opt.split_observer);
   struct FrontierNode {
     int id;
     std::vector<data::RowId> rows;
@@ -47,6 +48,10 @@ Tree grow_bfs(const data::Dataset& ds, const GrowOptions& opt,
           choose_split(hist, layout, ds.schema(), mapper, opt);
       if (d.test.is_leaf()) continue;
       const int first = tree.expand(fn.id, d);
+      if (opt.split_observer != nullptr) {
+        opt.split_observer->on_feed(
+            fn.id, 0, static_cast<std::int64_t>(fn.rows.size()));
+      }
       ++local.nodes_expanded;
       std::vector<std::vector<data::RowId>> child_rows(
           static_cast<std::size_t>(d.test.num_children));
@@ -124,6 +129,10 @@ void grow_exact_rec(Tree& tree, int id, const data::Dataset& ds,
   const SplitDecision d = choose_exact(ds, rows, opt);
   if (d.test.is_leaf()) return;
   const int first = tree.expand(id, d);
+  if (opt.split_observer != nullptr) {
+    opt.split_observer->on_feed(id, 0,
+                                static_cast<std::int64_t>(rows.size()));
+  }
   ++stats.nodes_expanded;
   stats.levels = std::max(stats.levels, tree.node(first).depth);
   std::vector<std::vector<data::RowId>> child_rows(
@@ -147,6 +156,7 @@ void grow_exact_rec(Tree& tree, int id, const data::Dataset& ds,
 Tree grow_dfs_exact(const data::Dataset& ds, const GrowOptions& opt,
                     BuildStats* stats) {
   Tree tree(class_counts_of_rows(ds, all_rows(ds)));
+  tree.set_split_observer(opt.split_observer);
   BuildStats local{};
   grow_exact_rec(tree, tree.root(), ds, all_rows(ds), opt, local);
   if (stats != nullptr) *stats = local;

@@ -18,6 +18,8 @@
 
 namespace pdt::dtree {
 
+class SplitObserver;  // tree.hpp: passive expand/make_leaf hook
+
 /// How categorical attributes are split.
 enum class SplitPolicy {
   Binary,    ///< binary everywhere: thresholds on ordered attrs, value
@@ -46,6 +48,9 @@ struct GrowOptions {
   std::int64_t min_records = 2;
   /// Minimum impurity decrease for a split to be adopted.
   double min_gain = 1e-9;
+  /// Passive split observer wired into the grown Tree (nullptr = off).
+  /// Never influences the decision path; see obs::SplitAudit.
+  SplitObserver* split_observer = nullptr;
 };
 
 struct SplitTest {
@@ -73,6 +78,11 @@ struct SplitDecision {
   double gain = 0.0;
   /// num_children x num_classes counts implied by the chosen test.
   std::vector<std::int64_t> child_counts;
+  /// Best gain offered on any attribute *other than* the winner — the
+  /// decision margin (gain - runner_up_gain) a voting formulation would
+  /// need to respect. -1 attr when no second attribute had a candidate.
+  double runner_up_gain = 0.0;
+  int runner_up_attr = -1;
 };
 
 /// Decide the best split for a node from its global histogram. Returns a

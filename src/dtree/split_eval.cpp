@@ -1,6 +1,7 @@
 #include "dtree/split_eval.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace pdt::dtree {
@@ -12,7 +13,9 @@ BestTracker::BestTracker(std::span<const std::int64_t> parent_counts,
       num_classes_(static_cast<int>(parent_counts.size())),
       n_(total(parent_counts)),
       best_gain_(opt.min_gain),
-      scratch_both_(static_cast<std::size_t>(2 * num_classes_)) {
+      scratch_both_(static_cast<std::size_t>(2 * num_classes_)),
+      top1_gain_(-std::numeric_limits<double>::infinity()),
+      top2_gain_(-std::numeric_limits<double>::infinity()) {
   int nonzero = 0;
   for (const auto c : parent_) nonzero += c > 0 ? 1 : 0;
   forced_leaf_ = n_ < opt.min_records || nonzero <= 1;
@@ -31,6 +34,7 @@ void BestTracker::offer_binary(std::span<const std::int64_t> left,
         left[static_cast<std::size_t>(c)];
   }
   const double g = gain(opt_->criterion, parent_, scratch_both_, num_classes_);
+  note_candidate(test.attr, g);
   if (g > best_gain_) {
     best_gain_ = g;
     best_.gain = g;
@@ -54,6 +58,7 @@ void BestTracker::offer_multiway(int attr,
   }
   if (nonempty < 2) return;
   const double g = gain(opt_->criterion, parent_, table, num_classes_);
+  note_candidate(attr, g);
   if (g > best_gain_) {
     best_gain_ = g;
     best_.gain = g;
@@ -130,6 +135,29 @@ void BestTracker::offer_nominal(int attr, std::span<const std::int64_t> table,
   }
 }
 
-SplitDecision BestTracker::take() { return std::move(best_); }
+void BestTracker::note_candidate(int attr, double g) {
+  if (g > top1_gain_) {
+    if (attr != top1_attr_) {
+      top2_gain_ = top1_gain_;
+      top2_attr_ = top1_attr_;
+    }
+    top1_gain_ = g;
+    top1_attr_ = attr;
+  } else if (attr != top1_attr_ && g > top2_gain_) {
+    top2_gain_ = g;
+    top2_attr_ = attr;
+  }
+}
+
+SplitDecision BestTracker::take() {
+  // A winner (if any) is the overall max, i.e. top1 — so top2 is the
+  // best candidate on a different attribute. Leaf decisions keep the
+  // defaults (0.0 / -1): no decision was made, so no margin exists.
+  if (!best_.test.is_leaf() && top2_attr_ >= 0) {
+    best_.runner_up_gain = top2_gain_;
+    best_.runner_up_attr = top2_attr_;
+  }
+  return std::move(best_);
+}
 
 }  // namespace pdt::dtree

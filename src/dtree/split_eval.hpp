@@ -77,6 +77,13 @@ class BestTracker {
   [[nodiscard]] std::int64_t parent_total() const { return n_; }
 
  private:
+  /// Track the top-2 gains on *distinct* attributes over every valid
+  /// candidate (no min_gain floor): when a winner exists it is always the
+  /// overall best, so top2 is the best rival attribute — the runner-up
+  /// reported in SplitDecision. Strictly-greater updates keep the
+  /// first-seen-wins determinism of the main tracker.
+  void note_candidate(int attr, double g);
+
   std::span<const std::int64_t> parent_;
   const GrowOptions* opt_;
   int num_classes_;
@@ -85,6 +92,10 @@ class BestTracker {
   double best_gain_;
   SplitDecision best_;
   std::vector<std::int64_t> scratch_both_;
+  double top1_gain_;
+  int top1_attr_ = -1;
+  double top2_gain_;
+  int top2_attr_ = -1;
 };
 
 }  // namespace pdt::dtree

@@ -90,6 +90,7 @@ int Tree::expand(int id, const SplitDecision& d) {
     child.majority = majority_class(child.class_counts, parent_majority);
     nodes_.push_back(std::move(child));
   }
+  if (observer_ != nullptr) observer_->on_expand(*this, id, d);
   return first;
 }
 
@@ -97,6 +98,7 @@ void Tree::make_leaf(int id) {
   Node& nd = nodes_[static_cast<std::size_t>(id)];
   nd.test = SplitTest{};
   nd.first_child = -1;
+  if (observer_ != nullptr) observer_->on_make_leaf(id);
 }
 
 int Tree::route(int id, const data::Dataset& ds, std::size_t row) const {

@@ -28,6 +28,27 @@ struct Node {
   [[nodiscard]] std::int64_t num_records() const;
 };
 
+class Tree;
+
+/// Passive hook on the tree's two mutations. Observers must never alter
+/// growth (no calls back into the tree's mutating API); attaching one is
+/// guaranteed not to change the grown tree, the simulated clocks, or any
+/// export — the same contract as mpsim::ChargeObserver. obs::SplitAudit
+/// is the canonical implementation.
+class SplitObserver {
+ public:
+  virtual ~SplitObserver() = default;
+  /// Fired by Tree::expand() after the children were appended; `d` is the
+  /// adopted decision (gain, runner-up margin, child counts).
+  virtual void on_expand(const Tree& tree, int id, const SplitDecision& d) = 0;
+  /// Fired by Tree::make_leaf(): the subtree under `id` was detached.
+  virtual void on_make_leaf(int id) = 0;
+  /// Record-count annotation: `records` rows of `rank`'s local store fed
+  /// the expansion of node `id` (serial builders report rank 0). Fired by
+  /// the builders, not the tree, since the tree never sees rows.
+  virtual void on_feed(int id, int rank, std::int64_t records) = 0;
+};
+
 class Tree {
  public:
   Tree() = default;
@@ -66,12 +87,18 @@ class Tree {
   [[nodiscard]] std::string to_string(const data::Schema& schema,
                                       int max_depth = 1 << 20) const;
 
+  /// Attach a passive split observer (nullptr detaches; the default).
+  /// One branch per expand/make_leaf when detached.
+  void set_split_observer(SplitObserver* observer) { observer_ = observer; }
+  [[nodiscard]] SplitObserver* split_observer() const { return observer_; }
+
  private:
   [[nodiscard]] bool same_subtree(const Tree& other, int a, int b) const;
   void print_node(std::string& out, const data::Schema& schema, int id,
                   int indent, int max_depth) const;
 
   std::vector<Node> nodes_;
+  SplitObserver* observer_ = nullptr;
 };
 
 /// Majority class of a count vector (ties -> lower class id); `fallback`

@@ -19,6 +19,7 @@
 #include "obs/mem_ledger.hpp"
 #include "obs/phase.hpp"
 #include "obs/registry.hpp"
+#include "obs/split_audit.hpp"
 
 namespace pdt::obs {
 
@@ -130,6 +131,23 @@ class Observability {
     return host_.get();
   }
 
+  /// Turn on the split-decision audit: creates the owned SplitAudit
+  /// riding the profiler's (phase, level) stamps (idempotent). The run
+  /// wires it into its Tree via ParContext / GrowOptions::split_observer;
+  /// strictly passive like every other observer here. Serialize with
+  /// dtree::model_json afterwards.
+  SplitAudit& enable_split_audit() {
+    if (split_audit_ == nullptr) {
+      split_audit_ = std::make_unique<SplitAudit>(&profiler_);
+    }
+    return *split_audit_;
+  }
+  /// The owned audit, or nullptr when split auditing is off.
+  [[nodiscard]] const SplitAudit* split_audit() const {
+    return split_audit_.get();
+  }
+  [[nodiscard]] SplitAudit* split_audit() { return split_audit_.get(); }
+
   /// Attach the profiler + critical-path tracer as the machine's charge
   /// observer and the ledger as its communication ledger (plus the event
   /// recorder when enable_event_log() was called).
@@ -148,6 +166,7 @@ class Observability {
   MetricsRegistry metrics_;
   std::unique_ptr<mpsim::EventRecorder> recorder_;
   std::unique_ptr<HostProfiler> host_;
+  std::unique_ptr<SplitAudit> split_audit_;
 };
 
 }  // namespace pdt::obs

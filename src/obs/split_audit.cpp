@@ -1,0 +1,56 @@
+#include "obs/split_audit.hpp"
+
+#include <string>
+
+namespace pdt::obs {
+
+void SplitAudit::on_expand(const dtree::Tree& tree, int id,
+                           const dtree::SplitDecision& d) {
+  dtree::SplitAuditEntry e;
+  e.node_id = id;
+  e.gain = d.gain;
+  e.runner_up_gain = d.runner_up_gain;
+  e.runner_up_attr = d.runner_up_attr;
+  e.level = tree.node(id).depth;
+  if (profiler_ != nullptr) {
+    e.phase = std::string(profiler_->phase_name(profiler_->current_phase()));
+    if (profiler_->current_level() != kNoLevel) {
+      e.level = profiler_->current_level();
+    }
+  }
+  if (index_.size() < static_cast<std::size_t>(id) + 1) {
+    index_.resize(static_cast<std::size_t>(id) + 1, 0);
+  }
+  entries_.push_back(std::move(e));
+  index_[static_cast<std::size_t>(id)] = entries_.size();
+}
+
+void SplitAudit::on_make_leaf(int id) {
+  // The decision at `id` was revoked. Entries for the detached subtree
+  // become unreachable and are filtered by the export's pairing rule;
+  // only this node's own entry must go, or a later re-expansion of the
+  // node would leave two entries claiming it.
+  if (static_cast<std::size_t>(id) < index_.size() &&
+      index_[static_cast<std::size_t>(id)] != 0) {
+    const std::size_t at = index_[static_cast<std::size_t>(id)] - 1;
+    index_[static_cast<std::size_t>(id)] = 0;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(at));
+    for (std::size_t& slot : index_) {
+      if (slot > at + 1) --slot;
+    }
+  }
+}
+
+void SplitAudit::on_feed(int id, int rank, std::int64_t records) {
+  if (static_cast<std::size_t>(id) >= index_.size() ||
+      index_[static_cast<std::size_t>(id)] == 0) {
+    return;  // feed for a node that was never expanded (or was revoked)
+  }
+  dtree::SplitAuditEntry& e = entries_[index_[static_cast<std::size_t>(id)] - 1];
+  if (e.per_rank_records.size() < static_cast<std::size_t>(rank) + 1) {
+    e.per_rank_records.resize(static_cast<std::size_t>(rank) + 1, 0);
+  }
+  e.per_rank_records[static_cast<std::size_t>(rank)] += records;
+}
+
+}  // namespace pdt::obs

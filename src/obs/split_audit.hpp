@@ -1,0 +1,54 @@
+// Split-decision audit: the model-side sibling of the phase profiler.
+//
+// SplitAudit implements dtree::SplitObserver and records, for every
+// Tree::expand(), *why* the split won: the adopted gain, the best rival
+// attribute's gain (the decision margin a voting formulation must
+// respect), the (phase, level) stamp active at expansion time, and —
+// via the builders' on_feed() annotations — how many records of each
+// rank fed the node. Off by default; enabling it never changes the
+// grown tree, the simulated clocks, or any pre-existing export (the
+// parity suite covers it like every other observer).
+//
+// Entries carry arena node ids while the tree grows. make_leaf() revokes
+// a decision (pruning detached the subtree), so its entry is dropped;
+// dtree::model_json() applies the final pairing rule — entries pair 1:1
+// with the reachable internal nodes of the finished tree — and rewrites
+// ids to canonical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtree/serialize.hpp"
+#include "dtree/tree.hpp"
+#include "obs/phase.hpp"
+
+namespace pdt::obs {
+
+class SplitAudit final : public dtree::SplitObserver {
+ public:
+  /// `profiler` supplies the (phase, level) stamp at expand time;
+  /// nullptr stamps entries with an empty phase and the node's depth.
+  explicit SplitAudit(const PhaseProfiler* profiler = nullptr)
+      : profiler_(profiler) {}
+
+  void on_expand(const dtree::Tree& tree, int id,
+                 const dtree::SplitDecision& d) override;
+  void on_make_leaf(int id) override;
+  void on_feed(int id, int rank, std::int64_t records) override;
+
+  /// All live entries (arena node ids, insertion order). Entries whose
+  /// decision was revoked by make_leaf() are already gone.
+  [[nodiscard]] const std::vector<dtree::SplitAuditEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  const PhaseProfiler* profiler_;
+  std::vector<dtree::SplitAuditEntry> entries_;
+  /// node id -> index into entries_ + 1 (0 = none); grows with the arena.
+  std::vector<std::size_t> index_;
+};
+
+}  // namespace pdt::obs

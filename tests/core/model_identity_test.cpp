@@ -1,0 +1,134 @@
+// Model identity as an artifact property: every formulation at every
+// processor count yields the same pdt-model-v1 digest as the serial
+// build, and the ParContext-wired SplitAudit pairs with the final tree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "dtree/serialize.hpp"
+#include "obs/observability.hpp"
+
+namespace pdt::core {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(ModelIdentity, DigestInvariantAcrossFormulationsAndProcs) {
+  const data::Dataset ds = quest_binned(3000, 21);
+  ParOptions opt;
+  const std::string want = dtree::model_digest(build_serial(ds, opt).tree);
+  for (const Formulation f :
+       {Formulation::Sync, Formulation::Partitioned, Formulation::Hybrid}) {
+    for (const int p : {4, 8}) {
+      opt.num_procs = p;
+      const ParResult res = build(f, ds, opt);
+      EXPECT_EQ(dtree::model_digest(res.tree), want)
+          << to_string(f) << " P=" << p;
+    }
+  }
+}
+
+TEST(ModelIdentity, AuditedBuildEntriesPairWithInternalNodes) {
+  const data::Dataset ds = quest_binned(2000, 22);
+  for (const Formulation f :
+       {Formulation::Sync, Formulation::Partitioned, Formulation::Hybrid}) {
+    obs::Observability obs;
+    obs.enable_split_audit();
+    ParOptions opt;
+    opt.num_procs = 8;
+    opt.obs = &obs;
+    const ParResult res = build(f, ds, opt);
+
+    int internal = 0;
+    for (int id = 0; id < res.tree.num_nodes(); ++id) {
+      if (!res.tree.node(id).is_leaf()) ++internal;
+    }
+    ASSERT_EQ(obs.split_audit()->size(), static_cast<std::size_t>(internal))
+        << to_string(f);
+
+    // The root's feeds come from all 8 ranks and account for every record.
+    const dtree::SplitAuditEntry* root = nullptr;
+    for (const dtree::SplitAuditEntry& e : obs.split_audit()->entries()) {
+      if (e.node_id == 0) root = &e;
+    }
+    ASSERT_NE(root, nullptr) << to_string(f);
+    const std::int64_t fed =
+        std::accumulate(root->per_rank_records.begin(),
+                        root->per_rank_records.end(), std::int64_t{0});
+    EXPECT_EQ(fed, static_cast<std::int64_t>(ds.num_rows())) << to_string(f);
+    int ranks_feeding = 0;
+    for (const std::int64_t r : root->per_rank_records) {
+      if (r > 0) ++ranks_feeding;
+    }
+    EXPECT_GT(ranks_feeding, 1) << to_string(f);
+  }
+}
+
+TEST(ModelIdentity, AuditAgreesWithSerialDecisions) {
+  const data::Dataset ds = quest_binned(2000, 23);
+  // Arena ids differ across formulations (hybrid merges partition
+  // subtrees), so the comparison key is the canonical id — the same
+  // remap model_json applies at export time.
+  auto audit_by_canon = [&](Formulation f, int procs) {
+    obs::Observability obs;
+    obs.enable_split_audit();
+    ParOptions opt;
+    opt.num_procs = procs;
+    opt.obs = &obs;
+    const ParResult res =
+        procs == 1 ? build_serial(ds, opt) : build(f, ds, opt);
+    const std::vector<int> order = dtree::canonical_order(res.tree);
+    std::vector<int> canon_of(static_cast<std::size_t>(res.tree.num_nodes()),
+                              -1);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      canon_of[static_cast<std::size_t>(order[k])] = static_cast<int>(k);
+    }
+    std::map<int, dtree::SplitAuditEntry> out;
+    for (const dtree::SplitAuditEntry& e : obs.split_audit()->entries()) {
+      out[canon_of[static_cast<std::size_t>(e.node_id)]] = e;
+    }
+    return out;
+  };
+  const auto s = audit_by_canon(Formulation::Sync, 1);
+  const auto p = audit_by_canon(Formulation::Hybrid, 8);
+  ASSERT_EQ(s.size(), p.size());
+  for (const auto& [canon, e] : s) {
+    const auto it = p.find(canon);
+    ASSERT_NE(it, p.end()) << "canonical node " << canon;
+    EXPECT_DOUBLE_EQ(e.gain, it->second.gain);
+    EXPECT_DOUBLE_EQ(e.runner_up_gain, it->second.runner_up_gain);
+    EXPECT_EQ(e.runner_up_attr, it->second.runner_up_attr);
+    EXPECT_EQ(e.level, it->second.level);
+  }
+}
+
+TEST(ModelIdentity, AuditAttachmentKeepsClockAndTreeBitIdentical) {
+  const data::Dataset ds = quest_binned(1500, 24);
+  ParOptions plain_opt;
+  plain_opt.num_procs = 8;
+  const ParResult plain = build(Formulation::Partitioned, ds, plain_opt);
+
+  obs::Observability obs;
+  obs.enable_split_audit();
+  ParOptions audited_opt;
+  audited_opt.num_procs = 8;
+  audited_opt.obs = &obs;
+  const ParResult audited = build(Formulation::Partitioned, ds, audited_opt);
+
+  EXPECT_TRUE(audited.tree.same_as(plain.tree));
+  EXPECT_EQ(audited.parallel_time, plain.parallel_time);
+  EXPECT_EQ(dtree::model_digest(audited.tree),
+            dtree::model_digest(plain.tree));
+}
+
+}  // namespace
+}  // namespace pdt::core

@@ -38,5 +38,43 @@ TEST(Evaluate, EmptyDatasetGivesZeroAccuracy) {
   EXPECT_DOUBLE_EQ(ev.accuracy(), 0.0);
 }
 
+TEST(Evaluate, SingleClassDatasetIsPureLeaf) {
+  // Every record shares one label: growth must stop at a pure root and
+  // evaluation must score 100% with a one-hot confusion row.
+  data::Dataset ds(data::golf_schema(), 20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    ds.add_row(1);
+    for (int a = 0; a < ds.num_attributes(); ++a) {
+      if (ds.schema().attr(a).is_categorical()) {
+        ds.set_cat(a, r, static_cast<std::int32_t>(r % 2));
+      } else {
+        ds.set_cont(a, r, static_cast<double>(r));
+      }
+    }
+  }
+  const Tree t = grow_dfs_exact(ds, {});
+  EXPECT_EQ(t.num_nodes(), 1);
+  const Evaluation ev = evaluate(t, ds);
+  EXPECT_EQ(ev.correct, 20);
+  EXPECT_DOUBLE_EQ(ev.accuracy(), 1.0);
+  EXPECT_EQ(ev.confusion, (std::vector<std::int64_t>{0, 0, 0, 20}));
+}
+
+TEST(Evaluate, MakeLeafFallsBackToMajorityVote) {
+  // Collapsing the root must leave a consistent classifier: the detached
+  // subtree no longer routes records, so accuracy falls back to the
+  // majority-class rate, and evaluation must not touch detached nodes.
+  const data::Dataset golf = data::golf_dataset();
+  GrowOptions opt;
+  opt.policy = SplitPolicy::Multiway;
+  Tree t = grow_dfs_exact(golf, opt);
+  ASSERT_EQ(evaluate(t, golf).correct, 14);
+  t.make_leaf(0);
+  const Evaluation ev = evaluate(t, golf);
+  EXPECT_EQ(ev.total, 14);
+  EXPECT_EQ(ev.correct, 9);  // majority class (Play) only
+  EXPECT_EQ(ev.confusion, (std::vector<std::int64_t>{9, 0, 5, 0}));
+}
+
 }  // namespace
 }  // namespace pdt::dtree

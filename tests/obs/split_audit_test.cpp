@@ -1,0 +1,148 @@
+// SplitAudit: per-decision recording, (phase, level) stamps, feed
+// accumulation, make_leaf revocation, and passivity.
+#include "obs/split_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "dtree/builder.hpp"
+#include "obs/phase.hpp"
+
+namespace pdt::obs {
+namespace {
+
+data::Dataset quest_binned(std::size_t n, std::uint64_t seed) {
+  return data::discretize_uniform(
+      data::quest_generate(n, {.function = 2, .seed = seed}),
+      data::quest_paper_bins());
+}
+
+TEST(SplitAudit, OneEntryPerInternalNodeWithMargins) {
+  const data::Dataset ds = quest_binned(2000, 11);
+  SplitAudit audit;
+  dtree::GrowOptions opt;
+  opt.split_observer = &audit;
+  const dtree::Tree t = dtree::grow_bfs(ds, opt);
+
+  int internal = 0;
+  for (int id = 0; id < t.num_nodes(); ++id) {
+    if (!t.node(id).is_leaf()) ++internal;
+  }
+  ASSERT_EQ(audit.size(), static_cast<std::size_t>(internal));
+
+  for (const dtree::SplitAuditEntry& e : audit.entries()) {
+    ASSERT_GE(e.node_id, 0);
+    ASSERT_LT(e.node_id, t.num_nodes());
+    const dtree::Node& nd = t.node(e.node_id);
+    EXPECT_FALSE(nd.is_leaf());
+    EXPECT_GT(e.gain, 0.0);           // adopted splits cleared min_gain
+    EXPECT_GE(e.gain, e.runner_up_gain);  // the winner won
+    if (e.runner_up_attr >= 0) {
+      EXPECT_NE(e.runner_up_attr, nd.test.attr);  // rival is a *different* attr
+    } else {
+      EXPECT_EQ(e.runner_up_gain, 0.0);
+    }
+    // No profiler attached: empty phase, level = node depth.
+    EXPECT_TRUE(e.phase.empty());
+    EXPECT_EQ(e.level, nd.depth);
+    // The serial builder feeds everything as rank 0; the feed total is
+    // exactly the records the node saw.
+    ASSERT_EQ(e.per_rank_records.size(), 1u);
+    const std::int64_t records = std::accumulate(
+        nd.class_counts.begin(), nd.class_counts.end(), std::int64_t{0});
+    EXPECT_EQ(e.per_rank_records[0], records);
+  }
+}
+
+TEST(SplitAudit, StampsComeFromProfilerWhenAttached) {
+  const data::Dataset ds = quest_binned(600, 12);
+  PhaseProfiler prof;
+  SplitAudit audit(&prof);
+  dtree::GrowOptions opt;
+  opt.split_observer = &audit;
+  dtree::Tree t;
+  {
+    PhaseScope phase(&prof, "split-eval");
+    LevelScope level(&prof, 7);
+    t = dtree::grow_bfs(ds, opt);
+  }
+  ASSERT_GT(audit.size(), 0u);
+  for (const dtree::SplitAuditEntry& e : audit.entries()) {
+    EXPECT_EQ(e.phase, "split-eval");
+    EXPECT_EQ(e.level, 7);  // profiler level overrides node depth
+  }
+}
+
+TEST(SplitAudit, MakeLeafRevokesTheDecision) {
+  const data::Dataset ds = quest_binned(1500, 13);
+  SplitAudit audit;
+  dtree::GrowOptions opt;
+  opt.split_observer = &audit;
+  dtree::Tree t = dtree::grow_bfs(ds, opt);
+  const std::size_t before = audit.size();
+  ASSERT_GT(before, 1u);
+
+  int victim = -1;
+  for (int id = t.num_nodes() - 1; id >= 0; --id) {
+    if (!t.node(id).is_leaf()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  t.make_leaf(victim);  // forwards to on_make_leaf
+
+  EXPECT_EQ(audit.size(), before - 1);
+  for (const dtree::SplitAuditEntry& e : audit.entries()) {
+    EXPECT_NE(e.node_id, victim);
+  }
+  // Feeds for a revoked decision are dropped, not resurrected.
+  audit.on_feed(victim, 0, 42);
+  EXPECT_EQ(audit.size(), before - 1);
+
+  // Revoking twice is harmless (make_leaf on an already-leaf node).
+  audit.on_make_leaf(victim);
+  EXPECT_EQ(audit.size(), before - 1);
+}
+
+TEST(SplitAudit, FeedsAccumulatePerRank) {
+  SplitAudit audit;
+  dtree::Tree t(std::vector<std::int64_t>{3, 4});
+  dtree::SplitDecision d;
+  d.test.kind = dtree::SplitTest::Kind::Threshold;
+  d.test.attr = 0;
+  d.test.threshold = 1.0;
+  d.test.slot_threshold = 0;
+  d.test.num_children = 2;
+  d.gain = 0.9;
+  d.child_counts = {3, 0, 0, 4};
+  t.set_split_observer(&audit);
+  t.expand(0, d);
+  ASSERT_EQ(audit.size(), 1u);
+
+  audit.on_feed(0, 2, 5);
+  audit.on_feed(0, 0, 1);
+  audit.on_feed(0, 2, 5);
+  audit.on_feed(99, 0, 7);  // never-expanded node: ignored
+  ASSERT_EQ(audit.size(), 1u);
+  const dtree::SplitAuditEntry& e = audit.entries()[0];
+  EXPECT_EQ(e.per_rank_records,
+            (std::vector<std::int64_t>{1, 0, 10}));
+}
+
+TEST(SplitAudit, AttachingTheAuditIsPassive) {
+  const data::Dataset ds = quest_binned(1500, 14);
+  SplitAudit audit;
+  dtree::GrowOptions with;
+  with.split_observer = &audit;
+  const dtree::Tree audited = dtree::grow_bfs(ds, with);
+  const dtree::Tree plain = dtree::grow_bfs(ds, {});
+  EXPECT_TRUE(audited.same_as(plain));
+}
+
+}  // namespace
+}  // namespace pdt::obs

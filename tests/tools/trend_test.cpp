@@ -268,6 +268,112 @@ TEST(TrendCheck, DocIsDeterministic) {
   EXPECT_EQ(os1.str(), os2.str());
 }
 
+std::string model_envelope(const std::string& digest, double accuracy) {
+  std::ostringstream os;
+  os << R"({"schema": "pdt-bench-v1", "harness": "fig6_speedup",
+    "fingerprint": {"git_sha": "abc123def456", "git_dirty": false},
+    "sections": [
+      {"type": "model", "tag": "hybrid.P8", "formulation": "hybrid",
+       "procs": 8, "digest": ")"
+     << digest << R"(", "nodes": 101, "leaves": 51, "depth": 9,
+       "eval_seed": 9007, "eval_rows": 2000, "accuracy": )"
+     << json_double_exact(accuracy) << R"(}]})";
+  return os.str();
+}
+
+RunRecord model_record(std::int64_t seq, const std::string& digest,
+                       double accuracy) {
+  // Two repeats with identical model sections: the tuple dedupes.
+  const std::vector<ReportInput> inputs{
+      parse("m0.json", model_envelope(digest, accuracy)),
+      parse("m1.json", model_envelope(digest, accuracy))};
+  RunRecord rec = record_from_envelopes(inputs);
+  rec.seq = seq;
+  rec.timestamp = "2026-08-0" + std::to_string(seq) + "T00:00:00Z";
+  return rec;
+}
+
+TEST(TrendModel, RecordExtractsAndRegistryRoundTripsModelTuples) {
+  const RunRecord rec = model_record(1, "deadbeefcafe0123", 0.91);
+  ASSERT_EQ(rec.model.size(), 1u);
+  EXPECT_EQ(rec.model[0].harness, "fig6_speedup");
+  EXPECT_EQ(rec.model[0].tag, "hybrid.P8");
+  EXPECT_EQ(rec.model[0].formulation, "hybrid");
+  EXPECT_EQ(rec.model[0].procs, 8);
+  EXPECT_EQ(rec.model[0].digest, "deadbeefcafe0123");
+  EXPECT_EQ(rec.model[0].nodes, 101);
+  EXPECT_EQ(rec.model[0].leaves, 51);
+  EXPECT_EQ(rec.model[0].depth, 9);
+  EXPECT_DOUBLE_EQ(rec.model[0].accuracy, 0.91);
+
+  std::vector<RunRecord> back;
+  std::string error;
+  ASSERT_TRUE(parse_registry(record_line(rec), &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  ASSERT_EQ(back[0].model.size(), 1u);
+  EXPECT_EQ(back[0].model[0].digest, "deadbeefcafe0123");
+  EXPECT_EQ(back[0].model[0].accuracy, rec.model[0].accuracy) << "bit-exact";
+  EXPECT_EQ(record_line(back[0]), record_line(rec));
+}
+
+TEST(TrendModel, PreModelRegistryLinesParseWithEmptyModelList) {
+  // A pre-0.9 line has no "model" key: backward compatible, not an error.
+  const std::string line = record_line(record(1, 1000.0, 80e6, 20e6));
+  std::string stripped = line;
+  const std::size_t at = stripped.find(", \"model\": []");
+  ASSERT_NE(at, std::string::npos) << "0.9 lines always carry the key";
+  stripped.erase(at, std::string(", \"model\": []").size());
+  std::vector<RunRecord> back;
+  std::string error;
+  ASSERT_TRUE(parse_registry(stripped, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].model.empty());
+}
+
+TEST(TrendModel, DigestChangeIsARegression) {
+  std::vector<RunRecord> runs;
+  for (int s = 1; s <= 3; ++s) {
+    runs.push_back(model_record(s, "aaaa1111bbbb2222", 0.91));
+  }
+  std::ostringstream ok_os;
+  std::string ok_doc;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, ok_os, &ok_doc), 0);
+  EXPECT_NE(ok_os.str().find("ok      [model] fig6_speedup hybrid.P8"),
+            std::string::npos);
+  EXPECT_NE(ok_doc.find("\"models\": ["), std::string::npos);
+
+  runs.push_back(model_record(4, "cccc3333dddd4444", 0.87));
+  std::ostringstream os;
+  std::string doc;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, os, &doc), 1);
+  EXPECT_NE(os.str().find("FAIL    [model] fig6_speedup hybrid.P8"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("digest aaaa1111bbbb -> cccc3333dddd"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"verdict\": \"REGRESSION\""), std::string::npos);
+  EXPECT_NE(doc.find("\"prev_digest\": \"aaaa1111bbbb2222\""),
+            std::string::npos);
+}
+
+TEST(TrendModel, MissingModelWarnsAndFirstAppearanceIsNew) {
+  std::vector<RunRecord> runs{model_record(1, "aaaa1111bbbb2222", 0.91),
+                              model_record(2, "aaaa1111bbbb2222", 0.91)};
+  RunRecord narrowed;  // latest run dropped the model section
+  narrowed.seq = 3;
+  runs.push_back(std::move(narrowed));
+  std::ostringstream os;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, os, nullptr), 0);
+  EXPECT_NE(os.str().find("MISSING [model]"), std::string::npos);
+
+  // First appearance in the latest run: "new", not a regression.
+  std::vector<RunRecord> fresh{record(1, 1000.0, 80e6, 20e6),
+                               model_record(2, "eeee5555ffff6666", 0.9)};
+  std::ostringstream os2;
+  EXPECT_EQ(run_trend_check(fresh, TrendOptions{}, os2, nullptr), 0);
+  EXPECT_NE(os2.str().find("first appearance, digest eeee5555ffff"),
+            std::string::npos);
+}
+
 TEST(TrendExplain, FilterSelectsTuplesAndMissingFilterReportsCleanly) {
   const std::vector<RunRecord> runs = flat_registry(3);
   std::ostringstream os;

@@ -581,6 +581,35 @@ void render_speedup_tables(const JsonValue& sections, std::ostream& os) {
   }
 }
 
+// --------------------------------------------------------------- model --
+
+// One row per "model" section: the classifier each tagged run grew. The
+// digest column is the headline — every formulation at every P growing
+// one workload must show the same value (pdt-tree diff turns a mismatch
+// into a failing gate; this table is where a human spots it first).
+void render_model_table(const JsonValue& sections, std::ostream& os) {
+  bool any = false;
+  for (const JsonValue& sec : sections.array()) {
+    any = any || sec.get("type").as_string() == "model";
+  }
+  if (!any) return;
+  os << "### Models (pdt-model-v1)\n\n";
+  os << "| tag | formulation | P | digest | nodes | leaves | depth | "
+        "held-out accuracy |\n";
+  os << "|---|---|---:|---|---:|---:|---:|---:|\n";
+  for (const JsonValue& sec : sections.array()) {
+    if (sec.get("type").as_string() != "model") continue;
+    os << "| " << sec.get("tag").as_string() << " | "
+       << sec.get("formulation").as_string() << " | "
+       << sec.get("procs").as_int() << " | `"
+       << sec.get("digest").as_string().substr(0, 12) << "` | "
+       << sec.get("nodes").as_int() << " | " << sec.get("leaves").as_int()
+       << " | " << sec.get("depth").as_int() << " | "
+       << fmt(sec.get("accuracy").as_double(), 4) << " |\n";
+  }
+  os << "\n";
+}
+
 // -------------------------------------------------------------- replay --
 
 void render_blame_table(const JsonValue& blame, std::ostream& os) {
@@ -779,6 +808,7 @@ void render_bench(const ReportInput& in, std::ostream& os,
   if (opt.wants("speedup")) render_speedup_tables(sections, os);
   if (opt.wants("host")) render_host_speedup(sections, os);
   if (opt.wants("memory")) render_mem_scaling(sections, os);
+  if (opt.wants("model")) render_model_table(sections, os);
 
   for (const JsonValue& sec : sections.array()) {
     const std::string& type = sec.get("type").as_string();
@@ -975,6 +1005,29 @@ void render_trend(const ReportInput& in, std::ostream& os) {
       }
       os << "\n";
     }
+  }
+
+  const JsonValue& models = root.get("models");
+  if (models.size() > 0) {
+    os << "#### Model history\n\n";
+    os << "| model | digest | accuracy | nodes | leaves | depth | "
+          "verdict |\n";
+    os << "|---|---|---:|---:|---:|---:|---|\n";
+    for (const JsonValue& m : models.array()) {
+      const std::string& verdict = m.get("verdict").as_string();
+      os << "| " << m.get("name").as_string() << " | `"
+         << m.get("digest").as_string().substr(0, 12) << "`";
+      if (m.has("prev_digest") &&
+          m.get("prev_digest").as_string() != m.get("digest").as_string()) {
+        os << " (was `" << m.get("prev_digest").as_string().substr(0, 12)
+           << "`)";
+      }
+      os << " | " << fmt(m.get("accuracy").as_double(), 4) << " | "
+         << m.get("nodes").as_int() << " | " << m.get("leaves").as_int()
+         << " | " << m.get("depth").as_int() << " | "
+         << (verdict == "REGRESSION" ? "**REGRESSION**" : verdict) << " |\n";
+    }
+    os << "\n";
   }
 }
 

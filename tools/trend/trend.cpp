@@ -55,6 +55,16 @@ std::string host_name(const HostEntry& e) {
          " P=" + std::to_string(e.procs);
 }
 
+bool same_model(const TrendModelTuple& a, const TrendModelTuple& b) {
+  return a.harness == b.harness && a.tag == b.tag &&
+         a.formulation == b.formulation && a.procs == b.procs;
+}
+
+std::string model_name(const TrendModelTuple& m) {
+  return m.harness + " " + m.tag + " " + m.formulation +
+         " P=" + std::to_string(m.procs);
+}
+
 }  // namespace
 
 // -------------------------------------------------------------- registry --
@@ -129,6 +139,23 @@ bool parse_registry(std::string_view text, std::vector<RunRecord>* out,
       }
       rec.host.push_back(std::move(t));
     }
+    // "model" is absent from pre-0.9 registries — an empty list then.
+    for (const JsonValue& e : root.get("model").array()) {
+      TrendModelTuple m;
+      m.harness = e.get("harness").as_string();
+      m.tag = e.get("tag").as_string();
+      m.formulation = e.get("formulation").as_string();
+      m.procs = e.get("procs").as_int();
+      m.digest = e.get("digest").as_string();
+      m.nodes = e.get("nodes").as_int();
+      m.leaves = e.get("leaves").as_int();
+      m.depth = e.get("depth").as_int();
+      m.accuracy = e.get("accuracy").as_double();
+      if (m.harness.empty() || m.digest.empty()) {
+        return fail("model tuple missing harness or digest");
+      }
+      rec.model.push_back(std::move(m));
+    }
     for (const JsonValue& e : root.get("blame").array()) {
       TrendBlameEdge b;
       b.idler = e.get("idler").as_int();
@@ -181,6 +208,17 @@ std::string record_line(const RunRecord& rec) {
          << ", \"virtual_us\": " << json_double_exact(cell.virtual_us) << "}";
     }
     os << "]}";
+  }
+  os << "], \"model\": [";
+  for (std::size_t i = 0; i < rec.model.size(); ++i) {
+    const TrendModelTuple& m = rec.model[i];
+    os << (i == 0 ? "" : ", ") << "{\"harness\": \""
+       << json_escaped(m.harness) << "\", \"tag\": \"" << json_escaped(m.tag)
+       << "\", \"formulation\": \"" << json_escaped(m.formulation)
+       << "\", \"procs\": " << m.procs << ", \"digest\": \""
+       << json_escaped(m.digest) << "\", \"nodes\": " << m.nodes
+       << ", \"leaves\": " << m.leaves << ", \"depth\": " << m.depth
+       << ", \"accuracy\": " << json_double_exact(m.accuracy) << "}";
   }
   os << "], \"blame\": [";
   for (std::size_t i = 0; i < rec.blame.size(); ++i) {
@@ -237,6 +275,26 @@ RunRecord record_from_envelopes(const std::vector<ReportInput>& inputs) {
       rec.fingerprint = in.root.get("fingerprint");
     }
     for (const JsonValue& sec : in.root.get("sections").array()) {
+      if (sec.get("type").as_string() == "model") {
+        // Deterministic like the virtual clock: repeats carry identical
+        // model sections, keep the first sighting of each key.
+        TrendModelTuple m;
+        m.harness = harness;
+        m.tag = sec.get("tag").as_string();
+        m.formulation = sec.get("formulation").as_string();
+        m.procs = sec.get("procs").as_int();
+        m.digest = sec.get("digest").as_string();
+        m.nodes = sec.get("nodes").as_int();
+        m.leaves = sec.get("leaves").as_int();
+        m.depth = sec.get("depth").as_int();
+        m.accuracy = sec.get("accuracy").as_double();
+        bool seen = false;
+        for (const TrendModelTuple& u : rec.model) {
+          seen = seen || same_model(u, m);
+        }
+        if (!seen && !m.digest.empty()) rec.model.push_back(std::move(m));
+        continue;
+      }
       if (sec.get("type").as_string() != "instrumented_run") continue;
       const JsonValue& host = sec.get("host");
       if (host.is_null()) continue;
@@ -665,6 +723,76 @@ int run_trend_check(const std::vector<RunRecord>& runs,
     }
     d << "}";
   }
+  d << "\n  ],\n  \"models\": [";
+
+  // Model drift gate: the digest is deterministic, so a changed digest
+  // for a previously-sighted (harness, tag, formulation, P) key is a
+  // regression — the classifier itself moved, not just its cost.
+  std::vector<TrendModelTuple> mkeys;
+  for (const RunRecord& rec : runs) {
+    for (const TrendModelTuple& m : rec.model) {
+      bool seen = false;
+      for (const TrendModelTuple& k : mkeys) seen = seen || same_model(k, m);
+      if (!seen) mkeys.push_back(m);
+    }
+  }
+  bool first_model = true;
+  for (const TrendModelTuple& key : mkeys) {
+    const TrendModelTuple* latest = nullptr;
+    for (const TrendModelTuple& m : runs.back().model) {
+      if (same_model(m, key)) latest = &m;
+    }
+    const TrendModelTuple* prev = nullptr;
+    for (std::size_t r = runs.size() - 1; r-- > 0 && prev == nullptr;) {
+      for (const TrendModelTuple& m : runs[r].model) {
+        if (same_model(m, key)) prev = &m;
+      }
+    }
+    std::string verdict = "ok";
+    if (!gated) {
+      verdict = "ok";
+    } else if (latest == nullptr) {
+      verdict = "missing";
+    } else if (prev == nullptr) {
+      verdict = "new";
+    } else if (latest->digest != prev->digest) {
+      verdict = "REGRESSION";
+      ++regressions;
+    }
+    if (gated) {
+      const char* tagc = verdict == "REGRESSION" ? "FAIL    "
+                         : verdict == "missing"  ? "MISSING "
+                                                 : "ok      ";
+      os << tagc << "[model] " << model_name(key);
+      if (verdict == "missing") {
+        os << " — absent from latest run (warning)\n";
+      } else if (verdict == "new") {
+        os << " — first appearance, digest " << latest->digest.substr(0, 12)
+           << "\n";
+      } else if (verdict == "REGRESSION") {
+        os << " — digest " << prev->digest.substr(0, 12) << " -> "
+           << latest->digest.substr(0, 12) << " (accuracy "
+           << fmt(prev->accuracy, 4) << " -> " << fmt(latest->accuracy, 4)
+           << ", " << latest->nodes << " nodes vs " << prev->nodes << ")\n";
+      } else {
+        os << " — digest " << latest->digest.substr(0, 12) << " unchanged, "
+           << "accuracy " << fmt(latest->accuracy, 4) << "\n";
+      }
+    }
+    const TrendModelTuple* shown = latest != nullptr ? latest : prev;
+    d << (first_model ? "" : ",") << "\n    {\"name\": \""
+      << json_escaped(model_name(key)) << "\", \"verdict\": \"" << verdict
+      << "\", \"digest\": \"" << json_escaped(shown->digest)
+      << "\", \"accuracy\": " << json_double_exact(shown->accuracy)
+      << ", \"nodes\": " << shown->nodes << ", \"leaves\": " << shown->leaves
+      << ", \"depth\": " << shown->depth;
+    if (prev != nullptr && latest != nullptr) {
+      d << ", \"prev_digest\": \"" << json_escaped(prev->digest)
+        << "\", \"prev_accuracy\": " << json_double_exact(prev->accuracy);
+    }
+    d << "}";
+    first_model = false;
+  }
   d << "\n  ]\n}\n";
   if (doc != nullptr) *doc = d.str();
 
@@ -805,7 +933,7 @@ void run_trend_list(const std::vector<RunRecord>& runs, std::ostream& os) {
        << (sha.empty() ? "unknown" : sha)
        << (r.fingerprint.get("git_dirty").as_bool() ? "*" : "") << "  "
        << r.virt.size() << " virtual, " << r.host.size() << " host, "
-       << r.blame.size() << " blame"
+       << r.model.size() << " model, " << r.blame.size() << " blame"
        << (r.label.empty() ? "" : "  [" + r.label + "]") << "\n";
   }
 }

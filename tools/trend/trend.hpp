@@ -61,6 +61,23 @@ struct TrendHostTuple {
   std::vector<TrendCell> cells;
 };
 
+/// One model tuple: the classifier a tagged run grew, identified by its
+/// pdt-model-v1 content digest. Model drift is gated like perf drift —
+/// the digest is deterministic, so any change against the previous
+/// sighting of the same (harness, tag, formulation, procs) key is a
+/// regression until the history is deliberately re-baselined.
+struct TrendModelTuple {
+  std::string harness;
+  std::string tag;
+  std::string formulation;
+  std::int64_t procs = 0;
+  std::string digest;
+  std::int64_t nodes = 0;
+  std::int64_t leaves = 0;
+  std::int64_t depth = 0;
+  double accuracy = 0.0;  ///< held-out accuracy recorded by the harness
+};
+
 /// One wait-for blame edge carried along from a pdt-replay-v1 report.
 struct TrendBlameEdge {
   std::int64_t idler = 0;
@@ -79,6 +96,7 @@ struct RunRecord {
   JsonValue fingerprint;      ///< obs::EnvFingerprint object (may be null)
   std::vector<DiffEntry> virt;
   std::vector<TrendHostTuple> host;
+  std::vector<TrendModelTuple> model;
   std::vector<TrendBlameEdge> blame;
 };
 
