@@ -1,13 +1,30 @@
-// Fault-tolerance overhead of the three formulations (DESIGN.md §7).
+// Fault-tolerance overhead of the three formulations (DESIGN.md §7, §13).
 //
-// Each formulation builds the Figure-6 workload at P=8 under four
+// Each formulation builds the Figure-6 workload at P=8 under six
 // scenarios: fault-free baseline, checkpointing with no faults (the pure
-// checkpoint tax), a fail-stop death recovered mid-build, and a transient
-// 4x straggler. Every faulty run's tree is checked bit-identical to the
-// baseline's — recovery must never change the classifier.
+// checkpoint tax), a fail-stop death recovered mid-build, a transient
+// 4x straggler, a transient collective timeout that heals after two
+// retries, and checksum-detected link corruption retried once. Every
+// faulty run's tree is checked bit-identical to the baseline's —
+// recovery must never change the classifier.
+//
+// On top of the in-simulation scenarios, a durable-checkpoint section
+// exercises the pdt-ckpt-v1 on-disk path: one run writes an epoch file
+// per level to a scratch directory (the durable tax), then a second run
+// resumes from a mid-tree epoch exactly as a crash-restarted process
+// would (the resume bound makes later epochs invisible, which is the
+// on-disk state a kill at that epoch leaves behind) and must finish with
+// a digest-identical tree.
 //
 // Emits fault_tolerance.json with a {"type":"fault_tolerance",
 // "schema":"pdt-ft-v1"} section per formulation (one row per scenario).
+// Rows carry the retry/backoff counters (retries, retry_us,
+// escalations) and the durable/resume counters (durable_checkpoints,
+// durable_bytes, durable_io_us, resumed, resume_epoch, resume_skipped,
+// resume_io_us, resume_records); readers of older artifacts default all
+// of these to zero.
+#include <filesystem>
+
 #include "bench_util.hpp"
 #include "mpsim/fault.hpp"
 
@@ -31,15 +48,67 @@ std::vector<Scenario> scenarios() {
   Scenario slow{"straggler-r1x4", true, {}};
   slow.plan.straggler(1, 0, 3, 4.0);
   s.push_back(std::move(slow));
+  Scenario flaky{"transient-r2x2", true, {}};
+  flaky.plan.transient_timeout(2, 1, 2);
+  s.push_back(std::move(flaky));
+  Scenario corrupt{"corrupt-l0-1@L1", true, {}};
+  corrupt.plan.corrupt_link(0, 1, 1, 1);
+  s.push_back(std::move(corrupt));
   return s;
+}
+
+/// Write one pdt-ft-v1 row. All counters come from RecoveryStats; rows
+/// always carry the full field set so downstream tools never guess.
+void write_row(obs::JsonWriter& w, const char* scenario,
+               const std::string& plan, const core::ParResult& res,
+               double overhead_pct, bool identical) {
+  const core::RecoveryStats& rc = res.recovery;
+  w.begin_object();
+  w.kv("scenario", scenario);
+  w.kv("plan", plan);
+  w.kv("time_us", res.parallel_time);
+  w.kv("overhead_pct", overhead_pct);
+  w.kv("checkpoints", rc.checkpoints);
+  w.kv("failures", rc.failures);
+  w.kv("checkpoint_bytes", rc.checkpoint_bytes);
+  w.kv("checkpoint_io_us", rc.checkpoint_io_us);
+  w.kv("detect_us", rc.detect_us);
+  w.kv("recovery_us", rc.recovery_us);
+  w.kv("records_redistributed", rc.records_redistributed);
+  w.kv("retries", static_cast<std::int64_t>(rc.retries));
+  w.kv("retry_us", rc.retry_us);
+  w.kv("escalations", rc.escalations);
+  w.kv("durable_checkpoints", rc.durable_checkpoints);
+  w.kv("durable_bytes", rc.durable_bytes);
+  w.kv("durable_io_us", rc.durable_io_us);
+  w.kv("resumed", rc.resumed);
+  w.kv("resume_epoch", rc.resume_epoch);
+  w.kv("resume_skipped", rc.resume_skipped);
+  w.kv("resume_io_us", rc.resume_io_us);
+  w.kv("resume_records", rc.resume_records);
+  w.kv("tree_identical", identical);
+  w.end_object();
+}
+
+void print_row(const char* tag, const core::ParResult& res,
+               double overhead_pct, bool identical) {
+  const core::RecoveryStats& rc = res.recovery;
+  std::printf("%-16s %12.1f %9.2f %5d %5d %10.0f %10.1f %10.1f %8lld %7llu "
+              "%5s\n",
+              tag, res.parallel_time / 1000.0, overhead_pct, rc.checkpoints,
+              rc.failures, static_cast<double>(rc.checkpoint_bytes) / 1024.0,
+              rc.detect_us / 1000.0, rc.recovery_us / 1000.0,
+              static_cast<long long>(rc.records_redistributed),
+              static_cast<unsigned long long>(rc.retries),
+              identical ? "yes" : "NO");
 }
 
 void run_formulation(bench::BenchReport& rep, core::Formulation f,
                      const data::Dataset& ds, int procs) {
   std::printf("\n--- %s, P=%d ---\n", core::to_string(f), procs);
-  std::printf("%-16s %12s %9s %5s %5s %10s %10s %10s %8s %5s\n", "scenario",
-              "time_ms", "ovhd%", "ckpts", "fails", "ckpt_KiB", "detect_ms",
-              "recov_ms", "redist", "tree=");
+  std::printf("%-16s %12s %9s %5s %5s %10s %10s %10s %8s %7s %5s\n",
+              "scenario", "time_ms", "ovhd%", "ckpts", "fails", "ckpt_KiB",
+              "detect_ms", "recov_ms", "redist", "retries", "tree=");
 
   obs::JsonWriter* w = rep.writer();
   if (w != nullptr) {
@@ -65,31 +134,72 @@ void run_formulation(bench::BenchReport& rep, core::Formulation f,
             ? 100.0 * (res.parallel_time / baseline.parallel_time - 1.0)
             : 0.0;
     const bool identical = res.tree.same_as(baseline.tree);
-    const core::RecoveryStats& rc = res.recovery;
-    std::printf("%-16s %12.1f %9.2f %5d %5d %10.0f %10.1f %10.1f %8lld %5s\n",
-                s.tag, res.parallel_time / 1000.0, overhead_pct,
-                rc.checkpoints, rc.failures,
-                static_cast<double>(rc.checkpoint_bytes) / 1024.0,
-                rc.detect_us / 1000.0, rc.recovery_us / 1000.0,
-                static_cast<long long>(rc.records_redistributed),
-                identical ? "yes" : "NO");
+    print_row(s.tag, res, overhead_pct, identical);
     if (w != nullptr) {
-      w->begin_object();
-      w->kv("scenario", s.tag);
-      w->kv("plan", s.armed ? s.plan.describe() : "none");
-      w->kv("time_us", res.parallel_time);
-      w->kv("overhead_pct", overhead_pct);
-      w->kv("checkpoints", rc.checkpoints);
-      w->kv("failures", rc.failures);
-      w->kv("checkpoint_bytes", rc.checkpoint_bytes);
-      w->kv("checkpoint_io_us", rc.checkpoint_io_us);
-      w->kv("detect_us", rc.detect_us);
-      w->kv("recovery_us", rc.recovery_us);
-      w->kv("records_redistributed", rc.records_redistributed);
-      w->kv("tree_identical", identical);
-      w->end_object();
+      write_row(*w, s.tag, s.armed ? s.plan.describe() : "none", res,
+                overhead_pct, identical);
     }
   }
+
+  // Durable checkpoints + crash-restart resume (pdt-ckpt-v1). The first
+  // run persists an epoch per level to a scratch directory; the second
+  // resumes from a mid-tree epoch. Bounding the resume epoch hides all
+  // later epoch files, so the loader sees exactly what a process killed
+  // right after committing that epoch would have left on disk.
+  const std::filesystem::path ckdir =
+      std::filesystem::path("ft_ckpt_scratch") / core::to_string(f);
+  std::error_code ec;
+  std::filesystem::remove_all(ckdir, ec);
+  std::filesystem::create_directories(ckdir, ec);
+  {
+    core::ParOptions opt;
+    opt.num_procs = procs;
+    opt.ckpt_dir = ckdir.string();
+    opt.ckpt_keep = 1000;  // keep every epoch so any cut is resumable
+    const core::ParResult durable = core::build(f, ds, opt);
+    const double durable_ovhd =
+        baseline.parallel_time > 0.0
+            ? 100.0 * (durable.parallel_time / baseline.parallel_time - 1.0)
+            : 0.0;
+    const bool durable_same = durable.tree.same_as(baseline.tree);
+    print_row("durable-ckpt", durable, durable_ovhd, durable_same);
+    if (w != nullptr) {
+      write_row(*w, "durable-ckpt", "ckpt_dir=" + ckdir.string(), durable,
+                durable_ovhd, durable_same);
+    }
+
+    const int mid = durable.recovery.durable_checkpoints / 2;
+    core::ParOptions ropt;
+    ropt.num_procs = procs;
+    ropt.ckpt_dir = ckdir.string();
+    ropt.ckpt_keep = 1000;
+    ropt.resume = true;
+    ropt.resume_epoch = mid;
+    const core::ParResult resumed = core::build(f, ds, ropt);
+    // Only the levels past the resumed epoch are rebuilt, so this
+    // overhead is negative by construction; the interesting numbers are
+    // resume_io_us / resume_records and the digest check.
+    const double resume_ovhd =
+        baseline.parallel_time > 0.0
+            ? 100.0 * (resumed.parallel_time / baseline.parallel_time - 1.0)
+            : 0.0;
+    const bool resume_same = resumed.tree.same_as(baseline.tree);
+    char rtag[32];
+    std::snprintf(rtag, sizeof rtag, "resume@e%d", mid);
+    print_row(rtag, resumed, resume_ovhd, resume_same);
+    std::printf("%-16s %s epoch %d: %lld records, %.1f ms io, "
+                "%d epoch(s) skipped\n",
+                "", "resumed from", resumed.recovery.resume_epoch,
+                static_cast<long long>(resumed.recovery.resume_records),
+                resumed.recovery.resume_io_us / 1000.0,
+                resumed.recovery.resume_skipped);
+    if (w != nullptr) {
+      write_row(*w, rtag, "resume from " + ckdir.string(), resumed,
+                resume_ovhd, resume_same);
+    }
+  }
+  std::filesystem::remove_all(ckdir, ec);
+
   if (w != nullptr) {
     w->end_array();
     w->end_object();
@@ -119,6 +229,7 @@ int main() {
     run_formulation(rep, f, ds, 8);
   }
   std::printf("\n(tree= column: faulty run's tree is bit-identical to the "
-              "fault-free baseline)\n");
+              "fault-free baseline; resume rows rebuild only the levels "
+              "past the resumed epoch)\n");
   return 0;
 }

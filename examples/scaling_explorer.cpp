@@ -14,12 +14,21 @@
 //   --straggler=R@L0:L1:F   rank R's charges cost Fx over levels [L0, L1]
 //   --delay=A-BxF           link A<->B costs Fx
 //   PDT_FAULT_SEED=<seed>   seeded random single-failure scenario per P
+//
+// Durable checkpoints + crash-restart (DESIGN.md §13):
+//   --ckpt-dir=DIR          write a pdt-ckpt-v1 epoch per level to DIR/P<p>
+//   --resume                resume each P>1 run from its latest valid epoch
+//   --resume-epoch=N        cap the resume at epoch N (later epochs ignored)
+//   --crash-after=N         _Exit(137) right after committing epoch N — the
+//                           crash half of the CI kill-and-resume gate
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <span>
+#include <system_error>
 #include <string>
 #include <vector>
 
@@ -227,6 +236,10 @@ int main(int argc, char** argv) {
   // Split fault/host flags from positional arguments.
   mpsim::FaultPlan flag_plan;
   bool host = false;
+  std::string ckpt_dir;
+  bool resume = false;
+  int resume_epoch = -1;
+  int crash_after = -1;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     int a = 0;
@@ -235,6 +248,14 @@ int main(int argc, char** argv) {
     double factor = 0.0;
     if (std::strcmp(argv[i], "--host") == 0) {
       host = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(argv[i], "--ckpt-dir=", 11) == 0) {
+      ckpt_dir = argv[i] + 11;
+    } else if (std::sscanf(argv[i], "--resume-epoch=%d", &a) == 1) {
+      resume_epoch = a;
+    } else if (std::sscanf(argv[i], "--crash-after=%d", &a) == 1) {
+      crash_after = a;
     } else if (std::sscanf(argv[i], "--fail=%d@%d", &a, &b) == 2) {
       flag_plan.fail_stop(a, b);
     } else if (std::sscanf(argv[i], "--straggler=%d@%d:%d:%lf", &a, &b, &c,
@@ -246,7 +267,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: %s [sync|part|hybrid] [N] [Pmax] [--host] "
-                   "[--fail=R@L] [--straggler=R@L0:L1:F] [--delay=A-BxF]\n",
+                   "[--fail=R@L] [--straggler=R@L0:L1:F] [--delay=A-BxF] "
+                   "[--ckpt-dir=DIR] [--resume] [--resume-epoch=N] "
+                   "[--crash-after=N]\n",
                    argv[0]);
       return 2;
     } else {
@@ -327,6 +350,17 @@ int main(int argc, char** argv) {
       plan.delay_link(d.a, d.b, d.factor);
     }
     if (p > 1 && !plan.empty()) opt.fault = &plan;
+    if (p > 1 && !ckpt_dir.empty()) {
+      // Per-P subdirectory: the loop reruns the same workload at every
+      // processor count, and mixing their epoch sequences in one
+      // directory would make resume pick up another run's frontier.
+      opt.ckpt_dir = ckpt_dir + "/P" + std::to_string(p);
+      std::error_code ec;
+      std::filesystem::create_directories(opt.ckpt_dir, ec);
+      opt.resume = resume;
+      opt.resume_epoch = resume_epoch;
+      opt.ckpt_crash_epoch = crash_after;
+    }
     const core::ParResult res =
         p == 1 ? serial : core::build(f, ds, opt);
     const double busy_total = res.totals.compute_time +
@@ -358,6 +392,25 @@ int main(int argc, char** argv) {
                     rc.detect_us / 1000.0, rc.recovery_us / 1000.0,
                     static_cast<long long>(rc.records_redistributed),
                     res.tree.same_as(serial.tree) ? "matches" : "DIFFERS from");
+      }
+      if (!opt.ckpt_dir.empty()) {
+        const core::RecoveryStats& rc = res.recovery;
+        std::printf("     durable: %d epoch(s) (%.0f KiB, %.1f ms io) -> %s\n",
+                    rc.durable_checkpoints,
+                    static_cast<double>(rc.durable_bytes) / 1024.0,
+                    rc.durable_io_us / 1000.0, opt.ckpt_dir.c_str());
+        if (rc.resumed) {
+          std::printf("     resumed from epoch %d (%d skipped, %lld records, "
+                      "%.1f ms io), tree %s serial\n",
+                      rc.resume_epoch, rc.resume_skipped,
+                      static_cast<long long>(rc.resume_records),
+                      rc.resume_io_us / 1000.0,
+                      res.tree.same_as(serial.tree) ? "matches"
+                                                    : "DIFFERS from");
+        } else if (resume) {
+          std::printf("     resume requested but no valid checkpoint found; "
+                      "started fresh\n");
+        }
       }
       print_top_segments(o);
       print_top_blame(o);

@@ -1,0 +1,689 @@
+#include "core/ckpt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dtree/serialize.hpp"
+#include "dtree/sha256.hpp"
+#include "obs/atomic_file.hpp"
+#include "obs/fingerprint.hpp"
+
+namespace pdt::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Exact round-trip double rendering (C99 %a hexfloat): strtod restores
+/// the identical bit pattern, which counters like histogram_words need —
+/// a resumed run must finish with the same accounting as an
+/// uninterrupted one, not one ulp off.
+std::string double_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Read one whitespace-delimited token and strtod it (istream's >> does
+/// not accept hexfloat). False when the token is missing or malformed.
+bool read_double(std::istream& in, double* v) {
+  std::string tok;
+  if (!(in >> tok) || tok.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+/// Expect the literal keyword `key` as the next token.
+bool expect_key(std::istream& in, const char* key) {
+  std::string tok;
+  return (in >> tok) && tok == key;
+}
+
+// ---------------------------------------------------------------- meta --
+
+std::string meta_text(const RunSnapshot& s) {
+  std::ostringstream os;
+  os << "formulation " << s.formulation << "\n"
+     << "num_procs " << s.num_procs << "\n"
+     << "seed " << s.seed << "\n"
+     << "levels " << s.levels << "\n"
+     << "partition_splits " << s.partition_splits << "\n"
+     << "rejoins " << s.rejoins << "\n"
+     << "records_moved " << s.records_moved << "\n"
+     << "histogram_words " << double_exact(s.histogram_words) << "\n"
+     << "record_words " << double_exact(s.record_words) << "\n"
+     << "cost " << double_exact(s.cost.t_s) << " " << double_exact(s.cost.t_w)
+     << " " << double_exact(s.cost.t_c) << " " << double_exact(s.cost.t_io)
+     << " " << double_exact(s.cost.t_timeout) << "\n"
+     << "fingerprint " << s.fingerprint << "\n"
+     << "tree_digest " << s.tree_digest << "\n";
+  return os.str();
+}
+
+std::string parse_meta(const std::string& text, RunSnapshot* out) {
+  std::istringstream in(text);
+  if (!expect_key(in, "formulation") || !(in >> out->formulation)) {
+    return "meta: bad formulation";
+  }
+  if (!expect_key(in, "num_procs") || !(in >> out->num_procs) ||
+      out->num_procs < 1) {
+    return "meta: bad num_procs";
+  }
+  if (!expect_key(in, "seed") || !(in >> out->seed)) return "meta: bad seed";
+  if (!expect_key(in, "levels") || !(in >> out->levels) || out->levels < 0) {
+    return "meta: bad levels";
+  }
+  if (!expect_key(in, "partition_splits") || !(in >> out->partition_splits)) {
+    return "meta: bad partition_splits";
+  }
+  if (!expect_key(in, "rejoins") || !(in >> out->rejoins)) {
+    return "meta: bad rejoins";
+  }
+  if (!expect_key(in, "records_moved") || !(in >> out->records_moved)) {
+    return "meta: bad records_moved";
+  }
+  if (!expect_key(in, "histogram_words") ||
+      !read_double(in, &out->histogram_words)) {
+    return "meta: bad histogram_words";
+  }
+  if (!expect_key(in, "record_words") || !read_double(in, &out->record_words)) {
+    return "meta: bad record_words";
+  }
+  if (!expect_key(in, "cost") || !read_double(in, &out->cost.t_s) ||
+      !read_double(in, &out->cost.t_w) || !read_double(in, &out->cost.t_c) ||
+      !read_double(in, &out->cost.t_io) ||
+      !read_double(in, &out->cost.t_timeout)) {
+    return "meta: bad cost constants";
+  }
+  {
+    std::string key;
+    if (!(in >> key) || key != "fingerprint") return "meta: bad fingerprint";
+    std::getline(in, out->fingerprint);
+    if (!out->fingerprint.empty() && out->fingerprint.front() == ' ') {
+      out->fingerprint.erase(0, 1);
+    }
+  }
+  if (!expect_key(in, "tree_digest") || !(in >> out->tree_digest) ||
+      out->tree_digest.size() != 64) {
+    return "meta: bad tree_digest";
+  }
+  return "";
+}
+
+// --------------------------------------------------------------- state --
+
+std::string state_text(const RunSnapshot& s) {
+  std::ostringstream os;
+  os << "parts " << s.parts.size() << "\n";
+  for (std::size_t k = 0; k < s.parts.size(); ++k) {
+    const CkptPart& p = s.parts[k];
+    os << "part " << k << " acc_comm " << double_exact(p.acc_comm) << " ranks "
+       << p.ranks.size();
+    for (const mpsim::Rank r : p.ranks) os << " " << r;
+    os << "\n"
+       << "nodes " << p.frontier.size() << "\n";
+    for (const NodeWork& nw : p.frontier) {
+      os << "node " << nw.node_id << " " << nw.local_rows.size() << "\n";
+      for (const auto& rows : nw.local_rows) {
+        os << "rows " << rows.size();
+        for (const data::RowId row : rows) os << " " << row;
+        os << "\n";
+      }
+    }
+  }
+  os << "idle " << s.idle.size() << "\n";
+  for (const auto& g : s.idle) {
+    os << "igroup " << g.size();
+    for (const mpsim::Rank r : g) os << " " << r;
+    os << "\n";
+  }
+  os << "mem " << s.mem.size() << "\n";
+  for (std::size_t r = 0; r < s.mem.size(); ++r) {
+    const mpsim::MemStats& m = s.mem[r];
+    os << "rank " << r << " live";
+    for (const std::int64_t b : m.live) os << " " << b;
+    os << " " << m.live_total << " peak";
+    for (const std::int64_t b : m.peak) os << " " << b;
+    os << " " << m.peak_total << "\n";
+  }
+  return os.str();
+}
+
+std::string parse_state(const std::string& text, RunSnapshot* out) {
+  std::istringstream in(text);
+  const int P = out->num_procs;
+  const auto rank_ok = [P](mpsim::Rank r) { return r >= 0 && r < P; };
+
+  std::size_t nparts = 0;
+  if (!expect_key(in, "parts") || !(in >> nparts)) return "state: bad parts";
+  out->parts.resize(nparts);
+  for (std::size_t k = 0; k < nparts; ++k) {
+    CkptPart& p = out->parts[k];
+    std::size_t idx = 0, nranks = 0;
+    if (!expect_key(in, "part") || !(in >> idx) || idx != k ||
+        !expect_key(in, "acc_comm") || !read_double(in, &p.acc_comm) ||
+        !expect_key(in, "ranks") || !(in >> nranks) || nranks == 0 ||
+        nranks > static_cast<std::size_t>(P)) {
+      return "state: bad part header";
+    }
+    p.ranks.resize(nranks);
+    for (mpsim::Rank& r : p.ranks) {
+      if (!(in >> r) || !rank_ok(r)) return "state: bad part rank";
+    }
+    std::size_t nnodes = 0;
+    if (!expect_key(in, "nodes") || !(in >> nnodes)) {
+      return "state: bad node count";
+    }
+    p.frontier.resize(nnodes);
+    for (NodeWork& nw : p.frontier) {
+      std::size_t nmembers = 0;
+      if (!expect_key(in, "node") || !(in >> nw.node_id) || nw.node_id < 0 ||
+          !(in >> nmembers) || nmembers != nranks) {
+        return "state: bad node header";
+      }
+      nw.local_rows.resize(nmembers);
+      for (auto& rows : nw.local_rows) {
+        std::size_t count = 0;
+        if (!expect_key(in, "rows") || !(in >> count)) {
+          return "state: bad row count";
+        }
+        rows.resize(count);
+        for (data::RowId& row : rows) {
+          if (!(in >> row)) return "state: bad row id";
+        }
+      }
+    }
+  }
+
+  std::size_t nidle = 0;
+  if (!expect_key(in, "idle") || !(in >> nidle)) return "state: bad idle";
+  out->idle.resize(nidle);
+  for (auto& g : out->idle) {
+    std::size_t n = 0;
+    if (!expect_key(in, "igroup") || !(in >> n) || n == 0 ||
+        n > static_cast<std::size_t>(P)) {
+      return "state: bad idle group";
+    }
+    g.resize(n);
+    for (mpsim::Rank& r : g) {
+      if (!(in >> r) || !rank_ok(r)) return "state: bad idle rank";
+    }
+  }
+
+  std::size_t nmem = 0;
+  if (!expect_key(in, "mem") || !(in >> nmem) ||
+      nmem != static_cast<std::size_t>(P)) {
+    return "state: bad mem count";
+  }
+  out->mem.resize(nmem);
+  for (std::size_t r = 0; r < nmem; ++r) {
+    mpsim::MemStats& m = out->mem[r];
+    std::size_t idx = 0;
+    if (!expect_key(in, "rank") || !(in >> idx) || idx != r ||
+        !expect_key(in, "live")) {
+      return "state: bad mem rank";
+    }
+    for (std::int64_t& b : m.live) {
+      if (!(in >> b)) return "state: bad mem live";
+    }
+    if (!(in >> m.live_total) || !expect_key(in, "peak")) {
+      return "state: bad mem live total";
+    }
+    for (std::int64_t& b : m.peak) {
+      if (!(in >> b)) return "state: bad mem peak";
+    }
+    if (!(in >> m.peak_total)) return "state: bad mem peak total";
+  }
+  std::string extra;
+  if (in >> extra) return "state: trailing tokens";
+  return "";
+}
+
+// ------------------------------------------------------------- framing --
+
+void append_section(std::string& out, const char* name,
+                    const std::string& payload) {
+  out += "section ";
+  out += name;
+  out += " " + std::to_string(payload.size()) + " " +
+         dtree::sha256_hex(payload) + "\n";
+  out += payload;
+  out += "\n";
+}
+
+/// Pull the next '\n'-terminated line off `rest`.
+bool take_line(std::string_view& rest, std::string_view* line) {
+  const std::size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) return false;
+  *line = rest.substr(0, nl);
+  rest.remove_prefix(nl + 1);
+  return true;
+}
+
+/// Parse `section <name> <bytes> <sha>` + payload + '\n' off `rest`,
+/// verifying the framing and the payload digest.
+std::string take_section(std::string_view& rest, const char* name,
+                         std::string* payload) {
+  std::string_view line;
+  if (!take_line(rest, &line)) {
+    return std::string("truncated before section ") + name;
+  }
+  std::istringstream hdr{std::string(line)};
+  std::string tag, got;
+  std::size_t nbytes = 0;
+  std::string sha;
+  if (!(hdr >> tag >> got >> nbytes >> sha) || tag != "section" ||
+      got != name || sha.size() != 64) {
+    return std::string("bad section header for ") + name;
+  }
+  if (rest.size() < nbytes + 1 || rest[nbytes] != '\n') {
+    return std::string("section ") + name + " truncated";
+  }
+  *payload = std::string(rest.substr(0, nbytes));
+  rest.remove_prefix(nbytes + 1);
+  if (dtree::sha256_hex(*payload) != sha) {
+    return std::string("section ") + name + " digest mismatch";
+  }
+  return "";
+}
+
+/// `epoch_path` file-name part, shared by writer and globber.
+std::string epoch_file(int epoch) {
+  return "ckpt-" + std::to_string(epoch) + ".pdt";
+}
+
+}  // namespace
+
+std::string ckpt_text(const RunSnapshot& snap) {
+  std::string out = "pdt-ckpt-v1\n";
+  out += "epoch " + std::to_string(snap.epoch) + "\n";
+  out += "sections 3\n";
+  append_section(out, "meta", meta_text(snap));
+  append_section(out, "tree", snap.tree_json);
+  append_section(out, "state", state_text(snap));
+  return out;
+}
+
+std::string parse_ckpt(std::string_view text, RunSnapshot* out) {
+  *out = RunSnapshot{};
+  std::string_view rest = text;
+  std::string_view line;
+  if (!take_line(rest, &line) || line != "pdt-ckpt-v1") {
+    return "not a pdt-ckpt-v1 file";
+  }
+  if (!take_line(rest, &line) || line.substr(0, 6) != "epoch ") {
+    return "missing epoch line";
+  }
+  {
+    std::istringstream in{std::string(line.substr(6))};
+    if (!(in >> out->epoch) || out->epoch < 0) return "bad epoch number";
+  }
+  if (!take_line(rest, &line) || line != "sections 3") {
+    return "missing sections line";
+  }
+
+  std::string meta, tree, state;
+  std::string err = take_section(rest, "meta", &meta);
+  if (err.empty()) err = take_section(rest, "tree", &tree);
+  if (err.empty()) err = take_section(rest, "state", &state);
+  if (!err.empty()) return err;
+  if (!rest.empty()) return "trailing bytes after state section";
+
+  err = parse_meta(meta, out);
+  if (!err.empty()) return err;
+  out->tree_json = std::move(tree);
+  // The meta's digest must name the tree payload — the cross-check that
+  // binds the sections of one epoch together.
+  if (dtree::sha256_hex(out->tree_json) != out->tree_digest) {
+    return "tree section does not match meta tree_digest";
+  }
+  return parse_state(state, out);
+}
+
+// ------------------------------------------------------ CheckpointStore --
+
+CheckpointStore::CheckpointStore(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(1, keep)) {}
+
+std::string CheckpointStore::epoch_path(int epoch) const {
+  return dir_ + "/" + epoch_file(epoch);
+}
+
+std::vector<int> CheckpointStore::list_epochs() const {
+  std::vector<int> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 10 || name.compare(0, 5, "ckpt-") != 0 ||
+        name.compare(name.size() - 4, 4, ".pdt") != 0) {
+      continue;
+    }
+    const std::string num = name.substr(5, name.size() - 9);
+    if (num.empty() ||
+        num.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    epochs.push_back(std::atoi(num.c_str()));
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+int CheckpointStore::latest_epoch() const {
+  const std::vector<int> epochs = list_epochs();
+  return epochs.empty() ? -1 : epochs.back();
+}
+
+bool CheckpointStore::save(const RunSnapshot& snap, std::int64_t* bytes_out) {
+  const std::string text = ckpt_text(snap);
+  {
+    obs::AtomicFile f(epoch_path(snap.epoch));
+    if (!f.ok()) return false;
+    f.stream().write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!f.commit()) return false;
+  }
+  {
+    // Best effort: the manifest is a convenience pointer, not the source
+    // of truth — load_latest globs and validates the epoch files.
+    obs::AtomicFile mf(dir_ + "/MANIFEST");
+    if (mf.ok()) {
+      mf.stream() << "pdt-ckpt-manifest-v1\n"
+                  << "latest " << snap.epoch << "\n"
+                  << "file " << epoch_file(snap.epoch) << "\n";
+      (void)mf.commit();
+    }
+  }
+  const std::vector<int> epochs = list_epochs();
+  if (static_cast<int>(epochs.size()) > keep_) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(keep_) < epochs.size();
+         ++i) {
+      std::error_code ec;
+      fs::remove(epoch_path(epochs[i]), ec);
+    }
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = static_cast<std::int64_t>(text.size());
+  }
+  return true;
+}
+
+int CheckpointStore::load_latest(RunSnapshot* out, int max_epoch, int* skipped,
+                                 std::string* error) const {
+  const std::vector<int> epochs = list_epochs();
+  int skip = 0;
+  std::string first_err;
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const int e = *it;
+    if (max_epoch >= 0 && e > max_epoch) continue;  // bounded resume
+    std::string err;
+    std::ifstream in(epoch_path(e), std::ios::binary);
+    if (!in) {
+      err = "cannot open";
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      RunSnapshot snap;
+      err = parse_ckpt(buf.str(), &snap);
+      if (err.empty() && snap.epoch != e) {
+        err = "epoch field disagrees with file name";
+      }
+      if (err.empty()) *out = std::move(snap);
+    }
+    if (!err.empty()) {
+      ++skip;
+      if (first_err.empty()) first_err = epoch_file(e) + ": " + err;
+      continue;
+    }
+    if (skipped != nullptr) *skipped = skip;
+    if (error != nullptr) *error = first_err;
+    return e;
+  }
+  if (skipped != nullptr) *skipped = skip;
+  if (error != nullptr) {
+    *error = first_err.empty() ? "no checkpoint epochs found" : first_err;
+  }
+  return -1;
+}
+
+// --------------------------------------------------- DurableCheckpointer --
+
+DurableCheckpointer::DurableCheckpointer(ParContext& ctx,
+                                         std::string formulation)
+    : ctx_(&ctx),
+      formulation_(std::move(formulation)),
+      store_(ctx.options().ckpt_dir, ctx.options().ckpt_keep) {
+  if (enabled()) epoch_ = store_.latest_epoch() + 1;
+}
+
+void DurableCheckpointer::save(std::vector<CkptPart> parts,
+                               std::vector<std::vector<mpsim::Rank>> idle) {
+  if (!enabled()) return;
+  const obs::PhaseScope phase(ctx_->profiler(), "checkpoint");
+  mpsim::Machine& machine = ctx_->machine();
+  const mpsim::CostModel& cm = machine.cost();
+  const dtree::Tree& tree = ctx_->tree();
+
+  // Frontier node ids are arena ids mid-run; on disk they are canonical
+  // (the ids the resumed, freshly replayed tree will carry).
+  const std::vector<int> order = dtree::canonical_order(tree);
+  std::vector<int> canon_of(static_cast<std::size_t>(tree.num_nodes()), -1);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    canon_of[static_cast<std::size_t>(order[k])] = static_cast<int>(k);
+  }
+  for (CkptPart& p : parts) {
+    for (NodeWork& nw : p.frontier) {
+      const int c = canon_of[static_cast<std::size_t>(nw.node_id)];
+      assert(c >= 0);  // frontier nodes are reachable by construction
+      nw.node_id = c;
+    }
+  }
+
+  RunSnapshot snap;
+  snap.formulation = formulation_;
+  snap.epoch = epoch_;
+  snap.num_procs = ctx_->options().num_procs;
+  snap.seed = ctx_->options().seed;
+  snap.levels = ctx_->levels;
+  snap.partition_splits = ctx_->partition_splits;
+  snap.rejoins = ctx_->rejoins;
+  snap.records_moved = ctx_->records_moved;
+  snap.histogram_words = ctx_->histogram_words;
+  snap.record_words = ctx_->record_words();
+  snap.cost = cm;
+  {
+    const obs::EnvFingerprint fp = obs::EnvFingerprint::collect();
+    snap.fingerprint = fp.compiler + " | " + fp.git_sha +
+                       (fp.git_dirty ? "+dirty" : "") + " | " + fp.hostname;
+  }
+  snap.tree_json = dtree::canonical_nodes_json(tree);
+  snap.tree_digest = dtree::sha256_hex(snap.tree_json);
+  snap.parts = std::move(parts);
+  snap.idle = std::move(idle);
+
+  // Each rank serializes its frontier shard to stable storage through a
+  // staging buffer at t_io per record word — the same charge the
+  // in-memory take_checkpoint makes, so durable and in-memory
+  // checkpoints are comparable in the cost breakdowns. No barrier: the
+  // single-threaded simulation makes the cut consistent for free, and a
+  // global sync would serialize the hybrid's asynchronous partitions.
+  std::vector<std::int64_t> owned(static_cast<std::size_t>(machine.size()), 0);
+  for (const CkptPart& p : snap.parts) {
+    for (std::size_t m = 0; m < p.ranks.size(); ++m) {
+      for (const NodeWork& nw : p.frontier) {
+        owned[static_cast<std::size_t>(p.ranks[m])] +=
+            static_cast<std::int64_t>(nw.local_rows[m].size());
+      }
+    }
+  }
+  mpsim::Time io_total = 0.0;
+  std::int64_t records = 0;
+  for (int r = 0; r < machine.size(); ++r) {
+    const std::int64_t n = owned[static_cast<std::size_t>(r)];
+    if (n == 0) continue;
+    records += n;
+    const std::int64_t staging = n * ctx_->record_bytes();
+    machine.alloc_bytes(r, mpsim::MemTag::Scratch, staging);
+    const mpsim::Time t = cm.t_io * static_cast<double>(n) *
+                          ctx_->record_words();
+    machine.charge_io(r, t);
+    machine.free_bytes(r, mpsim::MemTag::Scratch, staging);
+    io_total += t;
+  }
+  snap.mem.reserve(static_cast<std::size_t>(machine.size()));
+  for (int r = 0; r < machine.size(); ++r) {
+    snap.mem.push_back(machine.mem(r));
+  }
+
+  std::int64_t bytes = 0;
+  if (!store_.save(snap, &bytes)) {
+    throw std::runtime_error("durable checkpoint write failed: " +
+                             store_.epoch_path(epoch_));
+  }
+  ctx_->recovery.durable_checkpoints += 1;
+  ctx_->recovery.durable_bytes += bytes;
+  ctx_->recovery.durable_io_us += io_total;
+  if (machine.trace().enabled()) {
+    machine.trace().record(
+        {.time = machine.max_clock(),
+         .kind = mpsim::EventKind::Checkpoint,
+         .rank = snap.parts.empty() ? 0 : snap.parts.front().ranks.front(),
+         .group_base = 0,
+         .group_size = machine.size(),
+         .words = static_cast<double>(bytes) / 4.0,
+         .detail = "durable epoch " + std::to_string(epoch_) + ": " +
+                   std::to_string(records) + " records, " +
+                   std::to_string(bytes) + " bytes"});
+  }
+  if (ctx_->options().ckpt_crash_epoch == epoch_) {
+    // SIGKILL stand-in for the crash-restart tests: no exit handlers, no
+    // flushes — only files already committed through AtomicFile survive.
+    std::_Exit(137);
+  }
+  ++epoch_;
+}
+
+// ------------------------------------------------ resume_from_checkpoint --
+
+bool resume_from_checkpoint(ParContext& ctx, const std::string& formulation,
+                            RunSnapshot* out) {
+  const ParOptions& opt = ctx.options();
+  if (!opt.resume || opt.ckpt_dir.empty()) return false;
+  const obs::PhaseScope phase(ctx.profiler(), "resume");
+  mpsim::Machine& machine = ctx.machine();
+  const mpsim::CostModel& cm = machine.cost();
+
+  const CheckpointStore store(opt.ckpt_dir, opt.ckpt_keep);
+  int skipped = 0;
+  std::string err;
+  const int epoch = store.load_latest(out, opt.resume_epoch, &skipped, &err);
+  ctx.recovery.resume_skipped = skipped;
+  if (epoch < 0) return false;  // nothing valid on disk: cold start
+
+  if (out->formulation != formulation) {
+    throw std::runtime_error("resume: checkpoint is a " + out->formulation +
+                             " run, not " + formulation);
+  }
+  if (out->num_procs != opt.num_procs) {
+    throw std::runtime_error(
+        "resume: checkpoint has P=" + std::to_string(out->num_procs) +
+        ", run has P=" + std::to_string(opt.num_procs));
+  }
+  if (out->seed != opt.seed) {
+    throw std::runtime_error("resume: checkpoint seed " +
+                             std::to_string(out->seed) + " != run seed " +
+                             std::to_string(opt.seed));
+  }
+  if (out->record_words != ctx.record_words()) {
+    throw std::runtime_error(
+        "resume: checkpoint record width does not match this dataset");
+  }
+
+  // Rebuild the tree by replaying expand() over the canonical nodes; the
+  // replayed arena ids equal the canonical ids, so the checkpointed
+  // frontier node ids are directly valid. The split observer (model
+  // audit) is detached during the replay — these are not new decisions.
+  std::vector<dtree::NodeSpec> nodes;
+  err = dtree::parse_canonical_nodes(out->tree_json, &nodes);
+  if (err.empty()) {
+    dtree::Tree rebuilt;
+    err = dtree::tree_from_nodes(nodes, &rebuilt);
+    if (err.empty()) {
+      dtree::SplitObserver* observer = ctx.tree().split_observer();
+      ctx.tree() = std::move(rebuilt);
+      ctx.tree().set_split_observer(observer);
+    }
+  }
+  if (!err.empty()) {
+    throw std::runtime_error("resume: epoch " + std::to_string(epoch) +
+                             " tree rejected: " + err);
+  }
+  for (const CkptPart& p : out->parts) {
+    for (const NodeWork& nw : p.frontier) {
+      if (nw.node_id >= ctx.tree().num_nodes() ||
+          !ctx.tree().node(nw.node_id).is_leaf()) {
+        throw std::runtime_error(
+            "resume: frontier names node " + std::to_string(nw.node_id) +
+            " which is not a leaf of the checkpointed tree");
+      }
+    }
+  }
+
+  ctx.levels = out->levels;
+  ctx.partition_splits = out->partition_splits;
+  ctx.rejoins = out->rejoins;
+  ctx.records_moved = out->records_moved;
+  ctx.histogram_words = out->histogram_words;
+
+  // Every rank re-reads its frontier shard from the checkpoint at t_io
+  // per record word and re-enters the rows in its Records account (peaks
+  // restart at the live level — the pre-crash highs died with the
+  // process and are kept in the file only as provenance).
+  mpsim::Time io_total = 0.0;
+  std::int64_t records = 0;
+  for (const CkptPart& p : out->parts) {
+    for (std::size_t m = 0; m < p.ranks.size(); ++m) {
+      std::int64_t n = 0;
+      for (const NodeWork& nw : p.frontier) {
+        n += static_cast<std::int64_t>(nw.local_rows[m].size());
+      }
+      if (n == 0) continue;
+      records += n;
+      const mpsim::Rank r = p.ranks[m];
+      const mpsim::Time t =
+          cm.t_io * static_cast<double>(n) * ctx.record_words();
+      machine.charge_io(r, t);
+      ctx.mem_records_alloc(r, n);
+      io_total += t;
+    }
+  }
+
+  ctx.recovery.resumed = true;
+  ctx.recovery.resume_epoch = epoch;
+  ctx.recovery.resume_io_us = io_total;
+  ctx.recovery.resume_records = records;
+  if (machine.trace().enabled()) {
+    machine.trace().record(
+        {.time = machine.max_clock(),
+         .kind = mpsim::EventKind::Resume,
+         .rank = out->parts.empty() ? 0 : out->parts.front().ranks.front(),
+         .group_base = 0,
+         .group_size = machine.size(),
+         .words = static_cast<double>(records) * ctx.record_words(),
+         .detail = "resumed from epoch " + std::to_string(epoch) +
+                   (skipped > 0
+                        ? " (skipped " + std::to_string(skipped) + " invalid)"
+                        : "") +
+                   ": " + std::to_string(records) + " records, tree " +
+                   out->tree_digest.substr(0, 12)});
+  }
+  return true;
+}
+
+}  // namespace pdt::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/ckpt.hpp"
 #include "core/recovery.hpp"
 #include "core/sync_tree.hpp"
 #include "data/rng.hpp"
@@ -241,9 +242,23 @@ ParResult build_hybrid(const data::Dataset& ds, const ParOptions& opt) {
   data::Rng rng(opt.seed ^ 0x9E3779B97F4A7C15ULL);
   const mpsim::CostModel& cm = machine.cost();
 
+  DurableCheckpointer ckpt(ctx, "hybrid");
   std::vector<HPartition> active;
   std::vector<mpsim::Group> idle;
-  {
+  RunSnapshot snap;
+  if (resume_from_checkpoint(ctx, "hybrid", &snap)) {
+    // Clocks restart at zero, so the earliest-horizon pick below may
+    // visit partitions in a different order than the interrupted run —
+    // that reorders *when* nodes expand, never which split wins, so the
+    // final tree digest still matches an uninterrupted run's.
+    for (CkptPart& p : snap.parts) {
+      active.push_back(HPartition{mpsim::Group(machine, std::move(p.ranks)),
+                                  std::move(p.frontier), p.acc_comm});
+    }
+    for (std::vector<mpsim::Rank>& g : snap.idle) {
+      idle.emplace_back(machine, std::move(g));
+    }
+  } else {
     mpsim::Group all = mpsim::Group::whole(machine);
     std::vector<NodeWork> frontier;
     frontier.push_back(ctx.initial_root(all));
@@ -251,6 +266,17 @@ ParResult build_hybrid(const data::Dataset& ds, const ParOptions& opt) {
   }
 
   while (!active.empty()) {
+    if (ckpt.enabled()) {
+      std::vector<CkptPart> parts;
+      parts.reserve(active.size());
+      for (const HPartition& p : active) {
+        parts.push_back(CkptPart{p.group.ranks(), p.acc_comm, p.frontier});
+      }
+      std::vector<std::vector<mpsim::Rank>> idle_ranks;
+      idle_ranks.reserve(idle.size());
+      for (const mpsim::Group& g : idle) idle_ranks.push_back(g.ranks());
+      ckpt.save(std::move(parts), std::move(idle_ranks));
+    }
     // Asynchronous partitions: advance the one earliest in virtual time.
     std::size_t pick = 0;
     for (std::size_t i = 1; i < active.size(); ++i) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dtree/split.hpp"
@@ -60,6 +61,25 @@ struct ParOptions {
   /// plan armed, every level expansion checkpoints its frontier first and
   /// failures recover via core/recovery.hpp.
   const mpsim::FaultPlan* fault = nullptr;
+  /// Durable-checkpoint directory (pdt-ckpt-v1, see core/ckpt.hpp): every
+  /// worklist iteration writes an on-disk epoch via obs::AtomicFile so a
+  /// killed process can restart mid-tree. Empty — the default — disables
+  /// durable checkpoints entirely (fault-free clocks stay bit-identical).
+  /// The directory must already exist.
+  std::string ckpt_dir;
+  /// Newest epochs retained in ckpt_dir (older files are pruned).
+  int ckpt_keep = 3;
+  /// Resume from the newest valid epoch in ckpt_dir before building:
+  /// corrupt/torn/truncated epochs are skipped back, never trusted. When
+  /// no valid epoch exists the build starts from scratch.
+  bool resume = false;
+  /// Resume from the newest valid epoch <= this bound (-1: latest). Lets
+  /// tests resume a completed run from an intermediate cut.
+  int resume_epoch = -1;
+  /// Crash-restart test hook: terminate the process (std::_Exit(137), a
+  /// SIGKILL stand-in that skips every exit handler) immediately after
+  /// the checkpoint of this epoch commits. -1 disables.
+  int ckpt_crash_epoch = -1;
 };
 
 /// Fault-tolerance accounting for one build: checkpoint volume/cost and
@@ -74,7 +94,25 @@ struct RecoveryStats {
   mpsim::Time recovery_us = 0.0;      ///< restore + redistribute wall time
   std::int64_t records_redistributed = 0;  ///< dead ranks' shards re-spread
 
-  [[nodiscard]] bool any() const { return checkpoints > 0 || failures > 0; }
+  // Durable (on-disk pdt-ckpt-v1) checkpointing and crash-restart resume.
+  int durable_checkpoints = 0;        ///< epochs committed to ckpt_dir
+  std::int64_t durable_bytes = 0;     ///< bytes of committed epoch files
+  mpsim::Time durable_io_us = 0.0;    ///< virtual I/O charged for the writes
+  bool resumed = false;               ///< this run restarted from disk
+  int resume_epoch = -1;              ///< epoch the run resumed from
+  int resume_skipped = 0;             ///< invalid epochs rejected on resume
+  mpsim::Time resume_io_us = 0.0;     ///< virtual I/O charged for the restore
+  std::int64_t resume_records = 0;    ///< records re-read at resume
+
+  // Transient-fault retry accounting (mirrors the machine's counters).
+  std::uint64_t retries = 0;          ///< failed collective attempts retried
+  mpsim::Time retry_us = 0.0;         ///< backoff windows charged, summed
+  int escalations = 0;                ///< retry budgets exhausted -> fail-stop
+
+  [[nodiscard]] bool any() const {
+    return checkpoints > 0 || failures > 0 || durable_checkpoints > 0 ||
+           resumed || retries > 0;
+  }
 };
 
 struct ParResult {

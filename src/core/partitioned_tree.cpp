@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/ckpt.hpp"
 #include "core/recovery.hpp"
 #include "core/sync_tree.hpp"
 
@@ -185,8 +186,17 @@ ParResult build_partitioned(const data::Dataset& ds, const ParOptions& opt) {
   mpsim::Machine machine(opt.num_procs, opt.cost);
   ParContext ctx(ds, opt, machine);
 
+  DurableCheckpointer ckpt(ctx, "partitioned");
   std::vector<Partition> work;
-  {
+  RunSnapshot snap;
+  if (resume_from_checkpoint(ctx, "partitioned", &snap)) {
+    // The worklist was saved in vector order, so rebuilding it in the
+    // same order preserves the LIFO pop sequence across the restart.
+    for (CkptPart& p : snap.parts) {
+      work.push_back(Partition{mpsim::Group(machine, std::move(p.ranks)),
+                               std::move(p.frontier)});
+    }
+  } else {
     mpsim::Group all = mpsim::Group::whole(machine);
     std::vector<NodeWork> frontier;
     frontier.push_back(ctx.initial_root(all));
@@ -194,14 +204,24 @@ ParResult build_partitioned(const data::Dataset& ds, const ParOptions& opt) {
   }
 
   while (!work.empty()) {
+    if (ckpt.enabled()) {
+      std::vector<CkptPart> parts;
+      parts.reserve(work.size());
+      for (const Partition& p : work) {
+        parts.push_back(CkptPart{p.group.ranks(), 0.0, p.frontier});
+      }
+      ckpt.save(std::move(parts));
+    }
     Partition part = std::move(work.back());
     work.pop_back();
 
     if (part.group.size() == 1) {
-      // A lone processor develops its subtrees with the serial algorithm.
-      while (!part.frontier.empty()) {
-        part.frontier = expand_level_ft(ctx, part.group, part.frontier);
-      }
+      // A lone processor develops its subtrees with the serial
+      // algorithm — one level per worklist turn (the partition is
+      // re-pushed and, being LIFO, popped right back), so a durable
+      // epoch can land between any two levels of the serial phase too.
+      part.frontier = expand_level_ft(ctx, part.group, part.frontier);
+      if (!part.frontier.empty()) work.push_back(std::move(part));
       continue;
     }
 

@@ -1,5 +1,6 @@
 #include "core/sync_tree.hpp"
 
+#include "core/ckpt.hpp"
 #include "core/recovery.hpp"
 
 namespace pdt::core {
@@ -7,6 +8,11 @@ namespace pdt::core {
 ParResult collect_result(ParContext& ctx) {
   mpsim::Machine& m = ctx.machine();
   ctx.publish_summary_gauges();
+  // Transient-retry cost accrues machine-side (admission control inside
+  // Group collectives); fold it into the run's recovery accounting.
+  ctx.recovery.retries = m.retries();
+  ctx.recovery.retry_us = m.retry_us();
+  ctx.recovery.escalations = m.escalations();
   ParResult res;
   res.tree = std::move(ctx.tree());
   res.parallel_time = m.max_clock();
@@ -33,9 +39,20 @@ ParResult build_sync(const data::Dataset& ds, const ParOptions& opt) {
   ParContext ctx(ds, opt, machine);
   mpsim::Group all = mpsim::Group::whole(machine);
 
+  DurableCheckpointer ckpt(ctx, "sync");
   std::vector<NodeWork> frontier;
-  frontier.push_back(ctx.initial_root(all));
+  RunSnapshot snap;
+  if (resume_from_checkpoint(ctx, "sync", &snap)) {
+    if (!snap.parts.empty()) {
+      frontier = std::move(snap.parts.front().frontier);
+    }
+  } else {
+    frontier.push_back(ctx.initial_root(all));
+  }
   while (!frontier.empty()) {
+    if (ckpt.enabled()) {
+      ckpt.save({CkptPart{all.ranks(), 0.0, frontier}});
+    }
     ++ctx.levels;
     frontier = expand_level_ft(ctx, all, frontier);
   }

@@ -230,6 +230,218 @@ std::string model_json(const Tree& tree, const ModelMeta& meta,
   return out;
 }
 
+namespace {
+
+/// Cursor over the canonical byte grammar. Every helper either consumes
+/// exactly what the writer emitted or records the position of the first
+/// mismatch.
+class CanonCursor {
+ public:
+  explicit CanonCursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail();
+    pos_ += lit.size();
+    return true;
+  }
+
+  /// literal() without recording a failure — for probing alternatives.
+  [[nodiscard]] bool try_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] bool integer(int* out) {
+    std::int64_t wide = 0;
+    if (!integer64(&wide)) return false;
+    if (wide < INT32_MIN || wide > INT32_MAX) return fail();
+    *out = static_cast<int>(wide);
+    return true;
+  }
+
+  [[nodiscard]] bool integer64(std::int64_t* out) {
+    const std::size_t start = pos_;
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    std::uint64_t mag = 0;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      mag = mag * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (mag > (std::uint64_t{1} << 63)) {
+        pos_ = start;
+        return fail();
+      }
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return fail();
+    }
+    *out = neg ? -static_cast<std::int64_t>(mag)
+               : static_cast<std::int64_t>(mag);
+    return true;
+  }
+
+  [[nodiscard]] bool number(double* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail();
+    *out = v;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  [[nodiscard]] bool counts(std::vector<std::int64_t>* out) {
+    out->clear();
+    if (!literal("[")) return false;
+    if (peek() == ']') return literal("]");
+    while (true) {
+      std::int64_t v = 0;
+      if (!integer64(&v)) return false;
+      out->push_back(v);
+      if (peek() == ',') {
+        if (!literal(",")) return false;
+        continue;
+      }
+      return literal("]");
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  [[nodiscard]] bool done() const { return pos_ == text_.size(); }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  [[nodiscard]] bool fail() {
+    if (!failed_) {
+      failed_ = true;
+      fail_pos_ = pos_;
+    }
+    return false;
+  }
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t fail_pos() const { return fail_pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::size_t fail_pos_ = 0;
+};
+
+bool parse_one_node(CanonCursor& c, NodeSpec* spec, int* id) {
+  spec->test = SplitTest{};
+  spec->counts.clear();
+  if (!c.literal("{\"id\":") || !c.integer(id)) return false;
+  if (!c.literal(",\"parent\":") || !c.integer(&spec->parent)) return false;
+  if (!c.literal(",\"first_child\":") || !c.integer(&spec->first_child)) {
+    return false;
+  }
+  if (!c.literal(",\"depth\":") || !c.integer(&spec->depth)) return false;
+  if (!c.literal(",\"majority\":") || !c.integer(&spec->majority)) {
+    return false;
+  }
+  if (!c.literal(",\"counts\":") || !c.counts(&spec->counts)) return false;
+  if (!c.literal(",\"kind\":\"")) return false;
+  static constexpr SplitTest::Kind kKinds[] = {
+      SplitTest::Kind::Leaf, SplitTest::Kind::Threshold,
+      SplitTest::Kind::OrderedSlot, SplitTest::Kind::Subset,
+      SplitTest::Kind::Multiway};
+  bool matched = false;
+  for (const SplitTest::Kind k : kKinds) {
+    if (c.try_literal(std::string(kind_name(k)) + "\"")) {
+      spec->test.kind = k;
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) return c.fail();
+  if (spec->test.kind == SplitTest::Kind::Leaf) return c.literal("}");
+  if (!c.literal(",\"attr\":") || !c.integer(&spec->test.attr)) return false;
+  if (!c.literal(",\"children\":") || !c.integer(&spec->test.num_children)) {
+    return false;
+  }
+  switch (spec->test.kind) {
+    case SplitTest::Kind::Threshold: {
+      if (!c.literal(",\"threshold\":") || !c.number(&spec->test.threshold)) {
+        return false;
+      }
+      if (!c.literal(",\"slot\":") ||
+          !c.integer(&spec->test.slot_threshold)) {
+        return false;
+      }
+      break;
+    }
+    case SplitTest::Kind::OrderedSlot:
+      if (!c.literal(",\"slot\":") ||
+          !c.integer(&spec->test.slot_threshold)) {
+        return false;
+      }
+      break;
+    case SplitTest::Kind::Subset: {
+      if (!c.literal(",\"in_left\":[")) return false;
+      spec->test.in_left.clear();
+      if (c.peek() != ']') {
+        while (true) {
+          if (c.peek() != '0' && c.peek() != '1') return c.fail();
+          spec->test.in_left.push_back(c.peek() == '1' ? 1 : 0);
+          if (!c.literal(c.peek() == '1' ? "1" : "0")) return false;
+          if (c.peek() == ',') {
+            if (!c.literal(",")) return false;
+            continue;
+          }
+          break;
+        }
+      }
+      if (!c.literal("]")) return false;
+      break;
+    }
+    case SplitTest::Kind::Multiway:
+    case SplitTest::Kind::Leaf:
+      break;
+  }
+  return c.literal("}");
+}
+
+}  // namespace
+
+std::string parse_canonical_nodes(std::string_view json,
+                                  std::vector<NodeSpec>* out) {
+  out->clear();
+  CanonCursor c(json);
+  const auto error_at = [&c]() {
+    return "canonical nodes: malformed at byte " +
+           std::to_string(c.failed() ? c.fail_pos() : c.pos());
+  };
+  if (!c.literal("[")) return error_at();
+  if (c.peek() != ']') {
+    while (true) {
+      NodeSpec spec;
+      int id = -1;
+      if (!parse_one_node(c, &spec, &id)) return error_at();
+      if (id != static_cast<int>(out->size())) {
+        return "canonical nodes: node " + std::to_string(out->size()) +
+               " carries id " + std::to_string(id);
+      }
+      out->push_back(std::move(spec));
+      if (c.peek() == ',') {
+        if (!c.literal(",")) return error_at();
+        continue;
+      }
+      break;
+    }
+  }
+  if (!c.literal("]") || !c.done()) return error_at();
+  return {};
+}
+
 std::string tree_from_nodes(std::span<const NodeSpec> nodes, Tree* out) {
   std::ostringstream err;
   if (nodes.empty()) {

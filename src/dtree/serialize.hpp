@@ -95,4 +95,15 @@ struct NodeSpec {
 [[nodiscard]] std::string tree_from_nodes(std::span<const NodeSpec> nodes,
                                           Tree* out);
 
+/// Strict parser for the exact byte grammar canonical_nodes_json()
+/// produces (fixed key order, compact separators): the inverse used by
+/// the pdt-ckpt-v1 loader, which must rebuild a tree from a checkpoint's
+/// tree section without depending on the tools-side JSON parser. Any
+/// deviation from the canonical grammar — reordered keys, whitespace,
+/// trailing bytes — is an error, not a tolerated variant, since the
+/// section digest covers exactly these bytes. Returns "" on success, else
+/// a description of the first offending byte.
+[[nodiscard]] std::string parse_canonical_nodes(std::string_view json,
+                                                std::vector<NodeSpec>* out);
+
 }  // namespace pdt::dtree

@@ -88,7 +88,9 @@ void accumulate(CommLedger::Totals& t, const CollectiveEntry& e) {
   t.predicted_us += e.predicted_us;
   t.measured_us += e.measured_us;
   t.io_us += e.io_us;
+  t.retry_us += e.retry_us;
   t.messages += e.messages;
+  t.retries += e.retries;
 }
 
 }  // namespace

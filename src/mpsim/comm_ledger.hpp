@@ -65,7 +65,11 @@ struct CollectiveEntry {
   Time predicted_us = 0.0; ///< sum over members of the Eq. 2-4 formula
   Time measured_us = 0.0;  ///< predicted + trailing-barrier fold
   Time io_us = 0.0;        ///< t_io surcharges billed inside the call
+  /// Backed-off timeout windows burned on transient-fault retries before
+  /// this collective succeeded (summed over members; 0 on a clean call).
+  Time retry_us = 0.0;
   std::uint64_t messages = 0;
+  std::uint64_t retries = 0;  ///< failed attempts absorbed by this call
 
   [[nodiscard]] Time delta_us() const { return measured_us - predicted_us; }
 };
@@ -106,7 +110,9 @@ class CommLedger {
     Time predicted_us = 0.0;
     Time measured_us = 0.0;
     Time io_us = 0.0;
+    Time retry_us = 0.0;
     std::uint64_t messages = 0;
+    std::uint64_t retries = 0;
 
     [[nodiscard]] Time delta_us() const { return measured_us - predicted_us; }
   };

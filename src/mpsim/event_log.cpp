@@ -93,6 +93,30 @@ void EventRecorder::record_timeout(Rank dead,
   }
 }
 
+void EventRecorder::record_retry(Rank faulty,
+                                 const std::vector<Rank>& members,
+                                 double mult) {
+  assert(bound_);
+  ExecEvent e;
+  e.type = ExecEvent::Type::Retry;
+  e.rank = faulty;
+  e.members = members;
+  e.mult = mult;
+  events_.push_back(std::move(e));
+  // Mirror of Machine::charge_retry: every member waits out a backed-off
+  // timeout window from the members' common horizon.
+  Time horizon = 0.0;
+  for (const Rank r : members) {
+    horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
+  }
+  const Time deadline = horizon + cost_.t_timeout * mult;
+  for (const Rank r : members) {
+    if (clocks_[static_cast<std::size_t>(r)] < deadline) {
+      clocks_[static_cast<std::size_t>(r)] = deadline;
+    }
+  }
+}
+
 void EventRecorder::record_wait(Rank r, Time until) {
   assert(bound_);
   ExecEvent e;

@@ -48,6 +48,8 @@ struct ExecEvent {
     Wait,        ///< one rank advanced to an absolute time
     WaitFor,     ///< one rank advanced to another rank's current clock
     Collective,  ///< annotation: a Group collective is about to run
+    Retry,       ///< a transient collective failure: members waited out a
+                 ///< backed-off timeout window blamed on one faulty rank
   };
 
   Type type = Type::Charge;
@@ -64,6 +66,7 @@ struct ExecEvent {
   std::uint64_t messages = 0;
   int dim = 0;              ///< Collective: hypercube rounds
   double words = 0.0;       ///< Collective: total payload words
+  double mult = 1.0;        ///< Retry: backoff multiplier on t_timeout
   const char* what = "";    ///< Barrier/Collective label (string literal)
   std::vector<Rank> members;  ///< Barrier/Timeout/Collective member set
 };
@@ -84,6 +87,8 @@ class EventRecorder {
                      std::uint64_t messages, int level);
   void record_barrier(const char* what, const std::vector<Rank>& members);
   void record_timeout(Rank dead, const std::vector<Rank>& survivors);
+  void record_retry(Rank faulty, const std::vector<Rank>& members,
+                    double mult);
   void record_wait(Rank r, Time until);
   void record_wait_for(Rank r, Rank src);
   void record_collective(const char* kind, const std::vector<Rank>& members,

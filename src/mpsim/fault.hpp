@@ -3,10 +3,13 @@
 // A FaultPlan is a seeded, declarative description of what goes wrong in a
 // run: fail-stop deaths (a rank dies when its group starts expanding a
 // given tree level), transient stragglers (a rank's charge() costs are
-// scaled by a factor over a level window), and delayed links (point-to-
-// point costs between two ranks are scaled). The Machine arms a plan into
-// a FaultInjector, which tracks runtime state: which ranks are alive,
-// which deaths already fired, and what level each rank is working at.
+// scaled by a factor over a level window), delayed links (point-to-point
+// costs between two ranks are scaled), and *transient, retryable* faults:
+// checksum-detectable corruption on a link and collective timeouts that
+// heal after a bounded number of virtual retries. The Machine arms a plan
+// into a FaultInjector, which tracks runtime state: which ranks are alive,
+// which deaths already fired, what level each rank is working at, and how
+// much transient-fault budget each entry has left.
 //
 // Because all time in mpsim is virtual, a plan is perfectly reproducible:
 // the same seed yields the same deaths at the same virtual instants, so
@@ -74,16 +77,53 @@ struct LinkDelay {
   double factor = 1.0;
 };
 
+/// Checksum-detectable corruption on the a<->b link: the next `count`
+/// collectives at tree level `level` that include both endpoints fail
+/// their integrity check and must be retried. Rank `a` is blamed as the
+/// faulty rank (it owns the flaky NIC in this model).
+struct LinkCorrupt {
+  Rank a = -1;
+  Rank b = -1;
+  int level = 0;
+  int count = 1;
+};
+
+/// A transient collective timeout: the next `count` collectives at tree
+/// level `level` that include `rank` time out and must be retried; the
+/// fault heals once the budget is spent.
+struct TransientTimeout {
+  Rank rank = -1;
+  int level = 0;
+  int count = 1;
+};
+
+/// Outcome of consuming transient-fault budget for one collective (see
+/// FaultInjector::take_transient): how many attempts failed before the
+/// fault healed, which rank is blamed, and whether the retry budget of
+/// the collective was exhausted (the caller escalates to RankFailure).
+struct TransientVerdict {
+  int failures = 0;      ///< failed attempts before success (0 = clean)
+  Rank faulty = -1;      ///< blamed rank (valid when failures > 0)
+  bool exhausted = false;  ///< true when failures == max_attempts and the
+                           ///< fault still has budget: escalate
+};
+
 /// Declarative fault schedule. Built either explicitly (tests, CLI flags)
 /// or from a seed via random().
 class FaultPlan {
  public:
   FaultPlan() = default;
 
+  /// Builders validate their arguments eagerly and throw
+  /// std::invalid_argument on out-of-range values (negative ranks/levels,
+  /// non-positive factors/counts, self-links) — a silently-accepted bad
+  /// plan would fire nothing and make a fault test vacuously pass.
   FaultPlan& fail_stop(Rank rank, int level);
   FaultPlan& straggler(Rank rank, int from_level, int to_level,
                        double factor);
   FaultPlan& delay_link(Rank a, Rank b, double factor);
+  FaultPlan& corrupt_link(Rank a, Rank b, int level, int count);
+  FaultPlan& transient_timeout(Rank rank, int level, int count);
 
   /// A seeded single-failure scenario: one fail-stop at a pseudo-random
   /// (rank, level) plus one straggler window, both drawn from a splitmix64
@@ -100,8 +140,17 @@ class FaultPlan {
   [[nodiscard]] const std::vector<LinkDelay>& link_delays() const {
     return link_delays_;
   }
+  [[nodiscard]] const std::vector<LinkCorrupt>& link_corrupts() const {
+    return link_corrupts_;
+  }
+  [[nodiscard]] const std::vector<TransientTimeout>& transient_timeouts()
+      const {
+    return transient_timeouts_;
+  }
   [[nodiscard]] bool empty() const {
-    return fail_stops_.empty() && stragglers_.empty() && link_delays_.empty();
+    return fail_stops_.empty() && stragglers_.empty() &&
+           link_delays_.empty() && link_corrupts_.empty() &&
+           transient_timeouts_.empty();
   }
 
   /// One-line human-readable description (for bench/report headers).
@@ -111,6 +160,8 @@ class FaultPlan {
   std::vector<FailStop> fail_stops_;
   std::vector<Straggler> stragglers_;
   std::vector<LinkDelay> link_delays_;
+  std::vector<LinkCorrupt> link_corrupts_;
+  std::vector<TransientTimeout> transient_timeouts_;
 };
 
 /// Runtime state of an armed plan, owned by the Machine. Strictly
@@ -146,6 +197,23 @@ class FaultInjector {
     return level_[static_cast<std::size_t>(r)];
   }
 
+  /// Consume transient-fault budget for one collective over `ranks`. A
+  /// LinkCorrupt entry matches when both endpoints are members and the
+  /// blamed rank works at the entry's level; a TransientTimeout entry
+  /// matches when its rank is a member at the entry's level. The first
+  /// matching entry with budget left yields up to `max_attempts` failed
+  /// attempts: if its remaining count fits, that many attempts fail and
+  /// the fault heals; otherwise `max_attempts` attempts fail, the budget
+  /// is drained, and the verdict is marked exhausted (caller escalates
+  /// the blamed rank to the fail-stop path). Deterministic: depends only
+  /// on plan order and prior consumption.
+  [[nodiscard]] TransientVerdict take_transient(const std::vector<Rank>& ranks,
+                                                int max_attempts);
+
+  /// Forcibly fail-stop `r` (exhausted-retry escalation): the rank is
+  /// marked dead exactly as if a scheduled FailStop fired.
+  void kill(Rank r);
+
   [[nodiscard]] int num_alive() const;
   /// All currently-alive ranks, ascending.
   [[nodiscard]] std::vector<Rank> alive_ranks() const;
@@ -161,7 +229,9 @@ class FaultInjector {
   std::vector<char> alive_;
   std::vector<char> recovered_;
   std::vector<int> level_;
-  std::vector<char> fired_;  ///< parallel to plan_.fail_stops()
+  std::vector<char> fired_;     ///< parallel to plan_.fail_stops()
+  std::vector<int> corrupt_remaining_;    ///< parallel to link_corrupts()
+  std::vector<int> timeout_remaining_;    ///< parallel to transient_timeouts()
   int deaths_fired_ = 0;
 };
 

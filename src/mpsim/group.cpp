@@ -144,6 +144,7 @@ void Group::charge_all_reduce(double words) const {
   if (size() <= 1) return;
   annotate(CollectiveKind::AllReduce, words);
   sync("all-reduce");
+  const Machine::RetryAccrual retry = machine_->take_retry_accrual();
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   // Recursive doubling (the paper's Eq. 2): one full-size exchange per
@@ -173,6 +174,8 @@ void Group::charge_all_reduce(double words) const {
     // and predicted coincide bit-exactly.
     e.predicted_us = cost * size();
     e.measured_us = e.predicted_us;
+    e.retry_us = retry.us;
+    e.retries = retry.attempts;
     const int p = size();
     for (int d = 0; d < rounds; ++d) {
       for (int i = 0; i < p; ++i) {
@@ -193,6 +196,7 @@ void Group::charge_broadcast(double words) const {
   if (size() <= 1) return;
   annotate(CollectiveKind::Broadcast, words);
   sync("broadcast");
+  const Machine::RetryAccrual retry = machine_->take_retry_accrual();
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   const Time cost = cm.broadcast(words, size());
@@ -216,6 +220,8 @@ void Group::charge_broadcast(double words) const {
     e.words = words;
     e.predicted_us = cost * size();
     e.measured_us = e.predicted_us;
+    e.retry_us = retry.us;
+    e.retries = retry.attempts;
     // Binomial tree rooted at the first member: in round d the members
     // that already hold the payload (indices < 2^d) send it 2^d ahead.
     const int p = size();
@@ -248,6 +254,7 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
   annotate(CollectiveKind::PairwiseExchange,
            std::accumulate(words_out.begin(), words_out.end(), 0.0));
   sync("pairwise-exchange");
+  Machine::RetryAccrual retry = machine_->take_retry_accrual();
   const CostModel& cm = machine_->cost();
   const int half = size() / 2;
   CommLedger* ledger = machine_->comm_ledger();
@@ -286,6 +293,11 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     }
   }
   sync("pairwise-exchange");
+  {
+    const Machine::RetryAccrual trailing = machine_->take_retry_accrual();
+    retry.us += trailing.us;
+    retry.attempts += trailing.attempts;
+  }
   if (ledger != nullptr) {
     CollectiveEntry e;
     e.kind = CollectiveKind::PairwiseExchange;
@@ -297,6 +309,8 @@ void Group::pairwise_exchange(const std::vector<double>& words_out) const {
     // member effectively pays for the heaviest pair.
     e.measured_us = max_member * size();
     e.io_us = io_total;
+    e.retry_us = retry.us;
+    e.retries = retry.attempts;
     e.messages = static_cast<std::uint64_t>(size());
     ledger->record(e);
   }
@@ -362,6 +376,7 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
   }
   annotate(CollectiveKind::Transfers, plan_words);
   sync("load-balance");
+  Machine::RetryAccrual retry = machine_->take_retry_accrual();
   const CostModel& cm = machine_->cost();
   // Each member pays t_w for every word it sends or receives, plus one
   // start-up per transfer it participates in. Transfers between disjoint
@@ -402,12 +417,21 @@ void Group::charge_transfers(const std::vector<Transfer>& transfers,
     }
   }
   sync("load-balance");
-  if (ledger != nullptr && !transfers.empty()) {
+  {
+    const Machine::RetryAccrual trailing = machine_->take_retry_accrual();
+    retry.us += trailing.us;
+    retry.attempts += trailing.attempts;
+  }
+  // An empty transfer plan normally records nothing, but retry cost burned
+  // at its barriers must still land in the ledger.
+  if (ledger != nullptr && (!transfers.empty() || retry.attempts > 0)) {
     CollectiveEntry e;
     e.kind = CollectiveKind::Transfers;
     e.group_base = ranks_.front();
     e.group_size = size();
     e.words = total_words;
+    e.retry_us = retry.us;
+    e.retries = retry.attempts;
     Time max_member = 0.0;
     for (int i = 0; i < size(); ++i) {
       const Time c = member_cost[static_cast<std::size_t>(i)];
@@ -464,6 +488,7 @@ void Group::all_to_all_personalized(
   annotate(CollectiveKind::AllToAll,
            std::accumulate(sent.begin(), sent.end(), 0.0));
   sync("all-to-all");
+  Machine::RetryAccrual retry = machine_->take_retry_accrual();
   const CostModel& cm = machine_->cost();
   const int rounds = dimension();
   CommLedger* ledger = machine_->comm_ledger();
@@ -495,6 +520,11 @@ void Group::all_to_all_personalized(
     }
   }
   sync("all-to-all");
+  {
+    const Machine::RetryAccrual trailing = machine_->take_retry_accrual();
+    retry.us += trailing.us;
+    retry.attempts += trailing.attempts;
+  }
   if (ledger != nullptr) {
     CollectiveEntry e;
     e.kind = CollectiveKind::AllToAll;
@@ -502,6 +532,8 @@ void Group::all_to_all_personalized(
     e.group_size = p;
     e.words = total;
     e.predicted_us = predicted;
+    e.retry_us = retry.us;
+    e.retries = retry.attempts;
     // The member with the heaviest send/receive volume sets the pace for
     // everyone at the trailing barrier.
     e.measured_us = cm.all_to_all(max_vol, p) * p;

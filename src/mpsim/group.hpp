@@ -113,7 +113,16 @@ class Group {
   /// label the barrier that follows. No-op without a recorder.
   void annotate(CollectiveKind kind, double words) const;
   /// Barrier that names the collective for deadlock/fault diagnostics.
-  void sync(const char* what) const { machine_->barrier_over(ranks_, what); }
+  /// Admission first: transient faults matching this member set burn
+  /// their retry budget (backed-off idle, Retry events) before the
+  /// collective is allowed to proceed; exhausted budgets escalate to
+  /// RankFailure inside admit_collective. Note that collectives on
+  /// singleton groups return before reaching sync(), so transient plans
+  /// never fire for a group of one.
+  void sync(const char* what) const {
+    machine_->admit_collective(ranks_, what);
+    machine_->barrier_over(ranks_, what);
+  }
   /// "group [lo..hi] of p" — rank context for precondition errors.
   [[nodiscard]] std::string describe() const;
   /// Throw std::invalid_argument when `words` is not a finite

@@ -1,6 +1,7 @@
 #include "mpsim/machine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "mpsim/comm_ledger.hpp"
 #include "mpsim/event_log.hpp"
@@ -154,6 +155,60 @@ Time Machine::charge_timeout(const std::vector<Rank>& survivors, Rank dead) {
   for (const Rank r : survivors) advance_to(r, deadline);
   if (recorder_ != nullptr) recorder_->record_timeout(dead, survivors);
   return deadline;
+}
+
+void Machine::admit_collective(const std::vector<Rank>& ranks,
+                               const char* what) {
+  if (injector_ == nullptr || ranks.size() < 2) return;
+  const TransientVerdict v =
+      injector_->take_transient(ranks, kMaxRetryAttempts);
+  if (v.failures == 0) return;
+  for (int attempt = 0; attempt < v.failures; ++attempt) {
+    // Exponential backoff: attempt i waits out 2^i detection windows.
+    const double mult = static_cast<double>(std::uint64_t{1} << attempt);
+    Time horizon = 0.0;
+    for (const Rank r : ranks) horizon = std::max(horizon, clocks_[idx(r)]);
+    const Time deadline = horizon + cost_.t_timeout * mult;
+    for (const Rank r : ranks) advance_to(r, deadline);
+    if (recorder_ != nullptr) recorder_->record_retry(v.faulty, ranks, mult);
+    const Time window =
+        cost_.t_timeout * mult * static_cast<double>(ranks.size());
+    retry_accrual_.us += window;
+    ++retry_accrual_.attempts;
+    total_retry_us_ += window;
+    ++total_retries_;
+    if (trace_.enabled()) {
+      trace_.record({.time = deadline,
+                     .kind = EventKind::Retry,
+                     .rank = v.faulty,
+                     .group_base = ranks.front(),
+                     .group_size = static_cast<int>(ranks.size()),
+                     .words = mult,
+                     .detail = std::string("attempt ") +
+                               std::to_string(attempt + 1) + " of " + what +
+                               " failed (rank " + std::to_string(v.faulty) +
+                               "), backoff x" +
+                               std::to_string(static_cast<int>(mult))});
+    }
+  }
+  if (v.exhausted) {
+    ++escalations_;
+    injector_->kill(v.faulty);
+    if (trace_.enabled()) {
+      trace_.record({.time = max_clock(),
+                     .kind = EventKind::RankFail,
+                     .rank = v.faulty,
+                     .group_base = ranks.front(),
+                     .group_size = static_cast<int>(ranks.size()),
+                     .words = 0.0,
+                     .detail = std::string("rank ") +
+                               std::to_string(v.faulty) + " exhausted " +
+                               std::to_string(kMaxRetryAttempts) +
+                               " retries in " + what});
+    }
+    throw RankFailure(v.faulty, injector_->level(v.faulty),
+                      /*detected=*/true);
+  }
 }
 
 void Machine::barrier_over(const std::vector<Rank>& ranks, const char* what) {
@@ -333,6 +388,10 @@ void Machine::reset() {
   std::fill(stamp_count_.begin(), stamp_count_.end(), 0);
   std::fill(unreachable_.begin(), unreachable_.end(), static_cast<char>(0));
   unreachable_count_ = 0;
+  retry_accrual_ = RetryAccrual{};
+  total_retries_ = 0;
+  total_retry_us_ = 0.0;
+  escalations_ = 0;
   if (injector_ != nullptr) injector_->reset();
   if (recorder_ != nullptr) recorder_->bind(size(), cost_);
   trace_.clear();

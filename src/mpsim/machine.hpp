@@ -83,6 +83,39 @@ class Machine {
   void barrier_over(const std::vector<Rank>& ranks,
                     const char* what = "barrier");
 
+  /// Bounded retry attempts a collective makes before escalating a
+  /// transient fault to a fail-stop.
+  static constexpr int kMaxRetryAttempts = 4;
+
+  /// Admission control for a named Group collective: with faults armed,
+  /// consume any transient-fault budget matching `ranks` (checksum-failed
+  /// link, transient timeout). Each failed attempt advances every member
+  /// to the members' horizon plus cost().t_timeout * 2^attempt (idle —
+  /// exponential backoff on the detection window), records a Retry event,
+  /// and accrues retry cost for the ledger entry the collective will
+  /// write (take_retry_accrual). When the fault outlives the retry
+  /// budget, the faulty rank is killed and escalated as a detected
+  /// RankFailure for the recovery layer. One predictable branch when
+  /// disarmed, so fault-free runs stay bit-identical.
+  void admit_collective(const std::vector<Rank>& ranks, const char* what);
+
+  /// Pending retry accrual since the last take: failed-attempt cost not
+  /// yet attributed to a ledger entry.
+  struct RetryAccrual {
+    Time us = 0.0;
+    std::uint64_t attempts = 0;
+  };
+  [[nodiscard]] RetryAccrual take_retry_accrual() {
+    const RetryAccrual out = retry_accrual_;
+    retry_accrual_ = RetryAccrual{};
+    return out;
+  }
+
+  /// Run-cumulative transient-retry counters (reset() zeroes them).
+  [[nodiscard]] std::uint64_t retries() const { return total_retries_; }
+  [[nodiscard]] Time retry_us() const { return total_retry_us_; }
+  [[nodiscard]] int escalations() const { return escalations_; }
+
   /// Charge `bytes` (>= 0) of virtual memory tagged `tag` to rank r's
   /// byte account, updating per-tag and total live/peak counters and
   /// firing the observer's on_alloc hook. Memory events never advance
@@ -198,6 +231,10 @@ class Machine {
   std::vector<char> unreachable_;
   std::vector<std::string> unreachable_note_;
   int unreachable_count_ = 0;
+  RetryAccrual retry_accrual_;
+  std::uint64_t total_retries_ = 0;
+  Time total_retry_us_ = 0.0;
+  int escalations_ = 0;
 };
 
 }  // namespace pdt::mpsim

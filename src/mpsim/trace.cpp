@@ -18,6 +18,8 @@ const char* to_string(EventKind k) {
     case EventKind::Checkpoint: return "checkpoint";
     case EventKind::RankFail: return "rank-fail";
     case EventKind::Recovery: return "recovery";
+    case EventKind::Retry: return "retry";
+    case EventKind::Resume: return "resume";
     case EventKind::Note: return "note";
   }
   return "?";

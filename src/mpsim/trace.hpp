@@ -23,6 +23,8 @@ enum class EventKind {
   Checkpoint,     ///< a per-level frontier checkpoint was written
   RankFail,       ///< a fail-stopped rank was detected by its group
   Recovery,       ///< the group shrank and restored from a checkpoint
+  Retry,          ///< a collective attempt failed transiently and retried
+  Resume,         ///< the run restarted from a durable on-disk checkpoint
   Note,           ///< free-form annotation from the algorithm
 };
 

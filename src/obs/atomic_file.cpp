@@ -6,11 +6,51 @@
 #include <process.h>
 #define PDT_GETPID _getpid
 #else
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define PDT_GETPID getpid
 #endif
 
 namespace pdt::obs {
+
+namespace {
+
+// A rename is only durable once the temp file's data AND the directory
+// entry are on stable storage: without the fsyncs a power loss shortly
+// after commit() can leave either an empty file or no file at the final
+// path — exactly the torn-checkpoint case the pdt-ckpt-v1 loader must
+// never see presented as "committed". Windows has no directory fsync;
+// there the rename alone is the best available barrier.
+[[nodiscard]] bool sync_file(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return true;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+#else
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+#endif
+}
+
+}  // namespace
 
 AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
   tmp_path_ = path_ + ".tmp" + std::to_string(PDT_GETPID());
@@ -29,10 +69,12 @@ bool AtomicFile::commit() {
   os_.flush();
   const bool good = os_.good();
   os_.close();
-  if (!good || std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+  if (!good || !sync_file(tmp_path_) ||
+      std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(tmp_path_.c_str());
     return false;
   }
+  sync_parent_dir(path_);
   committed_ = true;
   return true;
 }

@@ -29,9 +29,11 @@ class AtomicFile {
   [[nodiscard]] std::ostream& stream() { return os_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
-  /// Flush, close, and rename the temp file onto the final path.
-  /// Returns false (and removes the temp) on any failure. Idempotent:
-  /// a second call after success is a no-op returning true.
+  /// Flush, close, fsync the temp file, rename it onto the final path,
+  /// and fsync the containing directory (where the platform allows) so
+  /// the committed bytes survive power loss. Returns false (and removes
+  /// the temp) on any failure. Idempotent: a second call after success
+  /// is a no-op returning true.
   bool commit();
 
  private:

@@ -316,6 +316,12 @@ void write_ledger_totals_fields(JsonWriter& w,
   w.kv("delta_us", t.delta_us());
   w.kv("io_us", t.io_us);
   w.kv("messages", t.messages);
+  // Transient-retry waste attributed to this slice; omitted when zero so
+  // fault-free artifacts keep their pre-retry byte layout.
+  if (t.retries > 0) {
+    w.kv("retry_us", t.retry_us);
+    w.kv("retries", t.retries);
+  }
 }
 
 std::string comm_phase_name(const PhaseProfiler* profiler, PhaseId phase) {
@@ -467,6 +473,7 @@ namespace {
 ///   ["w",  rank, until]                                wait (absolute)
 ///   ["wf", rank, src]                                  wait-for (causal)
 ///   ["g",  kind, words, dim, [members]]                collective
+///   ["rt", faulty, mult, [members]]                    transient retry
 void write_event(JsonWriter& w, const mpsim::ExecEvent& e) {
   using Type = mpsim::ExecEvent::Type;
   w.begin_array();
@@ -501,6 +508,12 @@ void write_event(JsonWriter& w, const mpsim::ExecEvent& e) {
       break;
     case Type::Collective:
       w.value("g").value(e.what).value(e.words).value(e.dim);
+      w.begin_array();
+      for (const mpsim::Rank r : e.members) w.value(r);
+      w.end_array();
+      break;
+    case Type::Retry:
+      w.value("rt").value(e.rank).value(e.mult);
       w.begin_array();
       for (const mpsim::Rank r : e.members) w.value(r);
       w.end_array();

@@ -30,6 +30,59 @@ TEST(FaultPlan, BuilderAccumulatesEntries) {
   EXPECT_NE(d.find("level 1"), std::string::npos);
 }
 
+TEST(FaultPlan, BuildersRejectOutOfRangeValues) {
+  // A silently-accepted bad plan would fire nothing and make a fault
+  // test vacuously pass, so every builder validates eagerly.
+  FaultPlan plan;
+  EXPECT_THROW(plan.fail_stop(-1, 0), std::invalid_argument);
+  EXPECT_THROW(plan.fail_stop(0, -1), std::invalid_argument);
+  EXPECT_THROW(plan.straggler(-1, 0, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.straggler(0, -1, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.straggler(0, 3, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.straggler(0, 0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(plan.straggler(0, 0, 1, -2.0), std::invalid_argument);
+  EXPECT_THROW(plan.delay_link(-1, 2, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.delay_link(2, 2, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.delay_link(0, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt_link(-1, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt_link(1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt_link(0, 2, -1, 1), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt_link(0, 2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.transient_timeout(-1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan.transient_timeout(0, -1, 1), std::invalid_argument);
+  EXPECT_THROW(plan.transient_timeout(0, 0, 0), std::invalid_argument);
+  // A rejected call leaves the plan untouched.
+  EXPECT_TRUE(plan.empty());
+  // The message names the module and the offending field.
+  try {
+    plan.transient_timeout(0, 0, -5);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("FaultPlan:"), 0u) << what;
+    EXPECT_NE(what.find("count"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, DescribeCoversEveryFaultKind) {
+  EXPECT_EQ(FaultPlan{}.describe(), "no faults");
+  FaultPlan plan;
+  plan.fail_stop(2, 1)
+      .straggler(1, 0, 3, 4.0)
+      .delay_link(0, 3, 2.5)
+      .corrupt_link(0, 2, 1, 3)
+      .transient_timeout(3, 2, 2);
+  const std::string d = plan.describe();
+  EXPECT_NE(d.find("fail-stop rank 2 @ level 1"), std::string::npos) << d;
+  EXPECT_NE(d.find("straggler rank 1"), std::string::npos) << d;
+  EXPECT_NE(d.find("link 0<->3"), std::string::npos) << d;
+  EXPECT_NE(d.find("corrupt link 0<->2 @ level 1 x3"), std::string::npos)
+      << d;
+  EXPECT_NE(d.find("transient timeout rank 3 @ level 2 x2"),
+            std::string::npos)
+      << d;
+}
+
 TEST(FaultPlan, RandomIsDeterministicAndInRange) {
   const FaultPlan a = FaultPlan::random(42, 8, 6);
   const FaultPlan b = FaultPlan::random(42, 8, 6);

@@ -1,0 +1,270 @@
+// Crash-restart resume: for every formulation and machine size, a run
+// restarted from any intermediate durable epoch must finish with a tree
+// bit-identical to the uninterrupted run's (and to the serial tree) —
+// the DESIGN.md §13 acceptance criterion. Corrupt or truncated epochs
+// are skipped back, never trusted; incompatible checkpoints (different
+// formulation, P, seed) are a caller bug and throw.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ckpt.hpp"
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+
+namespace pdt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::Dataset workload() {
+  return data::discretize_uniform(
+      data::quest_generate(2000, {.function = 2, .seed = 3}),
+      data::quest_paper_bins());
+}
+
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("resume_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Newest epoch file in `dir` (the one a skip-back test corrupts).
+fs::path newest_epoch_file(const fs::path& dir) {
+  const CheckpointStore store(dir.string(), 1000);
+  const int e = store.latest_epoch();
+  EXPECT_GE(e, 0);
+  return store.epoch_path(e);
+}
+
+struct ResumeConfig {
+  Formulation formulation;
+  int procs;
+  double cut_frac;  // fraction of the committed epochs to resume from
+};
+
+std::string resume_name(const ::testing::TestParamInfo<ResumeConfig>& info) {
+  const ResumeConfig& c = info.param;
+  std::string s = to_string(c.formulation);
+  s += "_P" + std::to_string(c.procs);
+  s += "_cut" + std::to_string(static_cast<int>(c.cut_frac * 100));
+  return s;
+}
+
+class ResumeEquivalenceTest : public ::testing::TestWithParam<ResumeConfig> {};
+
+TEST_P(ResumeEquivalenceTest, ResumedTreeEqualsUninterruptedTree) {
+  const ResumeConfig& c = GetParam();
+  const data::Dataset ds = workload();
+  const fs::path dir =
+      scratch_dir(resume_name({GetParam(), /*index=*/0}));
+
+  ParOptions opt;
+  opt.num_procs = c.procs;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;  // keep every epoch so any cut is resumable
+  const ParResult full = build(c.formulation, ds, opt);
+  const ParResult serial = build_serial(ds, ParOptions{});
+  ASSERT_TRUE(full.tree.same_as(serial.tree));
+  ASSERT_GT(full.recovery.durable_checkpoints, 0);
+  EXPECT_GT(full.recovery.durable_bytes, 0);
+  EXPECT_GT(full.recovery.durable_io_us, 0.0);
+
+  // Resume bounded at an intermediate epoch: the loader ignores later
+  // files, which is exactly the on-disk state a process killed right
+  // after that epoch's commit would leave behind.
+  const int last = full.recovery.durable_checkpoints - 1;
+  const int cut = static_cast<int>(c.cut_frac * last);
+  ParOptions ropt;
+  ropt.num_procs = c.procs;
+  ropt.ckpt_dir = dir.string();
+  ropt.ckpt_keep = 1000;
+  ropt.resume = true;
+  ropt.resume_epoch = cut;
+  const ParResult resumed = build(c.formulation, ds, ropt);
+
+  EXPECT_TRUE(resumed.tree.same_as(full.tree));
+  EXPECT_TRUE(resumed.tree.same_as(serial.tree));
+  EXPECT_TRUE(resumed.recovery.resumed);
+  EXPECT_EQ(resumed.recovery.resume_epoch, cut);
+  EXPECT_EQ(resumed.recovery.resume_skipped, 0);
+  EXPECT_GT(resumed.recovery.resume_records, 0);
+  EXPECT_GT(resumed.recovery.resume_io_us, 0.0);
+  fs::remove_all(dir);
+}
+
+std::vector<ResumeConfig> make_resume_configs() {
+  std::vector<ResumeConfig> out;
+  for (const Formulation f :
+       {Formulation::Sync, Formulation::Partitioned, Formulation::Hybrid}) {
+    for (const int p : {4, 8}) {
+      // Resume from the very first epoch, mid-run, and near the end.
+      for (const double frac : {0.0, 0.5, 0.9}) {
+        out.push_back({f, p, frac});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(KillAndResume, ResumeEquivalenceTest,
+                         ::testing::ValuesIn(make_resume_configs()),
+                         resume_name);
+
+TEST(Resume, CorruptNewestEpochSkipsBackAndStillMatches) {
+  const data::Dataset ds = workload();
+  const fs::path dir = scratch_dir("corrupt_skip_back");
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;
+  const ParResult full = build(Formulation::Sync, ds, opt);
+  ASSERT_GT(full.recovery.durable_checkpoints, 1);
+
+  // Tear the newest epoch mid-file: resume must reject it, fall back to
+  // the previous epoch, and still grow the identical tree.
+  const fs::path victim = newest_epoch_file(dir);
+  std::string bytes = slurp(victim);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  spit(victim, bytes);
+
+  ParOptions ropt = opt;
+  ropt.resume = true;
+  const ParResult resumed = build(Formulation::Sync, ds, ropt);
+  EXPECT_TRUE(resumed.tree.same_as(full.tree));
+  EXPECT_TRUE(resumed.recovery.resumed);
+  EXPECT_EQ(resumed.recovery.resume_skipped, 1);
+  // The first run committed epochs 0..n-1; the torn newest (n-1) was
+  // rejected, so the resume point is the one before it.
+  EXPECT_EQ(resumed.recovery.resume_epoch,
+            full.recovery.durable_checkpoints - 2);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, TruncatedNewestEpochSkipsBack) {
+  const data::Dataset ds = workload();
+  const fs::path dir = scratch_dir("truncate_skip_back");
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;
+  const ParResult full = build(Formulation::Partitioned, ds, opt);
+  ASSERT_GT(full.recovery.durable_checkpoints, 1);
+
+  const fs::path victim = newest_epoch_file(dir);
+  spit(victim, slurp(victim).substr(0, 200));  // torn write
+
+  ParOptions ropt = opt;
+  ropt.resume = true;
+  const ParResult resumed = build(Formulation::Partitioned, ds, ropt);
+  EXPECT_TRUE(resumed.tree.same_as(full.tree));
+  EXPECT_TRUE(resumed.recovery.resumed);
+  EXPECT_EQ(resumed.recovery.resume_skipped, 1);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, NoValidEpochMeansColdStartNotCrash) {
+  const data::Dataset ds = workload();
+  const fs::path dir = scratch_dir("all_invalid");
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;
+  const ParResult full = build(Formulation::Hybrid, ds, opt);
+  ASSERT_GT(full.recovery.durable_checkpoints, 0);
+
+  // Corrupt every epoch: resume finds nothing trustworthy and starts
+  // from scratch — same tree, resumed=false, every rejection counted.
+  const CheckpointStore store(dir.string(), 1000);
+  int epochs = 0;
+  for (int e = 0; e <= store.latest_epoch(); ++e) {
+    if (!fs::exists(store.epoch_path(e))) continue;
+    spit(store.epoch_path(e), "pdt-ckpt-v1\nnot a checkpoint\n");
+    ++epochs;
+  }
+  ParOptions ropt = opt;
+  ropt.resume = true;
+  const ParResult resumed = build(Formulation::Hybrid, ds, ropt);
+  EXPECT_TRUE(resumed.tree.same_as(full.tree));
+  EXPECT_FALSE(resumed.recovery.resumed);
+  EXPECT_EQ(resumed.recovery.resume_skipped, epochs);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, ResumeOffIgnoresExistingEpochs) {
+  const data::Dataset ds = workload();
+  const fs::path dir = scratch_dir("resume_off");
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;
+  const ParResult first = build(Formulation::Sync, ds, opt);
+  ASSERT_GT(first.recovery.durable_checkpoints, 0);
+  // Same directory, resume still off: a fresh run that only writes.
+  const ParResult second = build(Formulation::Sync, ds, opt);
+  EXPECT_FALSE(second.recovery.resumed);
+  EXPECT_TRUE(second.tree.same_as(first.tree));
+  fs::remove_all(dir);
+}
+
+TEST(Resume, IncompatibleCheckpointIsACallerBugAndThrows) {
+  const data::Dataset ds = workload();
+  const fs::path dir = scratch_dir("incompatible");
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.ckpt_dir = dir.string();
+  opt.ckpt_keep = 1000;
+  (void)build(Formulation::Sync, ds, opt);
+
+  // Valid checkpoint, wrong run: corruption is skipped silently, but a
+  // compatibility mismatch must fail loudly — resuming a sync P=4 run
+  // as hybrid or P=8 or a different seed would grow garbage.
+  ParOptions wrong_f = opt;
+  wrong_f.resume = true;
+  EXPECT_THROW((void)build(Formulation::Hybrid, ds, wrong_f),
+               std::runtime_error);
+
+  ParOptions wrong_p = opt;
+  wrong_p.resume = true;
+  wrong_p.num_procs = 8;
+  EXPECT_THROW((void)build(Formulation::Sync, ds, wrong_p),
+               std::runtime_error);
+
+  ParOptions wrong_seed = opt;
+  wrong_seed.resume = true;
+  wrong_seed.seed = 12345;
+  EXPECT_THROW((void)build(Formulation::Sync, ds, wrong_seed),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Resume, DurableCheckpointsOffByDefault) {
+  const data::Dataset ds = workload();
+  ParOptions opt;
+  opt.num_procs = 4;
+  const ParResult res = build(Formulation::Sync, ds, opt);
+  EXPECT_EQ(res.recovery.durable_checkpoints, 0);
+  EXPECT_EQ(res.recovery.durable_bytes, 0);
+  EXPECT_FALSE(res.recovery.resumed);
+}
+
+}  // namespace
+}  // namespace pdt::core

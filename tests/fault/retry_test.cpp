@@ -1,0 +1,282 @@
+// Transient-fault retry with exponential backoff: admit_collective's
+// arithmetic (attempt i burns a 2^i detection window charged idle to
+// every member), the accrual handed to the comm ledger, escalation to a
+// detected fail-stop when the budget outlives kMaxRetryAttempts, and —
+// at the formulation level — convergence to the fault-free tree with
+// the retry cost visible in RecoveryStats, the ledger and the trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "data/discretize.hpp"
+#include "data/quest.hpp"
+#include "mpsim/comm_ledger.hpp"
+#include "mpsim/fault.hpp"
+#include "mpsim/machine.hpp"
+#include "obs/observability.hpp"
+
+namespace pdt::mpsim {
+namespace {
+
+const std::vector<Rank> kAll{0, 1, 2, 3};
+
+TEST(Retry, TransientTimeoutHealsWithExponentialBackoff) {
+  Machine m(4);
+  const Time T = m.cost().t_timeout;
+  FaultPlan plan;
+  plan.transient_timeout(/*rank=*/1, /*level=*/0, /*count=*/2);
+  m.arm_faults(plan);
+  m.fault()->enter_level(0, kAll);
+  m.wait_until(0, 100.0);  // stagger one clock so the horizon is 100
+  m.trace().enable(true);
+
+  m.admit_collective(kAll, "all-reduce");
+
+  // Attempt 0 waits one window to 100+T, attempt 1 waits 2^1 windows on
+  // top: every member lands at exactly 100 + 3T.
+  for (const Rank r : kAll) EXPECT_EQ(m.clock(r), 100.0 + 3.0 * T) << r;
+  EXPECT_EQ(m.retries(), 2u);
+  // Each attempt charges its window to all 4 members: (1 + 2) * T * 4.
+  EXPECT_EQ(m.retry_us(), 12.0 * T);
+  EXPECT_EQ(m.escalations(), 0);
+  EXPECT_TRUE(m.fault()->alive(1));  // healed, not killed
+
+  std::vector<TraceEvent> retries;
+  for (const TraceEvent& ev : m.trace().events()) {
+    if (ev.kind == EventKind::Retry) retries.push_back(ev);
+  }
+  ASSERT_EQ(retries.size(), 2u);
+  EXPECT_EQ(retries[0].rank, 1);
+  EXPECT_EQ(retries[0].words, 1.0);  // backoff multiplier rides in words
+  EXPECT_NE(retries[0].detail.find("attempt 1 of all-reduce"),
+            std::string::npos);
+  EXPECT_NE(retries[0].detail.find("backoff x1"), std::string::npos);
+  EXPECT_EQ(retries[1].words, 2.0);
+  EXPECT_NE(retries[1].detail.find("backoff x2"), std::string::npos);
+
+  // Budget spent, fault healed: the next collective is clean.
+  const Time before = m.clock(0);
+  m.admit_collective(kAll, "all-reduce");
+  EXPECT_EQ(m.clock(0), before);
+  EXPECT_EQ(m.retries(), 2u);
+}
+
+TEST(Retry, AccrualIsHandedOverOnce) {
+  Machine m(4);
+  const Time T = m.cost().t_timeout;
+  FaultPlan plan;
+  plan.transient_timeout(1, 0, 2);
+  m.arm_faults(plan);
+  m.fault()->enter_level(0, kAll);
+  m.admit_collective(kAll, "barrier");
+
+  // The pending accrual is what the next ledger entry absorbs; taking
+  // it clears it, so retry cost is attributed exactly once.
+  const Machine::RetryAccrual acc = m.take_retry_accrual();
+  EXPECT_EQ(acc.us, 12.0 * T);
+  EXPECT_EQ(acc.attempts, 2u);
+  const Machine::RetryAccrual again = m.take_retry_accrual();
+  EXPECT_EQ(again.us, 0.0);
+  EXPECT_EQ(again.attempts, 0u);
+  // Run-cumulative counters are unaffected by the take.
+  EXPECT_EQ(m.retries(), 2u);
+  EXPECT_EQ(m.retry_us(), 12.0 * T);
+}
+
+TEST(Retry, CorruptLinkBlamesTheFlakyNicOwner) {
+  Machine m(4);
+  FaultPlan plan;
+  plan.corrupt_link(/*a=*/0, /*b=*/2, /*level=*/0, /*count=*/1);
+  m.arm_faults(plan);
+  m.fault()->enter_level(0, kAll);
+  m.trace().enable(true);
+
+  // A collective without both endpoints never trips the checksum.
+  m.admit_collective({1, 3}, "all-reduce");
+  EXPECT_EQ(m.retries(), 0u);
+
+  m.admit_collective(kAll, "all-reduce");
+  EXPECT_EQ(m.retries(), 1u);
+  ASSERT_EQ(m.trace().events().size(), 1u);
+  EXPECT_EQ(m.trace().events()[0].kind, EventKind::Retry);
+  EXPECT_EQ(m.trace().events()[0].rank, 0);  // rank a owns the flaky NIC
+}
+
+TEST(Retry, ExhaustedBudgetEscalatesToDetectedFailStop) {
+  Machine m(4);
+  FaultPlan plan;
+  // More failures queued than the retry budget tolerates.
+  plan.transient_timeout(2, 0, Machine::kMaxRetryAttempts + 2);
+  m.arm_faults(plan);
+  m.fault()->enter_level(0, kAll);
+
+  try {
+    m.admit_collective(kAll, "record-shuffle");
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank, 2);
+    // The backoff windows already charged the survivors: the recovery
+    // path must not charge the detection timeout again.
+    EXPECT_TRUE(e.detected);
+  }
+  EXPECT_EQ(m.retries(), static_cast<std::uint64_t>(Machine::kMaxRetryAttempts));
+  EXPECT_EQ(m.escalations(), 1);
+  EXPECT_FALSE(m.fault()->alive(2));
+}
+
+TEST(Retry, DisarmedAndSingletonCollectivesAreNoOps) {
+  Machine m(4);
+  m.admit_collective(kAll, "barrier");  // no plan armed
+  EXPECT_EQ(m.retries(), 0u);
+
+  FaultPlan plan;
+  plan.transient_timeout(1, 0, 1);
+  m.arm_faults(plan);
+  m.fault()->enter_level(0, kAll);
+  m.admit_collective({1}, "barrier");  // singleton: nothing to retry
+  EXPECT_EQ(m.retries(), 0u);
+  for (const Rank r : kAll) EXPECT_EQ(m.clock(r), 0.0);
+}
+
+}  // namespace
+}  // namespace pdt::mpsim
+
+namespace pdt::core {
+namespace {
+
+data::Dataset workload() {
+  return data::discretize_uniform(
+      data::quest_generate(2000, {.function = 2, .seed = 3}),
+      data::quest_paper_bins());
+}
+
+// Transient faults never change the tree — only the clocks. Every
+// formulation must converge to the serial digest with the retry cost
+// accounted in RecoveryStats, attributed in the comm ledger, and
+// visible as Retry events in the trace.
+class RetryConvergenceTest : public ::testing::TestWithParam<Formulation> {};
+
+TEST_P(RetryConvergenceTest, TransientRunConvergesToFaultFreeDigest) {
+  const data::Dataset ds = workload();
+  const ParResult serial = build_serial(ds, ParOptions{});
+
+  ParOptions clean;
+  clean.num_procs = 4;
+  const ParResult fault_free = build(GetParam(), ds, clean);
+
+  // Level 0 keeps the whole machine in one group in every formulation,
+  // so the transient deterministically fires there.
+  mpsim::FaultPlan plan;
+  plan.transient_timeout(/*rank=*/1, /*level=*/0, /*count=*/2);
+  plan.corrupt_link(/*a=*/0, /*b=*/3, /*level=*/1, /*count=*/1);
+  obs::Observability obs;
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.fault = &plan;
+  opt.obs = &obs;
+  opt.trace = true;
+  const ParResult res = build(GetParam(), ds, opt);
+
+  EXPECT_TRUE(res.tree.same_as(serial.tree));
+  EXPECT_TRUE(res.tree.same_as(fault_free.tree));
+  EXPECT_GE(res.recovery.retries, 2u);
+  EXPECT_GT(res.recovery.retry_us, 0.0);
+  EXPECT_EQ(res.recovery.escalations, 0);
+  EXPECT_EQ(res.recovery.failures, 0);
+  // Backoff windows are real idle time: the faulty run is slower.
+  EXPECT_GT(res.parallel_time, fault_free.parallel_time);
+
+  // Ledger attribution: the retry cost lands on collective entries.
+  std::uint64_t ledger_retries = 0;
+  mpsim::Time ledger_retry_us = 0.0;
+  for (const mpsim::CollectiveEntry& e : obs.comm_ledger().entries()) {
+    ledger_retries += e.retries;
+    ledger_retry_us += e.retry_us;
+  }
+  EXPECT_GT(ledger_retries, 0u);
+  EXPECT_GT(ledger_retry_us, 0.0);
+  EXPECT_LE(ledger_retry_us, res.recovery.retry_us + 1e-9);
+
+  // Event-log visibility: Retry events carry the backoff multiplier.
+  int retry_events = 0;
+  for (const mpsim::TraceEvent& ev : res.trace) {
+    if (ev.kind == mpsim::EventKind::Retry) {
+      ++retry_events;
+      EXPECT_GE(ev.words, 1.0);
+      EXPECT_NE(ev.detail.find("backoff"), std::string::npos);
+    }
+  }
+  EXPECT_GE(retry_events, 2);
+}
+
+TEST_P(RetryConvergenceTest, RetryEpisodeIsDeterministic) {
+  const data::Dataset ds = workload();
+  mpsim::FaultPlan plan;
+  plan.transient_timeout(1, 0, 2);
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.fault = &plan;
+  const ParResult a = build(GetParam(), ds, opt);
+  const ParResult b = build(GetParam(), ds, opt);
+  EXPECT_EQ(a.parallel_time, b.parallel_time);  // exact, not approximate
+  EXPECT_EQ(a.recovery.retries, b.recovery.retries);
+  EXPECT_EQ(a.recovery.retry_us, b.recovery.retry_us);
+  EXPECT_TRUE(a.tree.same_as(b.tree));
+}
+
+TEST_P(RetryConvergenceTest, UnfiredTransientLeavesClocksUntouched) {
+  // Two armed runs, one with a transient scheduled far beyond the tree's
+  // depth: the retry machinery on the fault-free path must cost nothing.
+  const data::Dataset ds = workload();
+  mpsim::FaultPlan empty;
+  ParOptions base;
+  base.num_procs = 4;
+  base.fault = &empty;
+  const ParResult plain = build(GetParam(), ds, base);
+
+  mpsim::FaultPlan never;
+  never.transient_timeout(1, /*level=*/40, /*count=*/1);
+  ParOptions opt = base;
+  opt.fault = &never;
+  const ParResult res = build(GetParam(), ds, opt);
+  EXPECT_EQ(res.parallel_time, plain.parallel_time);
+  EXPECT_EQ(res.recovery.retries, 0u);
+  EXPECT_EQ(res.recovery.retry_us, 0.0);
+  EXPECT_TRUE(res.tree.same_as(plain.tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormulations, RetryConvergenceTest,
+                         ::testing::Values(Formulation::Sync,
+                                           Formulation::Partitioned,
+                                           Formulation::Hybrid),
+                         [](const ::testing::TestParamInfo<Formulation>& i) {
+                           return std::string(to_string(i.param));
+                         });
+
+// Exhausted retries merge into the existing fail-stop recovery: the
+// escalated rank dies, the run absorbs it, and the tree still matches.
+TEST(RetryEscalation, ExhaustedRetriesRecoverLikeAFailStop) {
+  const data::Dataset ds = workload();
+  const ParResult serial = build_serial(ds, ParOptions{});
+  mpsim::FaultPlan plan;
+  plan.transient_timeout(/*rank=*/1, /*level=*/0,
+                         /*count=*/mpsim::Machine::kMaxRetryAttempts + 3);
+  ParOptions opt;
+  opt.num_procs = 4;
+  opt.fault = &plan;
+  for (const Formulation f : {Formulation::Sync, Formulation::Partitioned,
+                              Formulation::Hybrid}) {
+    SCOPED_TRACE(to_string(f));
+    const ParResult res = build(f, ds, opt);
+    EXPECT_TRUE(res.tree.same_as(serial.tree));
+    EXPECT_EQ(res.recovery.escalations, 1);
+    EXPECT_EQ(res.recovery.failures, 1);
+    EXPECT_EQ(res.recovery.retries,
+              static_cast<std::uint64_t>(mpsim::Machine::kMaxRetryAttempts));
+  }
+}
+
+}  // namespace
+}  // namespace pdt::core

@@ -374,6 +374,121 @@ TEST(TrendModel, MissingModelWarnsAndFirstAppearanceIsNew) {
             std::string::npos);
 }
 
+std::string ft_envelope(double time_us, double retry_us,
+                        std::int64_t retries, bool identical) {
+  // One pdt-ft-v1 section row, shaped like bench/fault_tolerance emits.
+  std::ostringstream os;
+  os << R"({"schema": "pdt-bench-v1", "harness": "fault_tolerance",
+    "fingerprint": {"git_sha": "abc123def456", "git_dirty": false},
+    "sections": [
+      {"type": "fault_tolerance", "schema": "pdt-ft-v1",
+       "formulation": "hybrid", "procs": 8, "n": 2000, "rows": [
+        {"scenario": "transient-r2x2", "plan": "transient timeout",
+         "time_us": )"
+     << json_double_exact(time_us)
+     << R"(, "overhead_pct": 1.0, "checkpoints": 5, "failures": 0,
+         "checkpoint_bytes": 1024, "checkpoint_io_us": 100.0,
+         "detect_us": 0.0, "recovery_us": 0.0,
+         "records_redistributed": 0, "retries": )"
+     << retries << R"(, "retry_us": )" << json_double_exact(retry_us)
+     << R"(, "escalations": 0, "durable_checkpoints": 3,
+         "durable_bytes": 4096, "durable_io_us": 50.0,
+         "resumed": true, "resume_epoch": 1, "resume_skipped": 0,
+         "resume_io_us": 25.0, "resume_records": 500,
+         "tree_identical": )"
+     << (identical ? "true" : "false") << R"(}]}]})";
+  return os.str();
+}
+
+RunRecord ft_record(std::int64_t seq, double time_us, double retry_us,
+                    std::int64_t retries, bool identical = true) {
+  const std::vector<ReportInput> inputs{
+      parse("f0.json", ft_envelope(time_us, retry_us, retries, identical)),
+      parse("f1.json", ft_envelope(time_us, retry_us, retries, identical))};
+  RunRecord rec = record_from_envelopes(inputs);
+  rec.seq = seq;
+  rec.timestamp = "2026-08-0" + std::to_string(seq) + "T00:00:00Z";
+  return rec;
+}
+
+TEST(TrendFt, RecordExtractsAndRegistryRoundTripsFtTuples) {
+  const RunRecord rec = ft_record(1, 5000.0, 8000.0, 2);
+  ASSERT_EQ(rec.ft.size(), 1u);  // repeats dedupe to one tuple
+  EXPECT_EQ(rec.ft[0].harness, "fault_tolerance");
+  EXPECT_EQ(rec.ft[0].formulation, "hybrid");
+  EXPECT_EQ(rec.ft[0].procs, 8);
+  EXPECT_EQ(rec.ft[0].scenario, "transient-r2x2");
+  EXPECT_DOUBLE_EQ(rec.ft[0].time_us, 5000.0);
+  // overhead = ckpt_io + detect + recovery + retry + durable_io + resume_io
+  EXPECT_DOUBLE_EQ(rec.ft[0].overhead_us, 100.0 + 8000.0 + 50.0 + 25.0);
+  EXPECT_DOUBLE_EQ(rec.ft[0].retry_us, 8000.0);
+  EXPECT_EQ(rec.ft[0].retries, 2);
+  EXPECT_EQ(rec.ft[0].resume_records, 500);
+  EXPECT_TRUE(rec.ft[0].tree_identical);
+
+  std::vector<RunRecord> back;
+  std::string error;
+  ASSERT_TRUE(parse_registry(record_line(rec), &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  ASSERT_EQ(back[0].ft.size(), 1u);
+  EXPECT_EQ(back[0].ft[0].scenario, "transient-r2x2");
+  EXPECT_EQ(back[0].ft[0].retry_us, rec.ft[0].retry_us) << "bit-exact";
+  EXPECT_EQ(record_line(back[0]), record_line(rec));
+}
+
+TEST(TrendFt, PreFtRegistryLinesParseWithEmptyFtList) {
+  const std::string line = record_line(record(1, 1000.0, 80e6, 20e6));
+  std::string stripped = line;
+  const std::size_t at = stripped.find(", \"ft\": []");
+  ASSERT_NE(at, std::string::npos) << "new lines always carry the key";
+  stripped.erase(at, std::string(", \"ft\": []").size());
+  std::vector<RunRecord> back;
+  std::string error;
+  ASSERT_TRUE(parse_registry(stripped, &back, &error)) << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].ft.empty());
+}
+
+TEST(TrendFt, RetryCostAppearingTripsTheOverheadGate) {
+  // History with zero retry cost, latest run burns retries: the
+  // [overhead] series steps off a zero baseline, which no vtol band
+  // forgives — resilience cost may not silently creep in.
+  std::vector<RunRecord> runs;
+  for (int s = 1; s <= 3; ++s) runs.push_back(ft_record(s, 5000.0, 0.0, 0));
+  std::ostringstream ok_os;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, ok_os, nullptr), 0);
+
+  runs.push_back(ft_record(4, 5000.0, 8000.0, 2));
+  std::ostringstream os;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, os, nullptr), 1);
+  EXPECT_NE(os.str().find("fault_tolerance hybrid P=8 transient-r2x2 "
+                          "[overhead]"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(TrendFt, TreeDivergenceIsAnUnconditionalRegression) {
+  std::vector<RunRecord> runs{ft_record(1, 5000.0, 100.0, 1),
+                              ft_record(2, 5000.0, 100.0, 1)};
+  std::ostringstream ok_os;
+  std::string ok_doc;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, ok_os, &ok_doc), 0);
+  EXPECT_NE(ok_doc.find("\"ft\": ["), std::string::npos);
+
+  // Same costs, diverged tree: costs pass the bands, the identity gate
+  // still fails the run.
+  runs.push_back(ft_record(3, 5000.0, 100.0, 1, /*identical=*/false));
+  std::ostringstream os;
+  std::string doc;
+  EXPECT_EQ(run_trend_check(runs, TrendOptions{}, os, &doc), 1);
+  EXPECT_NE(os.str().find("FAIL    [ft]   fault_tolerance hybrid P=8 "
+                          "transient-r2x2"),
+            std::string::npos)
+      << os.str();
+  EXPECT_NE(os.str().find("tree diverged"), std::string::npos);
+  EXPECT_NE(doc.find("\"tree_identical\": false"), std::string::npos);
+}
+
 TEST(TrendExplain, FilterSelectsTuplesAndMissingFilterReportsCleanly) {
   const std::vector<RunRecord> runs = flat_registry(3);
   std::ostringstream os;

@@ -143,6 +143,11 @@ bool parse_event_log(const JsonValue& root, EventLog* out,
       ev.words = e.at(2).as_double();
       ev.dim = static_cast<int>(e.at(3).as_int());
       ok = parse_members(e.at(4), &ev.members);
+    } else if (tag == "rt") {
+      ev.tag = ReplayEvent::Tag::Retry;
+      ev.rank = static_cast<int>(e.at(1).as_int(-1));
+      ev.mult = e.at(2).as_double();
+      ok = rank_ok(ev.rank) && parse_members(e.at(3), &ev.members);
     } else {
       return fail("event " + std::to_string(i) + ": unknown tag \"" + tag +
                   "\"");
@@ -259,6 +264,20 @@ ReplayResult replay_log(const EventLog& log, const ReplayCost& target,
         double horizon = 0.0;
         for (const int r : e.members) horizon = std::max(horizon, clock(r));
         const double deadline = horizon + target.t_timeout;
+        for (const int r : e.members) {
+          blame(r, e.rank, -1, deadline - clock(r));
+          if (clock(r) < deadline) clock(r) = deadline;
+        }
+        break;
+      }
+      case ReplayEvent::Tag::Retry: {
+        // A failed collective attempt: every member waits out the
+        // backed-off detection window (t_timeout * 2^attempt), blamed on
+        // the faulty rank. Same arithmetic as Machine::admit_collective,
+        // so the identity replay stays bit-exact through retries.
+        double horizon = 0.0;
+        for (const int r : e.members) horizon = std::max(horizon, clock(r));
+        const double deadline = horizon + target.t_timeout * e.mult;
         for (const int r : e.members) {
           blame(r, e.rank, -1, deadline - clock(r));
           if (clock(r) < deadline) clock(r) = deadline;

@@ -57,6 +57,7 @@ struct ReplayEvent {
     Wait,        ///< ["w",  rank, until]
     WaitFor,     ///< ["wf", rank, src]
     Collective,  ///< ["g",  kind, words, dim, [members]]
+    Retry,       ///< ["rt", faulty, mult, [members]]
   };
 
   Tag tag = Tag::Compute;
@@ -71,6 +72,7 @@ struct ReplayEvent {
   std::uint64_t messages = 0;
   double until = 0.0;  ///< Wait: absolute target time
   double words = 0.0;  ///< Collective payload
+  double mult = 1.0;   ///< Retry: backoff multiplier on t_timeout
   int dim = 0;
   std::string label;  ///< Barrier what / Collective kind
   std::vector<int> members;

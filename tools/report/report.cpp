@@ -856,6 +856,36 @@ void render_bench(const ReportInput& in, std::ostream& os,
            << row.get("records_redistributed").as_int() << " | "
            << (identical ? "yes" : "**NO**") << " |\n";
       }
+      // Retry/backoff and durable-checkpoint columns (absent from
+      // pre-§13 artifacts — every getter defaults to zero, and the
+      // table is skipped entirely when nothing recorded them).
+      bool any_resilience = false;
+      for (const JsonValue& row : sec.get("rows").array()) {
+        any_resilience = any_resilience ||
+                         row.get("retries").as_int() > 0 ||
+                         row.get("durable_checkpoints").as_int() > 0 ||
+                         row.get("resumed").as_bool();
+      }
+      if (any_resilience) {
+        os << "\n| scenario | retries | retry_us | escalations | "
+              "durable ckpts | durable KiB | durable io_us | resumed | "
+              "epoch | skipped | resume io_us | resume records |\n";
+        os << "|---|---:|---:|---:|---:|---:|---:|---|---:|---:|---:|---:|\n";
+        for (const JsonValue& row : sec.get("rows").array()) {
+          os << "| " << row.get("scenario").as_string() << " | "
+             << row.get("retries").as_int() << " | "
+             << fmt_us(row.get("retry_us").as_double()) << " | "
+             << row.get("escalations").as_int() << " | "
+             << row.get("durable_checkpoints").as_int() << " | "
+             << fmt_kib(row.get("durable_bytes").as_double()) << " | "
+             << fmt_us(row.get("durable_io_us").as_double()) << " | "
+             << (row.get("resumed").as_bool() ? "yes" : "no") << " | "
+             << row.get("resume_epoch").as_int(-1) << " | "
+             << row.get("resume_skipped").as_int() << " | "
+             << fmt_us(row.get("resume_io_us").as_double()) << " | "
+             << row.get("resume_records").as_int() << " |\n";
+        }
+      }
       os << "\n**Verdict: " << (all_identical ? "PASS" : "FLAG")
          << "** — every scenario's tree "
          << (all_identical ? "matches" : "must match")

@@ -36,6 +36,7 @@ constexpr pdt::tools::CliSpec kSpec = {
     "usage: pdt-tree inspect <model.json>\n"
     "       pdt-tree diff <a.json> <b.json>\n"
     "       pdt-tree eval <model.json>\n"
+    "       pdt-tree ckpt <ckpt-file-or-dir>\n"
     "\n"
     "Inspect pdt-model-v1 documents written by the bench harnesses\n"
     "(<harness>.<tag>.model.json). The tree is rebuilt from the\n"
@@ -47,6 +48,9 @@ constexpr pdt::tools::CliSpec kSpec = {
     "            trees are byte-identical in canonical form\n"
     "  eval      regenerate the held-out Quest sample and re-measure\n"
     "            accuracy; exit 1 unless it reproduces the recorded value\n"
+    "  ckpt      validate pdt-ckpt-v1 durable checkpoints (one epoch\n"
+    "            file, or a directory of them); exit 1 unless every\n"
+    "            epoch would be accepted by a crash-restart resume\n"
     "  -h, --help    show this help\n"
     "  --version     print the tool-suite version\n",
 };
@@ -90,6 +94,10 @@ int main(int argc, char** argv) {
     }
     return command == "inspect" ? run_inspect(m, std::cout)
                                 : run_eval(m, std::cout);
+  }
+  if (command == "ckpt") {
+    if (files.size() != 1) return usage(kSpec);
+    return run_ckpt(files[0], std::cout);
   }
   if (command == "diff") {
     if (files.size() != 2) return usage(kSpec);

@@ -181,10 +181,11 @@ int main(int argc, char** argv) {
     std::size_t added = 0;
     if (cmd == "append") {
       RunRecord rec = record_from_envelopes(inputs);
-      if (rec.virt.empty() && rec.host.empty()) {
+      if (rec.virt.empty() && rec.host.empty() && rec.model.empty() &&
+          rec.ft.empty()) {
         std::fprintf(stderr,
-                     "pdt-trend: no speedup_series or host tuples found in "
-                     "the inputs\n");
+                     "pdt-trend: no speedup_series, host, model or ft tuples "
+                     "found in the inputs\n");
         return kExitFail;
       }
       rec.seq = next_seq;

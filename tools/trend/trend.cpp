@@ -65,6 +65,16 @@ std::string model_name(const TrendModelTuple& m) {
          " P=" + std::to_string(m.procs);
 }
 
+bool same_ft(const TrendFtTuple& a, const TrendFtTuple& b) {
+  return a.harness == b.harness && a.formulation == b.formulation &&
+         a.procs == b.procs && a.scenario == b.scenario;
+}
+
+std::string ft_name(const TrendFtTuple& f) {
+  return f.harness + " " + f.formulation + " P=" + std::to_string(f.procs) +
+         " " + f.scenario;
+}
+
 }  // namespace
 
 // -------------------------------------------------------------- registry --
@@ -156,6 +166,25 @@ bool parse_registry(std::string_view text, std::vector<RunRecord>* out,
       }
       rec.model.push_back(std::move(m));
     }
+    // "ft" is absent from registries written before the resilience
+    // tuples existed — an empty list then.
+    for (const JsonValue& e : root.get("ft").array()) {
+      TrendFtTuple f;
+      f.harness = e.get("harness").as_string();
+      f.formulation = e.get("formulation").as_string();
+      f.procs = e.get("procs").as_int();
+      f.scenario = e.get("scenario").as_string();
+      f.time_us = e.get("time_us").as_double();
+      f.overhead_us = e.get("overhead_us").as_double();
+      f.retry_us = e.get("retry_us").as_double();
+      f.retries = e.get("retries").as_int();
+      f.resume_records = e.get("resume_records").as_int();
+      f.tree_identical = e.get("tree_identical").as_bool(true);
+      if (f.harness.empty() || f.scenario.empty()) {
+        return fail("ft tuple missing harness or scenario");
+      }
+      rec.ft.push_back(std::move(f));
+    }
     for (const JsonValue& e : root.get("blame").array()) {
       TrendBlameEdge b;
       b.idler = e.get("idler").as_int();
@@ -219,6 +248,21 @@ std::string record_line(const RunRecord& rec) {
        << json_escaped(m.digest) << "\", \"nodes\": " << m.nodes
        << ", \"leaves\": " << m.leaves << ", \"depth\": " << m.depth
        << ", \"accuracy\": " << json_double_exact(m.accuracy) << "}";
+  }
+  os << "], \"ft\": [";
+  for (std::size_t i = 0; i < rec.ft.size(); ++i) {
+    const TrendFtTuple& f = rec.ft[i];
+    os << (i == 0 ? "" : ", ") << "{\"harness\": \""
+       << json_escaped(f.harness) << "\", \"formulation\": \""
+       << json_escaped(f.formulation) << "\", \"procs\": " << f.procs
+       << ", \"scenario\": \"" << json_escaped(f.scenario)
+       << "\", \"time_us\": " << json_double_exact(f.time_us)
+       << ", \"overhead_us\": " << json_double_exact(f.overhead_us)
+       << ", \"retry_us\": " << json_double_exact(f.retry_us)
+       << ", \"retries\": " << f.retries
+       << ", \"resume_records\": " << f.resume_records
+       << ", \"tree_identical\": " << (f.tree_identical ? "true" : "false")
+       << "}";
   }
   os << "], \"blame\": [";
   for (std::size_t i = 0; i < rec.blame.size(); ++i) {
@@ -293,6 +337,36 @@ RunRecord record_from_envelopes(const std::vector<ReportInput>& inputs) {
           seen = seen || same_model(u, m);
         }
         if (!seen && !m.digest.empty()) rec.model.push_back(std::move(m));
+        continue;
+      }
+      if (sec.get("type").as_string() == "fault_tolerance" &&
+          sec.get("schema").as_string() == "pdt-ft-v1") {
+        // Deterministic virtual quantities: repeats carry identical
+        // rows, keep the first sighting of each key. Retry/durable
+        // fields are absent from pre-§13 artifacts and default to 0.
+        const std::string formulation = sec.get("formulation").as_string();
+        const std::int64_t procs = sec.get("procs").as_int();
+        for (const JsonValue& row : sec.get("rows").array()) {
+          TrendFtTuple f;
+          f.harness = harness;
+          f.formulation = formulation;
+          f.procs = procs;
+          f.scenario = row.get("scenario").as_string();
+          f.time_us = row.get("time_us").as_double();
+          f.overhead_us = row.get("checkpoint_io_us").as_double() +
+                          row.get("detect_us").as_double() +
+                          row.get("recovery_us").as_double() +
+                          row.get("retry_us").as_double() +
+                          row.get("durable_io_us").as_double() +
+                          row.get("resume_io_us").as_double();
+          f.retry_us = row.get("retry_us").as_double();
+          f.retries = row.get("retries").as_int();
+          f.resume_records = row.get("resume_records").as_int();
+          f.tree_identical = row.get("tree_identical").as_bool(true);
+          bool seen = false;
+          for (const TrendFtTuple& u : rec.ft) seen = seen || same_ft(u, f);
+          if (!seen && !f.scenario.empty()) rec.ft.push_back(std::move(f));
+        }
         continue;
       }
       if (sec.get("type").as_string() != "instrumented_run") continue;
@@ -477,6 +551,36 @@ std::vector<Series> collect_series(const std::vector<RunRecord>& runs) {
       out[host_base + i].seqs.push_back(rec.seq);
       out[host_base + i].values.push_back(t.entry.median_ns);
       out[host_base + i].mads.push_back(t.entry.mad_ns);
+    }
+  }
+  // Fault-tolerance tuples: two virtual series per (formulation, P,
+  // scenario) key — total time and resilience overhead (checkpoint +
+  // detect + recovery + retry + durable + resume I/O). The overhead
+  // series starts at 0 for clean scenarios, so retry cost appearing
+  // where there was none is flagged even when total time barely moves.
+  const std::size_t ft_base = out.size();
+  std::vector<TrendFtTuple> fkeys;
+  for (const RunRecord& rec : runs) {
+    for (const TrendFtTuple& f : rec.ft) {
+      std::size_t i = 0;
+      for (; i < fkeys.size(); ++i) {
+        if (same_ft(fkeys[i], f)) break;
+      }
+      if (i == fkeys.size()) {
+        fkeys.push_back(f);
+        Series time_s;
+        time_s.name = ft_name(f) + " [time]";
+        out.push_back(std::move(time_s));
+        Series ovhd_s;
+        ovhd_s.name = ft_name(f) + " [overhead]";
+        out.push_back(std::move(ovhd_s));
+      }
+      out[ft_base + 2 * i].seqs.push_back(rec.seq);
+      out[ft_base + 2 * i].values.push_back(f.time_us);
+      out[ft_base + 2 * i].mads.push_back(0.0);
+      out[ft_base + 2 * i + 1].seqs.push_back(rec.seq);
+      out[ft_base + 2 * i + 1].values.push_back(f.overhead_us);
+      out[ft_base + 2 * i + 1].mads.push_back(0.0);
     }
   }
   return out;
@@ -793,6 +897,32 @@ int run_trend_check(const std::vector<RunRecord>& runs,
     d << "}";
     first_model = false;
   }
+  d << "\n  ],\n  \"ft\": [";
+
+  // Recovery-identity gate: a resilience scenario whose latest row grew
+  // a tree different from its fault-free baseline is an unconditional
+  // regression — the cost series above only watch how much recovery
+  // costs, this watches whether it is still correct.
+  bool first_ft = true;
+  if (!runs.empty()) {
+    for (const TrendFtTuple& f : runs.back().ft) {
+      std::string verdict = "ok";
+      if (gated && !f.tree_identical) {
+        verdict = "REGRESSION";
+        ++regressions;
+        os << "FAIL    [ft]   " << ft_name(f)
+           << " — tree diverged from the fault-free baseline\n";
+      }
+      d << (first_ft ? "" : ",") << "\n    {\"name\": \""
+        << json_escaped(ft_name(f)) << "\", \"verdict\": \"" << verdict
+        << "\", \"tree_identical\": " << (f.tree_identical ? "true" : "false")
+        << ", \"overhead_us\": " << json_double_exact(f.overhead_us)
+        << ", \"retry_us\": " << json_double_exact(f.retry_us)
+        << ", \"retries\": " << f.retries
+        << ", \"resume_records\": " << f.resume_records << "}";
+      first_ft = false;
+    }
+  }
   d << "\n  ]\n}\n";
   if (doc != nullptr) *doc = d.str();
 
@@ -933,7 +1063,8 @@ void run_trend_list(const std::vector<RunRecord>& runs, std::ostream& os) {
        << (sha.empty() ? "unknown" : sha)
        << (r.fingerprint.get("git_dirty").as_bool() ? "*" : "") << "  "
        << r.virt.size() << " virtual, " << r.host.size() << " host, "
-       << r.model.size() << " model, " << r.blame.size() << " blame"
+       << r.model.size() << " model, " << r.ft.size() << " ft, "
+       << r.blame.size() << " blame"
        << (r.label.empty() ? "" : "  [" + r.label + "]") << "\n";
   }
 }

@@ -78,6 +78,27 @@ struct TrendModelTuple {
   double accuracy = 0.0;  ///< held-out accuracy recorded by the harness
 };
 
+/// One fault-tolerance tuple from a pdt-ft-v1 section row: the virtual
+/// cost of one (formulation, P, scenario) resilience run, plus the
+/// recovery/retry/resume overheads that must not silently creep. All
+/// values are virtual-clock quantities, so the series is deterministic
+/// and gated with the tight virtual tolerance; tree_identical=false in
+/// the latest record is an unconditional regression.
+struct TrendFtTuple {
+  std::string harness;
+  std::string formulation;
+  std::int64_t procs = 0;
+  std::string scenario;
+  double time_us = 0.0;
+  /// checkpoint_io + detect + recovery + retry + durable_io + resume_io:
+  /// everything the run spent on resilience rather than tree growth.
+  double overhead_us = 0.0;
+  double retry_us = 0.0;
+  std::int64_t retries = 0;
+  std::int64_t resume_records = 0;
+  bool tree_identical = true;
+};
+
 /// One wait-for blame edge carried along from a pdt-replay-v1 report.
 struct TrendBlameEdge {
   std::int64_t idler = 0;
@@ -97,6 +118,7 @@ struct RunRecord {
   std::vector<DiffEntry> virt;
   std::vector<TrendHostTuple> host;
   std::vector<TrendModelTuple> model;
+  std::vector<TrendFtTuple> ft;
   std::vector<TrendBlameEdge> blame;
 };
 
