@@ -11,9 +11,48 @@ void EventRecorder::bind(int nprocs, const CostModel& cost) {
   clocks_.assign(static_cast<std::size_t>(nprocs), 0.0);
   cost_ = cost;
   bound_ = true;
+  primary_ = std::this_thread::get_id();
+  // Rebinding implies the previous run is over; any worker events still
+  // sitting unmerged in a ring belong to it and would corrupt the fresh
+  // clocks, so discard them (the recorded/drop totals stay cumulative).
+  std::lock_guard<std::mutex> g(slots_mu_);
+  for (auto& slot : slots_) {
+    slot->ring.tail.store(slot->ring.head.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  }
 }
 
-int EventRecorder::intern(std::string_view name) {
+bool EventRecorder::Ring::push(ExecEvent&& e) {
+  const std::size_t h = head.load(std::memory_order_relaxed);
+  const std::size_t t = tail.load(std::memory_order_acquire);
+  if (h - t >= buf.size()) return false;
+  buf[h % buf.size()] = std::move(e);
+  head.store(h + 1, std::memory_order_release);
+  return true;
+}
+
+EventRecorder::WorkerSlot* EventRecorder::worker_slot() {
+  const std::thread::id me = std::this_thread::get_id();
+  {
+    std::lock_guard<std::mutex> g(slots_mu_);
+    for (auto& slot : slots_) {
+      if (slot->claimed.load(std::memory_order_relaxed) &&
+          slot->owner == me) {
+        return slot.get();
+      }
+    }
+    if (static_cast<int>(slots_.size()) < kMaxWorkerSlots) {
+      slots_.push_back(std::make_unique<WorkerSlot>());
+      WorkerSlot* s = slots_.back().get();
+      s->owner = me;
+      s->claimed.store(true, std::memory_order_release);
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+int EventRecorder::intern_locked(std::string_view name) {
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<int>(i);
   }
@@ -21,13 +60,149 @@ int EventRecorder::intern(std::string_view name) {
   return static_cast<int>(names_.size() - 1);
 }
 
+int EventRecorder::intern(std::string_view name) {
+  std::lock_guard<std::mutex> g(names_mu_);
+  return intern_locked(name);
+}
+
 void EventRecorder::open_phase(std::string_view name) {
-  stack_.push_back(intern(name));
+  const int id = intern(name);
+  if (on_primary()) {
+    stack_.push_back(id);
+    return;
+  }
+  if (WorkerSlot* s = worker_slot()) s->stack.push_back(id);
 }
 
 void EventRecorder::close_phase() {
-  assert(!stack_.empty());
-  stack_.pop_back();
+  if (on_primary()) {
+    assert(!stack_.empty());
+    stack_.pop_back();
+    return;
+  }
+  if (WorkerSlot* s = worker_slot()) {
+    if (!s->stack.empty()) s->stack.pop_back();
+  }
+}
+
+void EventRecorder::apply(ExecEvent&& e) {
+  switch (e.type) {
+    case ExecEvent::Type::Charge: {
+      // Same arithmetic as Machine: the shadow clock stays bit-identical.
+      const auto r = static_cast<std::size_t>(e.rank);
+      events_.push_back(std::move(e));
+      clocks_[r] += events_.back().dt_us;
+      return;
+    }
+    case ExecEvent::Type::Barrier: {
+      events_.push_back(std::move(e));
+      // Mirror of Machine::barrier_over's main path: horizon = max over
+      // the member clocks, then every member is assigned (not added) up
+      // to it.
+      Time horizon = 0.0;
+      for (const Rank r : events_.back().members) {
+        horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
+      }
+      for (const Rank r : events_.back().members) {
+        if (clocks_[static_cast<std::size_t>(r)] < horizon) {
+          clocks_[static_cast<std::size_t>(r)] = horizon;
+        }
+      }
+      return;
+    }
+    case ExecEvent::Type::Timeout: {
+      events_.push_back(std::move(e));
+      // Mirror of Machine::charge_timeout.
+      Time horizon = 0.0;
+      for (const Rank r : events_.back().members) {
+        horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
+      }
+      const Time deadline = horizon + cost_.t_timeout;
+      for (const Rank r : events_.back().members) {
+        if (clocks_[static_cast<std::size_t>(r)] < deadline) {
+          clocks_[static_cast<std::size_t>(r)] = deadline;
+        }
+      }
+      return;
+    }
+    case ExecEvent::Type::Retry: {
+      events_.push_back(std::move(e));
+      // Mirror of Machine::charge_retry: every member waits out a
+      // backed-off timeout window from the members' common horizon.
+      Time horizon = 0.0;
+      for (const Rank r : events_.back().members) {
+        horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
+      }
+      const Time deadline = horizon + cost_.t_timeout * events_.back().mult;
+      for (const Rank r : events_.back().members) {
+        if (clocks_[static_cast<std::size_t>(r)] < deadline) {
+          clocks_[static_cast<std::size_t>(r)] = deadline;
+        }
+      }
+      return;
+    }
+    case ExecEvent::Type::Wait: {
+      const auto r = static_cast<std::size_t>(e.rank);
+      const Time until = e.until_us;
+      events_.push_back(std::move(e));
+      if (clocks_[r] < until) clocks_[r] = until;
+      return;
+    }
+    case ExecEvent::Type::WaitFor: {
+      const auto r = static_cast<std::size_t>(e.rank);
+      const auto src = static_cast<std::size_t>(e.peer);
+      events_.push_back(std::move(e));
+      const Time until = clocks_[src];
+      if (clocks_[r] < until) clocks_[r] = until;
+      return;
+    }
+    case ExecEvent::Type::Collective: {
+      events_.push_back(std::move(e));
+      return;
+    }
+  }
+}
+
+void EventRecorder::record(ExecEvent&& e) {
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (on_primary()) {
+    apply(std::move(e));
+    return;
+  }
+  WorkerSlot* s = worker_slot();
+  if (s == nullptr || !s->ring.push(std::move(e))) {
+    ring_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++s->recorded;
+}
+
+std::size_t EventRecorder::merge_shards() {
+  assert(on_primary());
+  std::vector<ExecEvent> pending;
+  {
+    std::lock_guard<std::mutex> g(slots_mu_);
+    for (auto& slot : slots_) {
+      Ring& ring = slot->ring;
+      const std::size_t h = ring.head.load(std::memory_order_acquire);
+      std::size_t t = ring.tail.load(std::memory_order_relaxed);
+      for (; t != h; ++t) {
+        pending.push_back(std::move(ring.buf[t % ring.buf.size()]));
+      }
+      ring.tail.store(t, std::memory_order_release);
+    }
+  }
+  // Sequence stamps restore the global record order across rings; the
+  // clock arithmetic is then applied exactly as if each event had been
+  // recorded directly, so replay sees one causally ordered log.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const ExecEvent& a, const ExecEvent& b) {
+                     return a.seq < b.seq;
+                   });
+  const std::size_t n = pending.size();
+  for (ExecEvent& e : pending) apply(std::move(e));
+  merged_events_ += n;
+  return n;
 }
 
 void EventRecorder::record_charge(Rank r, ChargeKind kind, Time dt,
@@ -39,16 +214,18 @@ void EventRecorder::record_charge(Rank r, ChargeKind kind, Time dt,
   e.type = ExecEvent::Type::Charge;
   e.kind = kind;
   e.rank = r;
-  e.phase = current_phase();
+  if (on_primary()) {
+    e.phase = stack_.empty() ? 0 : stack_.back();
+  } else if (WorkerSlot* s = worker_slot()) {
+    e.phase = s->stack.empty() ? 0 : s->stack.back();
+  }
   e.level = level;
   e.dt_us = dt;
   e.latency_us = latency;
   e.words_sent = words_sent;
   e.words_received = words_received;
   e.messages = messages;
-  events_.push_back(std::move(e));
-  // Same arithmetic as Machine: the shadow clock stays bit-identical.
-  clocks_[static_cast<std::size_t>(r)] += dt;
+  record(std::move(e));
 }
 
 void EventRecorder::record_barrier(const char* what,
@@ -58,18 +235,7 @@ void EventRecorder::record_barrier(const char* what,
   e.type = ExecEvent::Type::Barrier;
   e.what = what;
   e.members = members;
-  events_.push_back(std::move(e));
-  // Mirror of Machine::barrier_over's main path: horizon = max over the
-  // member clocks, then every member is assigned (not added) up to it.
-  Time horizon = 0.0;
-  for (const Rank r : members) {
-    horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
-  }
-  for (const Rank r : members) {
-    if (clocks_[static_cast<std::size_t>(r)] < horizon) {
-      clocks_[static_cast<std::size_t>(r)] = horizon;
-    }
-  }
+  record(std::move(e));
 }
 
 void EventRecorder::record_timeout(Rank dead,
@@ -79,18 +245,7 @@ void EventRecorder::record_timeout(Rank dead,
   e.type = ExecEvent::Type::Timeout;
   e.rank = dead;
   e.members = survivors;
-  events_.push_back(std::move(e));
-  // Mirror of Machine::charge_timeout.
-  Time horizon = 0.0;
-  for (const Rank r : survivors) {
-    horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
-  }
-  const Time deadline = horizon + cost_.t_timeout;
-  for (const Rank r : survivors) {
-    if (clocks_[static_cast<std::size_t>(r)] < deadline) {
-      clocks_[static_cast<std::size_t>(r)] = deadline;
-    }
-  }
+  record(std::move(e));
 }
 
 void EventRecorder::record_retry(Rank faulty,
@@ -102,19 +257,7 @@ void EventRecorder::record_retry(Rank faulty,
   e.rank = faulty;
   e.members = members;
   e.mult = mult;
-  events_.push_back(std::move(e));
-  // Mirror of Machine::charge_retry: every member waits out a backed-off
-  // timeout window from the members' common horizon.
-  Time horizon = 0.0;
-  for (const Rank r : members) {
-    horizon = std::max(horizon, clocks_[static_cast<std::size_t>(r)]);
-  }
-  const Time deadline = horizon + cost_.t_timeout * mult;
-  for (const Rank r : members) {
-    if (clocks_[static_cast<std::size_t>(r)] < deadline) {
-      clocks_[static_cast<std::size_t>(r)] = deadline;
-    }
-  }
+  record(std::move(e));
 }
 
 void EventRecorder::record_wait(Rank r, Time until) {
@@ -123,10 +266,7 @@ void EventRecorder::record_wait(Rank r, Time until) {
   e.type = ExecEvent::Type::Wait;
   e.rank = r;
   e.until_us = until;
-  events_.push_back(std::move(e));
-  if (clocks_[static_cast<std::size_t>(r)] < until) {
-    clocks_[static_cast<std::size_t>(r)] = until;
-  }
+  record(std::move(e));
 }
 
 void EventRecorder::record_wait_for(Rank r, Rank src) {
@@ -135,11 +275,7 @@ void EventRecorder::record_wait_for(Rank r, Rank src) {
   e.type = ExecEvent::Type::WaitFor;
   e.rank = r;
   e.peer = src;
-  events_.push_back(std::move(e));
-  const Time until = clocks_[static_cast<std::size_t>(src)];
-  if (clocks_[static_cast<std::size_t>(r)] < until) {
-    clocks_[static_cast<std::size_t>(r)] = until;
-  }
+  record(std::move(e));
 }
 
 void EventRecorder::record_collective(const char* kind,
@@ -152,7 +288,17 @@ void EventRecorder::record_collective(const char* kind,
   e.members = members;
   e.words = words;
   e.dim = dim;
-  events_.push_back(std::move(e));
+  record(std::move(e));
+}
+
+std::vector<EventRecorder::WorkerStats> EventRecorder::worker_stats() const {
+  std::vector<WorkerStats> out;
+  std::lock_guard<std::mutex> g(slots_mu_);
+  int i = 0;
+  for (const auto& slot : slots_) {
+    out.push_back(WorkerStats{i++, slot->recorded});
+  }
+  return out;
 }
 
 Time EventRecorder::max_clock() const {

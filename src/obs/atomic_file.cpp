@@ -1,5 +1,7 @@
 #include "obs/atomic_file.hpp"
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 
 #if defined(_WIN32)
@@ -53,7 +55,15 @@ void sync_parent_dir(const std::string& path) {
 }  // namespace
 
 AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
-  tmp_path_ = path_ + ".tmp" + std::to_string(PDT_GETPID());
+  // The pid alone is not enough once harnesses run multithreaded: two
+  // threads in one process targeting the same path would share a temp
+  // file and interleave writes into it. A process-wide counter makes
+  // every writer's temp unique; racing writers then resolve at the
+  // rename, where the last one wins with a complete file.
+  static std::atomic<std::uint64_t> next_writer{0};
+  tmp_path_ = path_ + ".tmp" + std::to_string(PDT_GETPID()) + "." +
+              std::to_string(next_writer.fetch_add(1,
+                                                   std::memory_order_relaxed));
   os_.open(tmp_path_, std::ios::binary | std::ios::trunc);
 }
 

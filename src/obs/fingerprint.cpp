@@ -98,6 +98,8 @@ EnvFingerprint EnvFingerprint::collect() {
   fp.cpu = cpu_model();
   fp.cores = static_cast<int>(std::thread::hardware_concurrency());
   fp.hostname = host_name();
+  const char* threads = std::getenv("PDT_THREADS");
+  fp.pdt_threads = threads != nullptr ? threads : "";
   fp.pdt_env = pdt_environment();
   return fp;
 }
@@ -111,6 +113,9 @@ void write_fingerprint(JsonWriter& w, const EnvFingerprint& fp) {
   w.kv("cpu", fp.cpu);
   w.kv("cores", fp.cores);
   w.kv("hostname", fp.hostname);
+  // Only when the run pinned a thread count: fingerprints written before
+  // the field existed (and runs that never set it) keep their bytes.
+  if (!fp.pdt_threads.empty()) w.kv("pdt_threads", fp.pdt_threads);
   w.key("env").begin_object();
   for (const auto& [k, v] : fp.pdt_env) w.kv(k, v);
   w.end_object();

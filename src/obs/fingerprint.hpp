@@ -34,6 +34,11 @@ struct EnvFingerprint {
   std::string cpu;        ///< /proc/cpuinfo model name ("unknown" elsewhere)
   int cores = 0;          ///< std::thread::hardware_concurrency()
   std::string hostname;
+  /// PDT_THREADS (the requested worker-thread count), "" when unset.
+  /// Also present in pdt_env; lifted out so pdt-trend explain can
+  /// attribute a perf move to a thread-count change without parsing the
+  /// env map.
+  std::string pdt_threads;
   /// Every PDT_* environment variable, sorted by name.
   std::vector<std::pair<std::string, std::string>> pdt_env;
 

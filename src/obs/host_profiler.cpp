@@ -29,61 +29,72 @@ HostProfiler::HostProfiler(const PhaseProfiler* stamps, HostClock* clock,
                            HostProfilerConfig cfg)
     : cfg_(cfg),
       stamps_(stamps),
-      clock_(clock != nullptr ? clock : &default_clock_),
-      cells_(64) {
+      clock_(clock != nullptr ? clock : &default_clock_) {
   if (cfg_.counters && counter_group_.open()) counter_group_.start();
 }
 
-void HostProfiler::grow_cells() {
-  std::vector<Cell> bigger(cells_.size() * 2);
-  for (const Cell& c : cells_) {
+void HostProfiler::grow_cells(ShardState& s) {
+  std::vector<Cell> bigger(s.cells.size() * 2);
+  for (const Cell& c : s.cells) {
     if (c.key == ~0ull) continue;
     std::size_t i = hash64(c.key) & (bigger.size() - 1);
     while (bigger[i].key != ~0ull) i = (i + 1) & (bigger.size() - 1);
     bigger[i] = c;
   }
-  cells_ = std::move(bigger);
-  last_hit_ = static_cast<std::size_t>(-1);
+  s.cells = std::move(bigger);
+  s.last_hit = static_cast<std::size_t>(-1);
 }
 
-HostTotals& HostProfiler::cell(PhaseId p, int level, mpsim::Rank r) {
+HostTotals& HostProfiler::cell(ShardState& s, PhaseId p, int level,
+                               mpsim::Rank r) {
   const std::uint64_t key = pack(p, level, r);
-  if (last_hit_ != static_cast<std::size_t>(-1) &&
-      cells_[last_hit_].key == key) {
-    return cells_[last_hit_].totals;
+  if (s.last_hit != static_cast<std::size_t>(-1) &&
+      s.cells[s.last_hit].key == key) {
+    return s.cells[s.last_hit].totals;
   }
-  if (cells_used_ * 2 >= cells_.size()) grow_cells();
-  std::size_t i = hash64(key) & (cells_.size() - 1);
-  while (cells_[i].key != ~0ull && cells_[i].key != key) {
-    i = (i + 1) & (cells_.size() - 1);
+  if (s.cells_used * 2 >= s.cells.size()) grow_cells(s);
+  std::size_t i = hash64(key) & (s.cells.size() - 1);
+  while (s.cells[i].key != ~0ull && s.cells[i].key != key) {
+    i = (i + 1) & (s.cells.size() - 1);
   }
-  if (cells_[i].key == ~0ull) {
-    cells_[i].key = key;
-    ++cells_used_;
+  if (s.cells[i].key == ~0ull) {
+    s.cells[i].key = key;
+    ++s.cells_used;
   }
-  last_hit_ = i;
-  return cells_[i].totals;
+  s.last_hit = i;
+  return s.cells[i].totals;
 }
 
 void HostProfiler::on_charge(mpsim::Rank r, mpsim::ChargeKind kind) {
+  ShardState* s = shards_.local();
+  if (s == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::int64_t now = clock_->now_ns();
-  if (!started_) {
+  if (!s->started) {
     // The first charge only anchors the interval chain: host work before
     // it belongs to setup (dataset generation, machine construction),
     // not to any simulated segment.
-    started_ = true;
-    last_ns_ = now;
+    s->started = true;
+    s->last_ns = now;
     return;
   }
-  const std::int64_t dt = std::max<std::int64_t>(0, now - last_ns_);
-  last_ns_ = now;
+  std::int64_t dt = now - s->last_ns;
+  if (dt < 0) {
+    // A monotonic clock should never step backwards; clamp to zero but
+    // leave the evidence on the clamp counter rather than hiding it.
+    dt = 0;
+    ++s->clamped;
+  }
+  s->last_ns = now;
 
-  num_ranks_ = std::max(num_ranks_, r + 1);
+  s->num_ranks = std::max(s->num_ranks, r + 1);
   const PhaseId p = stamps_ != nullptr ? stamps_->current_phase() : 0;
   const int level = stamps_ != nullptr ? stamps_->current_level() : kNoLevel;
-  max_level_ = std::max(max_level_, level);
+  s->max_level = std::max(s->max_level, level);
 
-  HostTotals& t = cell(p, level, r);
+  HostTotals& t = cell(*s, p, level, r);
   switch (kind) {
     case mpsim::ChargeKind::Compute: t.compute_ns += dt; break;
     case mpsim::ChargeKind::Comm: t.comm_ns += dt; break;
@@ -91,40 +102,112 @@ void HostProfiler::on_charge(mpsim::Rank r, mpsim::ChargeKind kind) {
     case mpsim::ChargeKind::Idle: t.idle_ns += dt; break;
   }
   ++t.samples;
-  total_ns_ += dt;
-  ++samples_;
+  s->total_ns += dt;
+  ++s->samples;
+}
+
+void HostProfiler::merge() {
+  shards_.for_each_mut([&](int i, ShardState& s) {
+    merged_samples_.push_back(ShardSample{i, s.samples});
+    for (const Cell& c : s.cells) {
+      if (c.key == ~0ull) continue;
+      const auto p = static_cast<PhaseId>(c.key >> 40);
+      const int level = static_cast<int>((c.key >> 20) & 0xFFFFFu) - 1;
+      const auto r = static_cast<mpsim::Rank>(c.key & 0xFFFFFu);
+      cell(merged_, p, level, r) += c.totals;
+    }
+    merged_.total_ns += s.total_ns;
+    merged_.samples += s.samples;
+    merged_.clamped += s.clamped;
+    merged_.num_ranks = std::max(merged_.num_ranks, s.num_ranks);
+    merged_.max_level = std::max(merged_.max_level, s.max_level);
+    // Reset the shard but keep the owner's interval anchor, so charges
+    // after the merge keep attributing host time correctly.
+    const bool started = s.started;
+    const std::int64_t last_ns = s.last_ns;
+    s = ShardState{};
+    s.started = started;
+    s.last_ns = last_ns;
+  });
+}
+
+std::vector<ShardSample> HostProfiler::shard_samples() const {
+  std::vector<ShardSample> out;
+  shards_.for_each([&](int i, const ShardState& s) {
+    out.push_back(ShardSample{i, s.samples});
+  });
+  return out;
+}
+
+std::int64_t HostProfiler::total_ns() const {
+  std::int64_t n = merged_.total_ns;
+  shards_.for_each([&](int, const ShardState& s) { n += s.total_ns; });
+  return n;
+}
+
+std::uint64_t HostProfiler::samples() const {
+  std::uint64_t n = merged_.samples;
+  shards_.for_each([&](int, const ShardState& s) { n += s.samples; });
+  return n;
+}
+
+std::uint64_t HostProfiler::clamped() const {
+  std::uint64_t n = merged_.clamped;
+  shards_.for_each([&](int, const ShardState& s) { n += s.clamped; });
+  return n;
+}
+
+int HostProfiler::num_ranks() const {
+  int n = merged_.num_ranks;
+  shards_.for_each(
+      [&](int, const ShardState& s) { n = std::max(n, s.num_ranks); });
+  return n;
+}
+
+int HostProfiler::max_level() const {
+  int l = merged_.max_level;
+  shards_.for_each(
+      [&](int, const ShardState& s) { l = std::max(l, s.max_level); });
+  return l;
 }
 
 std::vector<HostProfiler::Row> HostProfiler::rows() const {
   std::vector<Row> out;
-  out.reserve(cells_used_);
-  for (const Cell& c : cells_) {
-    if (c.key == ~0ull) continue;
+  for_each_cell([&](const Cell& c) {
     Row row;
     row.phase = static_cast<PhaseId>(c.key >> 40);
     row.level = static_cast<int>((c.key >> 20) & 0xFFFFFu) - 1;
     row.rank = static_cast<mpsim::Rank>(c.key & 0xFFFFFu);
     row.totals = c.totals;
     out.push_back(row);
-  }
-  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+  });
+  std::stable_sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
     if (a.phase != b.phase) return a.phase < b.phase;
     if (a.level != b.level) return a.level < b.level;
     return a.rank < b.rank;
   });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (w > 0 && out[w - 1].phase == out[i].phase &&
+        out[w - 1].level == out[i].level && out[w - 1].rank == out[i].rank) {
+      out[w - 1].totals += out[i].totals;
+    } else {
+      out[w++] = out[i];
+    }
+  }
+  out.resize(w);
   return out;
 }
 
 HostTotals HostProfiler::phase_totals(PhaseId p, int level,
                                       bool any_level) const {
   HostTotals sum;
-  for (const Cell& c : cells_) {
-    if (c.key == ~0ull) continue;
-    if (static_cast<PhaseId>(c.key >> 40) != p) continue;
+  for_each_cell([&](const Cell& c) {
+    if (static_cast<PhaseId>(c.key >> 40) != p) return;
     const int l = static_cast<int>((c.key >> 20) & 0xFFFFFu) - 1;
-    if (!any_level && l != level) continue;
+    if (!any_level && l != level) return;
     sum += c.totals;
-  }
+  });
   return sum;
 }
 

@@ -1,0 +1,89 @@
+#include "obs/threads.hpp"
+
+#include <algorithm>
+
+namespace pdt::obs {
+
+ContentionRegistry& ContentionRegistry::instance() {
+  static ContentionRegistry reg;
+  return reg;
+}
+
+ContentionCounter* ContentionRegistry::counter(const char* name) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) return &e->counter;
+  }
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = name;
+  return &entries_.back()->counter;
+}
+
+std::vector<LockStats> ContentionRegistry::stats() const {
+  std::vector<LockStats> out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      LockStats s;
+      s.name = e->name;
+      s.acquisitions = e->counter.acquisitions.load(std::memory_order_relaxed);
+      s.contended = e->counter.contended.load(std::memory_order_relaxed);
+      s.wait_ns = e->counter.wait_ns.load(std::memory_order_relaxed);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LockStats& a, const LockStats& b) { return a.name < b.name; });
+  return out;
+}
+
+ThreadRegistry& ThreadRegistry::instance() {
+  static ThreadRegistry reg;
+  return reg;
+}
+
+// Thread-local lease: acquires a shard id on the thread's first
+// current_shard() call and returns it to the registry when the thread
+// exits. Main-thread thread_local destruction precedes static
+// destruction, so the registry singleton outlives every lease.
+struct ShardLease {
+  int shard;
+  ShardLease() : shard(ThreadRegistry::instance().acquire()) {}
+  ~ShardLease() {
+    if (shard >= 0) ThreadRegistry::instance().release(shard);
+  }
+};
+
+int ThreadRegistry::current_shard() {
+  thread_local ShardLease lease;
+  return lease.shard;
+}
+
+int ThreadRegistry::acquire() {
+  std::lock_guard<InstrumentedMutex> g(mu_);
+  for (int i = 0; i < kMaxShards; ++i) {
+    if (!used_[static_cast<std::size_t>(i)]) {
+      used_[static_cast<std::size_t>(i)] = true;
+      ++stats_.registered;
+      ++stats_.active;
+      stats_.peak_active = std::max(stats_.peak_active, stats_.active);
+      return i;
+    }
+  }
+  ++stats_.overflow;
+  return -1;
+}
+
+void ThreadRegistry::release(int shard) {
+  std::lock_guard<InstrumentedMutex> g(mu_);
+  used_[static_cast<std::size_t>(shard)] = false;
+  --stats_.active;
+}
+
+ThreadRegistry::Stats ThreadRegistry::stats() const {
+  std::lock_guard<InstrumentedMutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace pdt::obs

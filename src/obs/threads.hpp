@@ -1,0 +1,238 @@
+// Thread sharding for the observability runtime.
+//
+// Every collector in src/obs was born single-threaded: one serial caller
+// drives the simulated machine, so plain member state was race-free by
+// construction. The real-thread execution backend (ROADMAP item 1)
+// breaks that assumption — N worker threads will charge the machine
+// concurrently — so the collectors accumulate into *per-thread shards*
+// instead: a process-global ThreadRegistry hands each registering thread
+// a dense shard id, each collector keeps one lazily created shard per id
+// (the owning thread mutates its shard without locks), and accessors
+// fold shards in shard-id order. A single-thread run uses exactly one
+// shard, so the fold degenerates to today's iteration and every export
+// stays byte-identical (DESIGN.md §14 states the determinism rule).
+//
+// Reader contract: folding accessors and merge() may only run after the
+// writing threads have quiesced (joined, or synchronized through a
+// barrier that happens-before the fold). The release/acquire pair on a
+// shard slot orders slot *creation*, not the owner's subsequent writes.
+//
+// The few pieces of genuinely shared collector state that remain
+// (interned phase names, the coalesced timeline, shard-slot creation)
+// sit behind InstrumentedMutex, which feeds per-lock acquisition /
+// contention-wait telemetry into the process-global ContentionRegistry;
+// obs::write_threads serializes all of it as pdt-threads-v1.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdt::obs {
+
+/// Upper bound on concurrently registered threads (== shard slots per
+/// collector). Registrations beyond this get no shard; collectors count
+/// such samples in their drop counters instead of racing or blocking.
+inline constexpr int kMaxShards = 256;
+
+/// Lock-acquisition telemetry of one named mutex (all fields monotonic).
+struct ContentionCounter {
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> wait_ns{0};
+};
+
+/// Snapshot row of one named lock, for export.
+struct LockStats {
+  std::string name;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t wait_ns = 0;
+};
+
+/// Process-global table of named contention counters. Mutexes sharing a
+/// name share a counter (every PhaseProfiler's name-intern lock is one
+/// logical lock as far as telemetry goes). Counters live until process
+/// exit; stats() snapshots name-sorted for deterministic export order.
+class ContentionRegistry {
+ public:
+  static ContentionRegistry& instance();
+
+  /// Counter for `name`, interning it on first use. The pointer is
+  /// stable for the life of the process.
+  ContentionCounter* counter(const char* name);
+
+  [[nodiscard]] std::vector<LockStats> stats() const;
+
+ private:
+  ContentionRegistry() = default;
+  struct Entry {
+    std::string name;
+    ContentionCounter counter;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// std::mutex wrapper that feeds a ContentionRegistry counter: every
+/// lock() is an acquisition; a lock() that fails the try_lock fast path
+/// also counts as contended and accumulates the wait. Satisfies
+/// Lockable, so std::lock_guard / std::unique_lock work as usual.
+class InstrumentedMutex {
+ public:
+  explicit InstrumentedMutex(const char* name)
+      : counter_(ContentionRegistry::instance().counter(name)) {}
+  InstrumentedMutex(const InstrumentedMutex&) = delete;
+  InstrumentedMutex& operator=(const InstrumentedMutex&) = delete;
+
+  void lock() {
+    if (!mu_.try_lock()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      const auto waited = std::chrono::steady_clock::now() - t0;
+      counter_->contended.fetch_add(1, std::memory_order_relaxed);
+      counter_->wait_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+    counter_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool try_lock() {
+    const bool ok = mu_.try_lock();
+    if (ok) counter_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  ContentionCounter* counter_;
+};
+
+/// Process-global map from thread to dense shard id. A thread registers
+/// on its first current_shard() call and holds the id until it exits
+/// (thread_local RAII release), after which the id is reused by the next
+/// registration — lowest free id first, so long-lived runs with worker
+/// churn keep the shard set dense. Release and re-acquire synchronize
+/// through the registry lock, so a reused shard's old writes
+/// happen-before its new owner's.
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance();
+
+  /// Dense shard id of the calling thread, registering it on first call.
+  /// Returns -1 when all kMaxShards ids are in use (the overflow is
+  /// counted; callers drop the sample instead of racing).
+  static int current_shard();
+
+  struct Stats {
+    std::uint64_t registered = 0;  ///< cumulative registrations
+    std::uint64_t overflow = 0;    ///< registrations refused (no free id)
+    int active = 0;                ///< currently held ids
+    int peak_active = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend struct ShardLease;
+  ThreadRegistry() = default;
+  int acquire();
+  void release(int shard);
+
+  mutable InstrumentedMutex mu_{"obs.thread_registry"};
+  std::array<bool, static_cast<std::size_t>(kMaxShards)> used_{};
+  Stats stats_;
+};
+
+/// Fixed slot array mapping shard id -> lazily created per-thread state.
+/// The owning thread mutates its slot lock-free; for_each / folding
+/// callers must observe the quiesce contract documented above.
+template <typename T>
+class ShardSlots {
+ public:
+  explicit ShardSlots(const char* lock_name) : create_mu_(lock_name) {}
+  ~ShardSlots() {
+    for (auto& s : slots_) delete s.load(std::memory_order_acquire);
+  }
+  ShardSlots(const ShardSlots&) = delete;
+  ShardSlots& operator=(const ShardSlots&) = delete;
+
+  /// The calling thread's slot, created on first use; nullptr when the
+  /// registry is out of shard ids.
+  T* local() {
+    const int shard = ThreadRegistry::current_shard();
+    return shard < 0 ? nullptr : &slot(shard);
+  }
+
+  /// The calling thread's slot if it already exists — never creates, so
+  /// const readers (current-stamp queries) stay allocation-free.
+  [[nodiscard]] const T* peek_local() const {
+    const int shard = ThreadRegistry::current_shard();
+    if (shard < 0) return nullptr;
+    return slots_[static_cast<std::size_t>(shard)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Slot for an explicit shard id, created on first use.
+  T& slot(int shard) {
+    auto& a = slots_[static_cast<std::size_t>(shard)];
+    T* p = a.load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<InstrumentedMutex> g(create_mu_);
+      p = a.load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        p = new T();
+        a.store(p, std::memory_order_release);
+      }
+    }
+    return *p;
+  }
+
+  /// Visit every created slot in shard-id order (the determinism rule:
+  /// all folds iterate this way).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int i = 0; i < kMaxShards; ++i) {
+      if (const T* p =
+              slots_[static_cast<std::size_t>(i)].load(std::memory_order_acquire)) {
+        fn(i, *p);
+      }
+    }
+  }
+  template <typename Fn>
+  void for_each_mut(Fn&& fn) {
+    for (int i = 0; i < kMaxShards; ++i) {
+      if (T* p =
+              slots_[static_cast<std::size_t>(i)].load(std::memory_order_acquire)) {
+        fn(i, *p);
+      }
+    }
+  }
+
+  /// Number of created slots.
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for_each([&](int, const T&) { ++n; });
+    return n;
+  }
+
+ private:
+  std::array<std::atomic<T*>, static_cast<std::size_t>(kMaxShards)> slots_{};
+  InstrumentedMutex create_mu_;
+};
+
+/// Per-shard sample count, as reported by each collector for the
+/// pdt-threads-v1 provenance block.
+struct ShardSample {
+  int shard = 0;
+  std::uint64_t samples = 0;
+};
+
+}  // namespace pdt::obs

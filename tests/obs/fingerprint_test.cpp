@@ -77,6 +77,34 @@ TEST(EnvFingerprint, WritesDeterministicJsonObject) {
   EXPECT_LT(out.find("\"PDT_HOST\""), out.find("\"PDT_SCALE\""));
 }
 
+TEST(EnvFingerprint, PdtThreadsIsLiftedOutOfEnvAndOmittedWhenUnset) {
+  // PDT_THREADS gets its own first-class field (next to cores) so
+  // pdt-trend explain can attribute a perf move to a requested
+  // thread-count change without digging through the env map.
+  ::setenv("PDT_THREADS", "16", 1);
+  const EnvFingerprint with = EnvFingerprint::collect();
+  ::unsetenv("PDT_THREADS");
+  const EnvFingerprint without = EnvFingerprint::collect();
+  EXPECT_EQ(with.pdt_threads, "16");
+  EXPECT_TRUE(without.pdt_threads.empty());
+
+  std::ostringstream os_with, os_without;
+  {
+    JsonWriter w(os_with);
+    write_fingerprint(w, with);
+  }
+  {
+    JsonWriter w(os_without);
+    write_fingerprint(w, without);
+  }
+  EXPECT_NE(os_with.str().find("\"pdt_threads\":\"16\""), std::string::npos)
+      << os_with.str();
+  // Byte-identity rule: the key is omitted entirely when unset, so
+  // pre-existing fingerprints don't change by a single byte.
+  EXPECT_EQ(os_without.str().find("\"pdt_threads\""), std::string::npos)
+      << os_without.str();
+}
+
 TEST(EnvFingerprint, CollectIsCachedPerProcess) {
   // bench_util::fingerprint() memoizes; collect() itself must also be
   // stable call-to-call for the fields that cannot change mid-process.

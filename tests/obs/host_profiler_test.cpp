@@ -121,10 +121,20 @@ TEST(HostProfiler, RowsPairWithVirtualProfilerCells) {
 TEST(HostProfiler, BackwardsClockClampsToZeroInsteadOfGoingNegative) {
   FakeClock clock({1000, 400, 500});
   HostProfiler h(nullptr, &clock);
+  EXPECT_EQ(h.clamped(), 0u);
   h.on_charge(0, mpsim::ChargeKind::Compute);  // anchor at 1000
   h.on_charge(0, mpsim::ChargeKind::Compute);  // clock "went back" to 400
   EXPECT_EQ(h.total_ns(), 0) << "negative intervals must clamp, not wrap";
+  // The anomaly is observable, not silent: pdt-host-v1 and the
+  // pdt-threads-v1 drop block both surface this count.
+  EXPECT_EQ(h.clamped(), 1u);
   h.on_charge(0, mpsim::ChargeKind::Compute);  // 400 -> 500
+  EXPECT_EQ(h.total_ns(), 100);
+  EXPECT_EQ(h.clamped(), 1u) << "a forward step must not count as clamped";
+  // The clamped sample still lands in a cell (with zero width) and the
+  // count survives a shard merge.
+  h.merge();
+  EXPECT_EQ(h.clamped(), 1u);
   EXPECT_EQ(h.total_ns(), 100);
 }
 
